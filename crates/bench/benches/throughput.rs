@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the simulation stack itself: how fast the
+//! cache hierarchy, cores, interpreter and JIT execute on the host.
+//!
+//! The table/figure regeneration harnesses are the `fig*`/`table*`
+//! binaries; these benches track the throughput that makes those harnesses
+//! practical (`cargo bench -p qoa-bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qoa_core::runtime::{capture, run_with_sink, RuntimeConfig};
+use qoa_model::{Category, CountingSink, MicroOp, OpKind, OpSink, Pc, Phase, RuntimeKind};
+use qoa_uarch::{Cache, CacheConfig, OooCore, SimpleCore, UarchConfig};
+use qoa_workloads::{by_name, Scale};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let accesses: Vec<u64> = (0..64 * 1024u64).map(|i| (i * 2654435761) % (8 << 20)).collect();
+    g.throughput(Throughput::Elements(accesses.len() as u64));
+    g.bench_function("l1_random_access", |b| {
+        let mut cache = Cache::new(CacheConfig { size: 64 << 10, assoc: 8, line: 64, latency: 4 });
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &a in &accesses {
+                hits += cache.access(a) as u64;
+            }
+            hits
+        });
+    });
+    g.finish();
+}
+
+fn synthetic_trace(n: usize) -> Vec<MicroOp> {
+    (0..n)
+        .map(|i| {
+            let kind = match i % 5 {
+                0 => OpKind::Load { addr: 0x5_0000_0000 + ((i * 64) as u64 % (4 << 20)), size: 8 },
+                1 => OpKind::Store { addr: 0x5_0000_0000 + ((i * 32) as u64 % (1 << 20)), size: 8 },
+                2 => OpKind::Branch { taken: i % 3 == 0, target: Pc(0x40_0100), indirect: i % 7 == 0 },
+                _ => OpKind::Alu,
+            };
+            MicroOp {
+                pc: Pc(0x40_0000 + ((i % 256) as u64) * 4),
+                kind,
+                category: Category::from_index(i % 16),
+                phase: Phase::Interpreter,
+            }
+        })
+        .collect()
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let ops = synthetic_trace(200_000);
+    let cfg = UarchConfig::skylake();
+    let mut g = c.benchmark_group("cores");
+    g.throughput(Throughput::Elements(ops.len() as u64));
+    g.bench_function("simple_core", |b| {
+        b.iter(|| {
+            let mut core = SimpleCore::new(&cfg);
+            for op in &ops {
+                core.op(*op);
+            }
+            core.finish().cycles
+        });
+    });
+    g.bench_function("ooo_core", |b| {
+        b.iter(|| {
+            let mut core = OooCore::new(&cfg);
+            for op in &ops {
+                core.op(*op);
+            }
+            core.finish().cycles
+        });
+    });
+    g.finish();
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtimes");
+    g.sample_size(10);
+    let w = by_name("fannkuch").expect("workload");
+    let src = w.source(Scale::Tiny);
+    for kind in [RuntimeKind::CPython, RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit] {
+        g.bench_with_input(BenchmarkId::new("execute", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let rt = RuntimeConfig::new(kind);
+                run_with_sink(&src, &rt, CountingSink::new())
+                    .expect("runs")
+                    .0
+                    .total()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let w = by_name("unpack_seq").expect("workload");
+    let src = w.source(Scale::Tiny);
+    let run = capture(&src, &RuntimeConfig::new(RuntimeKind::CPython)).expect("runs");
+    let cfg = UarchConfig::skylake();
+    g.throughput(Throughput::Elements(run.trace.len() as u64));
+    g.bench_function("trace_replay_ooo", |b| {
+        b.iter(|| run.trace.simulate_ooo(&cfg).cycles);
+    });
+    g.bench_function("trace_replay_simple", |b| {
+        b.iter(|| run.trace.simulate_simple(&cfg).cycles);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_cores, bench_runtimes, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 5: C function call overhead for the PyPy-model run-time (JIT on),
+//! per benchmark, with the geometric mean the paper reports (7.5% avg).
+
+use qoa_bench::{cli, emit, limit};
+use qoa_core::attribution::attribute_workload;
+use qoa_core::report::{pct, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_model::{Category, RuntimeKind};
+use qoa_uarch::UarchConfig;
+
+fn main() {
+    let cli = cli();
+    let suite = limit(&cli, qoa_workloads::python_suite());
+    let mut t = Table::new(
+        "Fig. 5: C function call overhead, PyPy (% of execution cycles)",
+        &["benchmark", "c-function-call"],
+    );
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
+    let uarch = UarchConfig::skylake();
+    let mut shares = Vec::new();
+    for w in &suite {
+        let b = attribute_workload(w, cli.scale, &rt, &uarch)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        shares.push(b.shares[Category::CFunctionCall]);
+        t.row(vec![w.name.to_string(), pct(b.shares[Category::CFunctionCall])]);
+    }
+    let geomean = (shares.iter().map(|s| s.max(1e-6).ln()).sum::<f64>()
+        / shares.len() as f64)
+        .exp();
+    let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+    t.row(vec!["GEOMEAN".into(), pct(geomean)]);
+    emit(&cli, &t);
+    println!("arithmetic mean {} [paper avg: 7.5%]", pct(mean));
+}

@@ -1,0 +1,87 @@
+//! Fig. 7: CPI under microarchitecture parameter sweeps — average lines
+//! for CPython, PyPy w/o JIT and PyPy w/ JIT, with the PyPy execution
+//! additionally split into bytecode-interpreter / GC / JIT-code phases.
+//!
+//! Each (benchmark, run-time) trace is captured once and replayed through
+//! the OOO core at every sweep point. Defaults to the paper's Fig. 8
+//! benchmark subset; pass `--all` for the full 48.
+
+use qoa_bench::{cli, emit, sweep_subset, Cli};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_core::sweeps::{sweep_trace, SweepParam, SCALED_DEFAULT_NURSERY};
+use qoa_model::{Phase, RuntimeKind};
+use qoa_uarch::{TraceBuffer, UarchConfig};
+use qoa_workloads::FIG8_BENCHMARKS;
+
+struct Captured {
+    kind: RuntimeKind,
+    traces: Vec<TraceBuffer>,
+}
+
+fn main() {
+    let cli: Cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG8_BENCHMARKS);
+    eprintln!(
+        "capturing {} benchmarks x 3 runtimes (this is the expensive part)...",
+        suite.len()
+    );
+    let runtimes = [RuntimeKind::CPython, RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit];
+    let captured: Vec<Captured> = runtimes
+        .iter()
+        .map(|&kind| {
+            let rt = RuntimeConfig::new(kind).with_nursery(SCALED_DEFAULT_NURSERY);
+            let traces = suite
+                .iter()
+                .map(|w| {
+                    capture(&w.source(cli.scale), &rt)
+                        .unwrap_or_else(|e| panic!("{} on {kind}: {e}", w.name))
+                        .trace
+                })
+                .collect();
+            Captured { kind, traces }
+        })
+        .collect();
+
+    let base = UarchConfig::skylake();
+    for param in SweepParam::ALL {
+        let values = param.values();
+        let mut cols: Vec<String> = vec!["series".into()];
+        cols.extend(values.iter().map(|&v| param.format_value(v)));
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(format!("Fig. 7: CPI vs {}", param.label()), &col_refs);
+
+        for c in &captured {
+            // Average CPI across benchmarks at each sweep point.
+            let mut avg = vec![0.0f64; values.len()];
+            let mut phase_interp = vec![0.0f64; values.len()];
+            let mut phase_gc = vec![0.0f64; values.len()];
+            let mut phase_jit = vec![0.0f64; values.len()];
+            for trace in &c.traces {
+                let pts = sweep_trace(trace, param, &base);
+                for (i, p) in pts.iter().enumerate() {
+                    avg[i] += p.cpi;
+                    phase_interp[i] += p.phase_cpi[Phase::Interpreter];
+                    phase_gc[i] += p.phase_cpi[Phase::GcMinor] + p.phase_cpi[Phase::GcMajor];
+                    phase_jit[i] += p.phase_cpi[Phase::JitCode];
+                }
+            }
+            let n = c.traces.len() as f64;
+            let mut row = vec![c.kind.label().to_string()];
+            row.extend(avg.iter().map(|v| f3(v / n)));
+            t.row(row);
+            if c.kind == RuntimeKind::PyPyJit {
+                for (label, series) in [
+                    ("  Bytecode Interpreter", &phase_interp),
+                    ("  Garbage Collection", &phase_gc),
+                    ("  JIT Compiled Code", &phase_jit),
+                ] {
+                    let mut row = vec![label.to_string()];
+                    row.extend(series.iter().map(|v| f3(v / n)));
+                    t.row(row);
+                }
+            }
+        }
+        emit(&cli, &t);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 8: per-benchmark CPI bars under the microarchitecture sweeps,
+//! for PyPy with JIT on the paper's eight-benchmark subset.
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_core::sweeps::{sweep_trace, SweepParam, SCALED_DEFAULT_NURSERY};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::FIG8_BENCHMARKS;
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG8_BENCHMARKS);
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit).with_nursery(SCALED_DEFAULT_NURSERY);
+    eprintln!("capturing {} benchmarks (PyPy w/ JIT)...", suite.len());
+    let traces: Vec<_> = suite
+        .iter()
+        .map(|w| {
+            (
+                w.name,
+                capture(&w.source(cli.scale), &rt)
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+                    .trace,
+            )
+        })
+        .collect();
+
+    let base = UarchConfig::skylake();
+    for param in SweepParam::ALL {
+        let values = param.values();
+        let mut cols: Vec<String> = vec!["benchmark".into()];
+        cols.extend(values.iter().map(|&v| param.format_value(v)));
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            format!("Fig. 8: per-benchmark CPI (PyPy w/ JIT) vs {}", param.label()),
+            &col_refs,
+        );
+        for (name, trace) in &traces {
+            let pts = sweep_trace(trace, param, &base);
+            let mut row = vec![name.to_string()];
+            row.extend(pts.iter().map(|p| f3(p.cpi)));
+            t.row(row);
+        }
+        emit(&cli, &t);
+    }
+}

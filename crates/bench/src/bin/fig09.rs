@@ -1,0 +1,60 @@
+//! Fig. 9: microarchitecture sweeps for the V8 preset over the
+//! JetStream-analog suite (average CPI line per parameter).
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_core::sweeps::{sweep_trace, SweepParam, SCALED_DEFAULT_NURSERY};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+
+/// Default JetStream subset: one per behavioural family.
+const SUBSET: [&str; 8] = [
+    "richards",
+    "n-body",
+    "splay",
+    "hash-map",
+    "regexp-2010",
+    "typescript",
+    "crypto-md5",
+    "float-mm.c",
+];
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::jetstream_suite(), &SUBSET);
+    let rt = RuntimeConfig::new(RuntimeKind::V8).with_nursery(SCALED_DEFAULT_NURSERY);
+    eprintln!("capturing {} JetStream benchmarks (V8 preset)...", suite.len());
+    let traces: Vec<_> = suite
+        .iter()
+        .map(|w| {
+            capture(&w.source(cli.scale), &rt)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+                .trace
+        })
+        .collect();
+
+    let base = UarchConfig::skylake();
+    for param in SweepParam::ALL {
+        let values = param.values();
+        let mut cols: Vec<String> = vec!["series".into()];
+        cols.extend(values.iter().map(|&v| param.format_value(v)));
+        let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            format!("Fig. 9: V8 average CPI vs {}", param.label()),
+            &col_refs,
+        );
+        let mut avg = vec![0.0f64; values.len()];
+        for trace in &traces {
+            let pts = sweep_trace(trace, param, &base);
+            for (i, p) in pts.iter().enumerate() {
+                avg[i] += p.cpi;
+            }
+        }
+        let n = traces.len() as f64;
+        let mut row = vec!["V8".to_string()];
+        row.extend(avg.iter().map(|v| f3(v / n)));
+        t.row(row);
+        emit(&cli, &t);
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 10: LLC miss rate as a function of nursery size (PyPy w/ JIT,
+//! 2 MB last-level cache). The paper's cliff: once the nursery outgrows
+//! the cache, the miss rate jumps by roughly 2.4×.
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{pct, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::FIG14_BENCHMARKS;
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
+    let uarch = UarchConfig::skylake(); // 2 MB LLC
+
+    let mut cols: Vec<String> = vec!["series".into()];
+    cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 10: LLC miss rate vs nursery size (PyPy w/ JIT, 2MB LLC)",
+        &col_refs,
+    );
+
+    let mut avg = vec![0.0f64; NURSERY_SIZES.len()];
+    for w in &suite {
+        eprintln!("sweeping {}...", w.name);
+        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for (i, p) in pts.iter().enumerate() {
+            avg[i] += p.llc_miss_rate;
+        }
+    }
+    let n = suite.len() as f64;
+    let mut row = vec!["LLC miss rate".to_string()];
+    row.extend(avg.iter().map(|v| pct(v / n)));
+    t.row(row);
+    emit(&cli, &t);
+
+    // Compare the best in-cache point against the out-of-cache plateau.
+    let small = avg.iter().take(4).cloned().fold(f64::MAX, f64::min) / n;
+    let large = avg[NURSERY_SIZES.len() - 1] / n;
+    println!(
+        "cliff: {} (nursery fits LLC) -> {} (nursery >> LLC) = {:.2}x increase [paper: ~2.4x]",
+        pct(small),
+        pct(large),
+        large / small.max(1e-9)
+    );
+}

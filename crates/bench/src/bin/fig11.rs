@@ -1,0 +1,53 @@
+//! Fig. 11: PyPy execution-time breakdown (GC / non-GC / overall) across
+//! nursery sizes, normalized to the half-of-LLC nursery run (1 MB nursery
+//! for the 2 MB cache), averaged over the benchmark subset.
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::FIG14_BENCHMARKS;
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
+    let uarch = UarchConfig::skylake();
+
+    let baseline_idx = NURSERY_SIZES
+        .iter()
+        .position(|&b| b == (1 << 20))
+        .expect("1MB nursery is in the sweep");
+
+    let mut gc = vec![0.0f64; NURSERY_SIZES.len()];
+    let mut non_gc = vec![0.0f64; NURSERY_SIZES.len()];
+    let mut overall = vec![0.0f64; NURSERY_SIZES.len()];
+    for w in &suite {
+        eprintln!("sweeping {}...", w.name);
+        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let base = pts[baseline_idx].cycles.max(1) as f64;
+        for (i, p) in pts.iter().enumerate() {
+            gc[i] += p.gc_cycles as f64 / base;
+            non_gc[i] += p.non_gc_cycles() as f64 / base;
+            overall[i] += p.cycles as f64 / base;
+        }
+    }
+    let n = suite.len() as f64;
+
+    let mut cols: Vec<String> = vec!["component".into()];
+    cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 11: execution time vs nursery size, normalized to the 1MB-nursery run",
+        &col_refs,
+    );
+    for (label, series) in [("GC", &gc), ("Non-GC", &non_gc), ("Overall", &overall)] {
+        let mut row = vec![label.to_string()];
+        row.extend(series.iter().map(|v| f3(v / n)));
+        t.row(row);
+    }
+    emit(&cli, &t);
+}

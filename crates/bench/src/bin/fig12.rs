@@ -1,0 +1,54 @@
+//! Fig. 12: average normalized execution time across nursery sizes for
+//! four configurations — PyPy w/o JIT at a 2 MB LLC, and PyPy w/ JIT at
+//! 2/4/8 MB LLCs — each normalized to its own 1 MB-nursery run.
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::FIG14_BENCHMARKS;
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
+    let configs: [(&str, RuntimeKind, u64); 4] = [
+        ("w/o JIT 2MB LLC", RuntimeKind::PyPyNoJit, 2 << 20),
+        ("w/ JIT 2MB LLC", RuntimeKind::PyPyJit, 2 << 20),
+        ("w/ JIT 4MB LLC", RuntimeKind::PyPyJit, 4 << 20),
+        ("w/ JIT 8MB LLC", RuntimeKind::PyPyJit, 8 << 20),
+    ];
+    let baseline_idx = NURSERY_SIZES
+        .iter()
+        .position(|&b| b == (1 << 20))
+        .expect("1MB nursery is in the sweep");
+
+    let mut cols: Vec<String> = vec!["configuration".into()];
+    cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 12: normalized execution time vs nursery size (avg, per-config 1MB baseline)",
+        &col_refs,
+    );
+
+    for (label, kind, llc) in configs {
+        eprintln!("config {label}...");
+        let rt = RuntimeConfig::new(kind);
+        let uarch = UarchConfig::skylake().with_llc_size(llc);
+        let mut norm = vec![0.0f64; NURSERY_SIZES.len()];
+        for w in &suite {
+            let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let base = pts[baseline_idx].cycles.max(1) as f64;
+            for (i, p) in pts.iter().enumerate() {
+                norm[i] += p.cycles as f64 / base;
+            }
+        }
+        let n = suite.len() as f64;
+        let mut row = vec![label.to_string()];
+        row.extend(norm.iter().map(|v| f3(v / n)));
+        t.row(row);
+    }
+    emit(&cli, &t);
+}

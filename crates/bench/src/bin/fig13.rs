@@ -1,0 +1,44 @@
+//! Fig. 13: garbage-collection time as a percentage of execution time,
+//! per benchmark, PyPy without and with JIT (paper: the average GC share
+//! grows ~4.6x — from 3% to 14% — when the JIT removes mutator work).
+
+use qoa_bench::{cli, emit, limit};
+use qoa_core::report::{pct, Table};
+use qoa_core::runtime::{capture, RuntimeConfig};
+// Fig. 13 uses a smaller scaled nursery so collections are frequent
+// enough to measure on laptop-scale workload instances.
+const FIG13_NURSERY: u64 = 256 << 10;
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+
+fn main() {
+    let cli = cli();
+    let suite = limit(&cli, qoa_workloads::python_suite());
+    let uarch = UarchConfig::skylake();
+    let mut t = Table::new(
+        "Fig. 13: GC time as % of execution time (PyPy)",
+        &["benchmark", "w/o JIT", "w/ JIT"],
+    );
+    let mut sum_nojit = 0.0;
+    let mut sum_jit = 0.0;
+    for w in &suite {
+        eprintln!("running {}...", w.name);
+        let mut shares = [0.0f64; 2];
+        for (i, kind) in [RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit].iter().enumerate() {
+            let run = capture(&w.source(cli.scale), &RuntimeConfig::new(*kind).with_nursery(FIG13_NURSERY))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let stats = run.trace.simulate_ooo(&uarch);
+            shares[i] = stats.gc_share();
+        }
+        sum_nojit += shares[0];
+        sum_jit += shares[1];
+        t.row(vec![w.name.to_string(), pct(shares[0]), pct(shares[1])]);
+    }
+    let n = suite.len() as f64;
+    t.row(vec!["AVG".into(), pct(sum_nojit / n), pct(sum_jit / n)]);
+    emit(&cli, &t);
+    println!(
+        "GC share grows {:.1}x with JIT [paper: 4.6x, 3% -> 14%]",
+        (sum_jit / n) / (sum_nojit / n).max(1e-9)
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 15: per-benchmark normalized execution time across nursery sizes,
+//! PyPy **without** JIT, on the paper's eight-benchmark subset.
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::FIG14_BENCHMARKS;
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyNoJit);
+    let uarch = UarchConfig::skylake();
+    let baseline_idx = NURSERY_SIZES
+        .iter()
+        .position(|&b| b == (1 << 20))
+        .expect("1MB nursery is in the sweep");
+
+    let mut cols: Vec<String> = vec!["benchmark".into()];
+    cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 15: normalized execution time vs nursery (PyPy w/o JIT)",
+        &col_refs,
+    );
+    for w in &suite {
+        eprintln!("sweeping {}...", w.name);
+        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let base = pts[baseline_idx].cycles.max(1) as f64;
+        let mut row = vec![w.name.to_string()];
+        row.extend(pts.iter().map(|p| f3(p.cycles as f64 / base)));
+        t.row(row);
+    }
+    emit(&cli, &t);
+}

@@ -1,0 +1,48 @@
+//! Fig. 16: nursery sweep for the V8 preset at 2/4/8 MB last-level
+//! caches, averaged over a JetStream subset and normalized per-config to
+//! the 1 MB nursery run.
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+
+const SUBSET: [&str; 6] = ["splay", "hash-map", "richards", "tagcloud", "earley-boyer", "cdjs"];
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::jetstream_suite(), &SUBSET);
+    let rt = RuntimeConfig::new(RuntimeKind::V8);
+    let baseline_idx = NURSERY_SIZES
+        .iter()
+        .position(|&b| b == (1 << 20))
+        .expect("1MB nursery is in the sweep");
+
+    let mut cols: Vec<String> = vec!["LLC size".into()];
+    cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 16: V8 normalized execution time vs nursery size",
+        &col_refs,
+    );
+    for llc in [2u64 << 20, 4 << 20, 8 << 20] {
+        eprintln!("LLC {}...", format_bytes(llc));
+        let uarch = UarchConfig::skylake().with_llc_size(llc);
+        let mut norm = vec![0.0f64; NURSERY_SIZES.len()];
+        for w in &suite {
+            let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let base = pts[baseline_idx].cycles.max(1) as f64;
+            for (i, p) in pts.iter().enumerate() {
+                norm[i] += p.cycles as f64 / base;
+            }
+        }
+        let n = suite.len() as f64;
+        let mut row = vec![format_bytes(llc)];
+        row.extend(norm.iter().map(|v| f3(v / n)));
+        t.row(row);
+    }
+    emit(&cli, &t);
+}

@@ -1,0 +1,61 @@
+//! Fig. 17: normalized execution time with the best nursery size chosen
+//! per application (PyPy w/ JIT, 2 MB LLC), against the static
+//! half-of-cache (1 MB) baseline — plus the paper's two headline
+//! averages: best-per-app (-21.4%) vs max-nursery-for-all (-9.8%).
+
+use qoa_bench::{cli, emit, sweep_subset};
+use qoa_core::report::{f3, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{best_nursery, format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::FIG14_BENCHMARKS;
+
+fn main() {
+    let cli = cli();
+    let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
+    let uarch = UarchConfig::skylake();
+    let baseline_idx = NURSERY_SIZES
+        .iter()
+        .position(|&b| b == (1 << 20))
+        .expect("1MB nursery is in the sweep");
+    let max_idx = NURSERY_SIZES.len() - 1;
+
+    let mut t = Table::new(
+        "Fig. 17: normalized execution time at the best nursery per benchmark",
+        &["benchmark", "best nursery", "best/baseline", "max/baseline"],
+    );
+    let mut best_sum = 0.0;
+    let mut max_sum = 0.0;
+    for w in &suite {
+        eprintln!("sweeping {}...", w.name);
+        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let base = pts[baseline_idx].cycles.max(1) as f64;
+        let best = best_nursery(&pts);
+        let best_norm = best.cycles as f64 / base;
+        let max_norm = pts[max_idx].cycles as f64 / base;
+        best_sum += best_norm;
+        max_sum += max_norm;
+        t.row(vec![
+            w.name.to_string(),
+            format_bytes(best.nursery),
+            f3(best_norm),
+            f3(max_norm),
+        ]);
+    }
+    let n = suite.len() as f64;
+    t.row(vec![
+        "GEOMEAN/AVG".into(),
+        "-".into(),
+        f3(best_sum / n),
+        f3(max_sum / n),
+    ]);
+    emit(&cli, &t);
+    println!(
+        "best-per-app saves {:.1}% [paper: 21.4%]; max-for-all saves {:.1}% [paper: 9.8%]",
+        (1.0 - best_sum / n) * 100.0,
+        (1.0 - max_sum / n) * 100.0
+    );
+}

@@ -1,0 +1,53 @@
+//! Table I: the simulated machine configuration (ZSim/Skylake analog).
+
+use qoa_bench::{cli, emit};
+use qoa_core::report::Table;
+use qoa_core::sweeps::format_bytes;
+use qoa_uarch::UarchConfig;
+
+fn main() {
+    let cli = cli();
+    let c = UarchConfig::skylake();
+    let mut t = Table::new("Table I: simulator configuration", &["component", "setting"]);
+    t.row(vec![
+        "Core".into(),
+        format!(
+            "{}-way OOO, {}B fetch, {} ROB, {} Load-Q, {} Store-Q",
+            c.core.issue_width, c.core.fetch_bytes, c.core.rob_size, c.core.load_queue,
+            c.core.store_queue
+        ),
+    ]);
+    t.row(vec![
+        "Branch predictor".into(),
+        format!(
+            "2-level with {}x{}b L1, {}x2b L2, {}-entry BTB, {}-cycle mispredict",
+            c.branch.l1_entries,
+            c.branch.history_bits,
+            c.branch.l2_entries,
+            c.branch.btb_entries,
+            c.branch.mispredict_penalty
+        ),
+    ]);
+    for (name, l) in [("L1I", &c.l1i), ("L1D", &c.l1d), ("L2", &c.l2), ("L3", &c.l3)] {
+        t.row(vec![
+            name.into(),
+            format!(
+                "{}, {}-way, {} B lines, {}-cycle latency",
+                format_bytes(l.size),
+                l.assoc,
+                l.line,
+                l.latency
+            ),
+        ]);
+    }
+    t.row(vec![
+        "Memory".into(),
+        format!(
+            "{}-cycle latency, {} MB/s ({} GHz clock)",
+            c.mem.latency,
+            c.mem.bandwidth_mbps,
+            c.mem.clock_hz as f64 / 1e9
+        ),
+    ]);
+    emit(&cli, &t);
+}

@@ -1,0 +1,22 @@
+//! Table II: the overhead taxonomy.
+
+use qoa_bench::{cli, emit};
+use qoa_core::report::Table;
+use qoa_model::Category;
+
+fn main() {
+    let cli = cli();
+    let mut t = Table::new(
+        "Table II: sources of performance overhead",
+        &["group", "overhead category", "description", "new"],
+    );
+    for c in Category::OVERHEADS {
+        t.row(vec![
+            c.group().label().to_string(),
+            c.label().to_string(),
+            c.description().to_string(),
+            if c.is_new_in_paper() { "NEW".into() } else { "".into() },
+        ]);
+    }
+    emit(&cli, &t);
+}

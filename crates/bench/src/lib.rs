@@ -1,0 +1,117 @@
+//! Shared scaffolding for the figure/table regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--scale tiny|small|full` — workload size (default `small`; the paper's
+//!   qualitative shapes appear at every scale, but the GC-related
+//!   magnitudes need the allocation volume of `small` or `full`).
+//! * `--subset N` — limit per-benchmark experiments to the first `N`
+//!   benchmarks of the relevant suite (sweep binaries default to the
+//!   paper's own per-benchmark subsets).
+//! * `--all` — run the complete suite even for sweep binaries.
+//! * `--csv` — emit CSV instead of aligned text.
+
+use qoa_core::report::Table;
+use qoa_workloads::{Scale, Workload};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Optional benchmark-count limit.
+    pub subset: Option<usize>,
+    /// Run complete suites in sweep binaries.
+    pub all: bool,
+    /// CSV output.
+    pub csv: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { scale: Scale::Small, subset: None, all: false, csv: false }
+    }
+}
+
+/// Parses `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on unknown flags.
+pub fn cli() -> Cli {
+    let mut out = Cli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                out.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale '{other}' (tiny|small|full)"),
+                };
+            }
+            "--subset" => {
+                let v = args.next().unwrap_or_default();
+                out.subset = Some(v.parse().expect("--subset takes a count"));
+            }
+            "--all" => out.all = true,
+            "--csv" => out.csv = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --scale tiny|small|full  --subset N  --all  --csv");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    out
+}
+
+/// Applies the subset limit to a suite.
+pub fn limit<'w>(cli: &Cli, suite: &'w [Workload]) -> Vec<&'w Workload> {
+    let n = cli.subset.unwrap_or(suite.len());
+    suite.iter().take(n).collect()
+}
+
+/// The per-benchmark subset used by the sweep binaries unless `--all`.
+pub fn sweep_subset<'w>(cli: &Cli, suite: &'w [Workload], names: &[&str]) -> Vec<&'w Workload> {
+    if cli.all {
+        return limit(cli, suite);
+    }
+    match cli.subset {
+        Some(n) => suite.iter().take(n).collect(),
+        None => suite.iter().filter(|w| names.contains(&w.name)).collect(),
+    }
+}
+
+/// Prints a table per the CLI's format choice.
+pub fn emit(cli: &Cli, table: &Table) {
+    if cli.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_respects_subset() {
+        let cli = Cli { subset: Some(3), ..Cli::default() };
+        let suite = qoa_workloads::python_suite();
+        assert_eq!(limit(&cli, suite).len(), 3);
+        let cli = Cli::default();
+        assert_eq!(limit(&cli, suite).len(), suite.len());
+    }
+
+    #[test]
+    fn sweep_subset_defaults_to_named() {
+        let cli = Cli::default();
+        let suite = qoa_workloads::python_suite();
+        let sel = sweep_subset(&cli, suite, &qoa_workloads::FIG8_BENCHMARKS);
+        assert_eq!(sel.len(), qoa_workloads::FIG8_BENCHMARKS.len());
+    }
+}

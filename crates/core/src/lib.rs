@@ -1,0 +1,48 @@
+//! Experiment API: the paper's contribution as a reusable library.
+//!
+//! Glues the stack together — workload programs ([`qoa_workloads`]),
+//! run-times ([`qoa_vm`] / [`qoa_jit`]), and the trace-driven simulator
+//! ([`qoa_uarch`]) — into the three studies of *Quantitative Overhead
+//! Analysis for Python* (IISWC 2018):
+//!
+//! * [`attribution`] — §IV: per-category cycle breakdowns on the simple
+//!   core (Fig. 4/5/6, Table II).
+//! * [`sweeps`] — §V-A: microarchitecture parameter sweeps on the OOO core
+//!   (Fig. 7/8/9), and §V-B: nursery sweeps (Fig. 10–17).
+//! * [`runtime`] — run/capture any program under any of the four modeled
+//!   run-times.
+//! * [`report`] — text/CSV tables printed by the `qoa-bench` figure
+//!   binaries.
+//!
+//! # Example: a one-benchmark overhead breakdown
+//!
+//! ```
+//! use qoa_core::attribution::attribute_workload;
+//! use qoa_core::runtime::RuntimeConfig;
+//! use qoa_model::{Category, RuntimeKind};
+//! use qoa_uarch::UarchConfig;
+//! use qoa_workloads::{by_name, Scale};
+//!
+//! let w = by_name("unpack_seq").expect("workload exists");
+//! let b = attribute_workload(
+//!     w,
+//!     Scale::Tiny,
+//!     &RuntimeConfig::new(RuntimeKind::CPython),
+//!     &UarchConfig::skylake(),
+//! )
+//! .expect("runs");
+//! assert!(b.shares[Category::CFunctionCall] > 0.0);
+//! ```
+
+pub mod attribution;
+pub mod report;
+pub mod runtime;
+pub mod sweeps;
+
+pub use attribution::{attribute_suite, attribute_workload, average_shares, Breakdown};
+pub use report::Table;
+pub use runtime::{capture, run_with_sink, CapturedRun, RuntimeConfig};
+pub use sweeps::{
+    best_nursery, nursery_sweep, sweep_trace, NurseryPoint, SweepParam, SweepPoint,
+    NURSERY_SIZES,
+};

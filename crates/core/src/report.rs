@@ -1,0 +1,161 @@
+//! Plain-text and CSV rendering for experiment results.
+//!
+//! The figure binaries in `qoa-bench` print these tables; each reproduces
+//! the rows/series of one of the paper's tables or figures.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (each must have `columns.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+            out.push_str(&"=".repeat(self.title.len()));
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = cell
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".%-+xkMBe".contains(c));
+                if numeric && i > 0 {
+                    line.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--"),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_underlines() {
+        let mut t = Table::new("Demo", &["name", "cpi"]);
+        t.row(vec!["fannkuch".into(), "1.52".into()]);
+        t.row(vec!["go".into(), "12.00".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo\n====\n"));
+        assert!(s.contains("fannkuch"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, two rows, plus title lines
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["x,y".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",2"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.184), "18.4%");
+        assert_eq!(f2(1.239), "1.24");
+        assert_eq!(f3(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,164 @@
+//! Running guest programs under the paper's four run-time configurations.
+
+use qoa_jit::{JitConfig, JitStats, PyPyVm};
+use qoa_model::{OpSink, RuntimeKind};
+use qoa_uarch::TraceBuffer;
+use qoa_vm::{HeapMode, Vm, VmConfig, VmStats};
+
+/// Default execution fuel for experiment runs (guards against accidental
+/// infinite loops in workload programs).
+pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+
+/// A fully specified run-time configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Which of the paper's run-times to model.
+    pub kind: RuntimeKind,
+    /// Nursery size override for the generational run-times (bytes).
+    pub nursery: Option<u64>,
+    /// Execution fuel (0 = unlimited).
+    pub max_steps: u64,
+}
+
+impl RuntimeConfig {
+    /// Configuration for `kind` with its default nursery.
+    pub fn new(kind: RuntimeKind) -> Self {
+        RuntimeConfig { kind, nursery: None, max_steps: DEFAULT_FUEL }
+    }
+
+    /// Returns a copy with the nursery size set (ignored by CPython).
+    pub fn with_nursery(mut self, bytes: u64) -> Self {
+        self.nursery = Some(bytes);
+        self
+    }
+
+    fn jit_config(&self, enabled: bool) -> JitConfig {
+        let base = if self.kind == RuntimeKind::V8 {
+            JitConfig::v8()
+        } else {
+            JitConfig::default()
+        };
+        JitConfig {
+            enabled,
+            nursery_size: self.nursery.unwrap_or(base.nursery_size),
+            max_steps: self.max_steps,
+            ..base
+        }
+    }
+}
+
+/// Everything captured from one guest-program run: the micro-op trace
+/// (replayable under any hardware configuration) plus run-time statistics.
+#[derive(Debug)]
+pub struct CapturedRun {
+    /// The micro-op stream.
+    pub trace: TraceBuffer,
+    /// Interpreter/allocator statistics.
+    pub vm: VmStats,
+    /// JIT statistics (zeroed for CPython).
+    pub jit: JitStats,
+    /// Captured guest `print` output.
+    pub output: Vec<String>,
+    /// Rendered value of the workload's `result` global, for verification.
+    pub result: Option<String>,
+}
+
+/// Runs `source` under `rt`, capturing the full micro-op trace.
+///
+/// # Errors
+///
+/// Returns the compile error or guest run-time error as a string.
+pub fn capture(source: &str, rt: &RuntimeConfig) -> Result<CapturedRun, String> {
+    run_with_sink(source, rt, TraceBuffer::new()).map(
+        |(trace, vm, jit, output, result)| CapturedRun { trace, vm, jit, output, result },
+    )
+}
+
+/// Runs `source` under `rt` with an arbitrary sink (e.g. a core model
+/// directly, when trace memory is a concern).
+///
+/// # Errors
+///
+/// Returns the compile error or guest run-time error as a string.
+pub fn run_with_sink<S: OpSink>(
+    source: &str,
+    rt: &RuntimeConfig,
+    sink: S,
+) -> Result<(S, VmStats, JitStats, Vec<String>, Option<String>), String> {
+    let code = qoa_frontend::compile(source).map_err(|e| e.to_string())?;
+    match rt.kind {
+        RuntimeKind::CPython => {
+            let cfg = VmConfig { heap: HeapMode::Rc, max_steps: rt.max_steps };
+            let mut vm = Vm::new(cfg, sink);
+            vm.load_program(&code);
+            vm.run().map_err(|e| e.to_string())?;
+            let result = vm.global_display("result");
+            let output = vm.output().to_vec();
+            let stats = vm.stats();
+            let (sink, _) = vm.finish();
+            Ok((sink, stats, JitStats::default(), output, result))
+        }
+        RuntimeKind::PyPyNoJit | RuntimeKind::PyPyJit | RuntimeKind::V8 => {
+            let enabled = rt.kind != RuntimeKind::PyPyNoJit;
+            let mut vm = PyPyVm::new(rt.jit_config(enabled), sink);
+            vm.load_program(&code);
+            vm.run().map_err(|e| e.to_string())?;
+            let jit = vm.jit_stats();
+            let result = vm.vm.global_display("result");
+            let output = vm.vm.output().to_vec();
+            let stats = vm.vm.stats();
+            let (sink, _) = vm.vm.finish();
+            Ok((sink, stats, jit, output, result))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "total = 0\nfor i in range(500):\n    total = total + i\nresult = total\n";
+
+    #[test]
+    fn all_runtimes_capture_and_agree() {
+        let mut results = Vec::new();
+        for kind in RuntimeKind::ALL {
+            let run = capture(SRC, &RuntimeConfig::new(kind)).expect("runs");
+            assert!(!run.trace.is_empty(), "{kind}: empty trace");
+            results.push(run.result.expect("result"));
+        }
+        results.dedup();
+        assert_eq!(results.len(), 1, "runtimes disagree: {results:?}");
+    }
+
+    #[test]
+    fn jit_runtimes_report_jit_stats() {
+        let hot = "t = 0\nfor i in range(3000):\n    t = t + i\nresult = t\n";
+        let run = capture(hot, &RuntimeConfig::new(RuntimeKind::PyPyJit)).expect("runs");
+        assert!(run.jit.traces_compiled > 0);
+        let run = capture(hot, &RuntimeConfig::new(RuntimeKind::PyPyNoJit)).expect("runs");
+        assert_eq!(run.jit.traces_compiled, 0);
+    }
+
+    #[test]
+    fn nursery_override_is_honored() {
+        let alloc_heavy =
+            "xs = []\nfor i in range(30000):\n    xs.append((i, i))\n    if len(xs) > 64:\n        xs.pop(0)\nresult = len(xs)\n";
+        let small = capture(
+            alloc_heavy,
+            &RuntimeConfig::new(RuntimeKind::PyPyNoJit).with_nursery(256 << 10),
+        )
+        .expect("runs");
+        let big = capture(
+            alloc_heavy,
+            &RuntimeConfig::new(RuntimeKind::PyPyNoJit).with_nursery(64 << 20),
+        )
+        .expect("runs");
+        assert!(
+            small.vm.gc.minor_collections > big.vm.gc.minor_collections,
+            "small {:?} vs big {:?}",
+            small.vm.gc,
+            big.vm.gc
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Abstract syntax tree for the Pyl mini-language.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+    /// `~`
+    Invert,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Name reference.
+    Name(String),
+    /// Binary arithmetic/bit operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (single; chains are desugared by the parser).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Short-circuit `and`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `or`.
+    Or(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+    },
+    /// Attribute access `obj.name`.
+    Attr(Box<Expr>, String),
+    /// Subscript `obj[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Slice `obj[lo:hi]` (either bound optional).
+    Slice {
+        /// The sliced object.
+        obj: Box<Expr>,
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+    },
+    /// List display `[a, b, c]`.
+    List(Vec<Expr>),
+    /// Tuple display `(a, b)` / bare `a, b`.
+    Tuple(Vec<Expr>),
+    /// Dict display `{k: v, ...}`.
+    Dict(Vec<(Expr, Expr)>),
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Simple name.
+    Name(String),
+    /// Subscript `obj[index] = ...`.
+    Index(Expr, Expr),
+    /// Attribute `obj.name = ...`.
+    Attr(Expr, String),
+    /// Tuple unpacking `a, b = ...`.
+    Tuple(Vec<Target>),
+}
+
+/// A statement, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Statement kind.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement (value discarded).
+    Expr(Expr),
+    /// Assignment `target = value`.
+    Assign(Target, Expr),
+    /// Augmented assignment `target op= value`.
+    AugAssign(Target, BinOp, Expr),
+    /// `if` / `elif` / `else` chain.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// True branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly containing the lowered `elif`).
+        orelse: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for target in iter` loop.
+    For {
+        /// Loop target.
+        target: Target,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `return` (with optional value).
+    Return(Option<Expr>),
+    /// `pass`.
+    Pass,
+    /// `global name, ...`.
+    Global(Vec<String>),
+    /// `del obj[index]`.
+    DelIndex(Expr, Expr),
+    /// Function definition.
+    FuncDef(FuncDef),
+    /// Class definition.
+    ClassDef(ClassDef),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Default values for the trailing parameters.
+    pub defaults: Vec<Expr>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Single optional base-class name.
+    pub base: Option<String>,
+    /// Body statements (method `def`s and class-level assignments).
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed module: the top-level statement list.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,336 @@
+//! CPython-2.7-style bytecode.
+//!
+//! Code objects mirror CPython's: a flat instruction array (`co_code`), a
+//! constant pool (`co_consts`), interned global/attribute names
+//! (`co_names`), and local variable names (`co_varnames`, parameters
+//! first). The opcode set is the classic stack-machine vocabulary the paper
+//! describes in Fig. 1 — dispatch reads an instruction, operands come from
+//! the value stack, and block-structured control flow (`SETUP_LOOP` /
+//! `POP_BLOCK` / `BREAK_LOOP`) runs on a block stack, which is the *rich
+//! control flow* overhead of Table II.
+
+use std::rc::Rc;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Operation.
+    pub op: Opcode,
+    /// Operand (constant index, name index, jump target, or count).
+    pub arg: u32,
+    /// 1-based source line, for diagnostics.
+    pub line: u32,
+}
+
+/// The opcode vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // The variants mirror CPython opcode names.
+pub enum Opcode {
+    // Stack and constants
+    LoadConst,
+    PopTop,
+    DupTop,
+    DupTopTwo,
+    RotTwo,
+    RotThree,
+    // Locals / globals / class namespaces
+    LoadFast,
+    StoreFast,
+    LoadGlobal,
+    StoreGlobal,
+    LoadName,
+    StoreName,
+    // Attributes and items
+    LoadAttr,
+    StoreAttr,
+    BinarySubscr,
+    StoreSubscr,
+    DeleteSubscr,
+    // Binary operations
+    BinaryAdd,
+    BinarySubtract,
+    BinaryMultiply,
+    BinaryDivide,
+    BinaryFloorDivide,
+    BinaryModulo,
+    BinaryPower,
+    BinaryAnd,
+    BinaryOr,
+    BinaryXor,
+    BinaryLshift,
+    BinaryRshift,
+    // Unary operations
+    UnaryNegative,
+    UnaryNot,
+    UnaryInvert,
+    // Comparison (arg = Cmp discriminant)
+    CompareOp,
+    // Control flow
+    JumpAbsolute,
+    PopJumpIfFalse,
+    PopJumpIfTrue,
+    JumpIfFalseOrPop,
+    JumpIfTrueOrPop,
+    SetupLoop,
+    PopBlock,
+    BreakLoop,
+    GetIter,
+    ForIter,
+    // Displays
+    BuildList,
+    BuildTuple,
+    BuildMap,
+    BuildSlice,
+    UnpackSequence,
+    // Functions and classes
+    CallFunction,
+    ReturnValue,
+    MakeFunction,
+    BuildClass,
+    Nop,
+}
+
+impl Opcode {
+    /// Dense index of the opcode (for handler tables and statistics).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether `arg` is a bytecode offset (for disassembly).
+    pub fn is_jump(self) -> bool {
+        matches!(
+            self,
+            Opcode::JumpAbsolute
+                | Opcode::PopJumpIfFalse
+                | Opcode::PopJumpIfTrue
+                | Opcode::JumpIfFalseOrPop
+                | Opcode::JumpIfTrueOrPop
+                | Opcode::SetupLoop
+                | Opcode::ForIter
+        )
+    }
+}
+
+/// Comparison discriminants carried in [`Opcode::CompareOp`]'s arg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+#[allow(missing_docs)]
+pub enum Cmp {
+    Eq = 0,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    In,
+    NotIn,
+}
+
+impl Cmp {
+    /// Decodes the arg of a `CompareOp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range discriminant.
+    pub fn from_arg(arg: u32) -> Cmp {
+        match arg {
+            0 => Cmp::Eq,
+            1 => Cmp::Ne,
+            2 => Cmp::Lt,
+            3 => Cmp::Le,
+            4 => Cmp::Gt,
+            5 => Cmp::Ge,
+            6 => Cmp::In,
+            7 => Cmp::NotIn,
+            other => panic!("bad comparison discriminant {other}"),
+        }
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone)]
+pub enum Const {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// A nested code object (function or class body).
+    Code(Rc<CodeObject>),
+}
+
+impl PartialEq for Const {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Const::Int(a), Const::Int(b)) => a == b,
+            (Const::Float(a), Const::Float(b)) => a.to_bits() == b.to_bits(),
+            (Const::Str(a), Const::Str(b)) => a == b,
+            (Const::Bool(a), Const::Bool(b)) => a == b,
+            (Const::None, Const::None) => true,
+            (Const::Code(a), Const::Code(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// What kind of scope a code object executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeKind {
+    /// Module top level (names resolve in globals).
+    Module,
+    /// A function body (fast locals).
+    Function,
+    /// A class body (dict namespace, returned to `BuildClass`).
+    ClassBody,
+}
+
+/// A compiled code object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeObject {
+    /// Name (function/class name, or `<module>`).
+    pub name: String,
+    /// Scope kind.
+    pub kind: CodeKind,
+    /// Number of parameters (a prefix of `varnames`).
+    pub argcount: usize,
+    /// Number of trailing parameters with defaults.
+    pub num_defaults: usize,
+    /// Local variable names; parameters first.
+    pub varnames: Vec<String>,
+    /// Interned global/attribute names.
+    pub names: Vec<String>,
+    /// Constant pool.
+    pub consts: Vec<Const>,
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+}
+
+impl CodeObject {
+    /// Renders a readable disassembly (one instruction per line).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, instr) in self.code.iter().enumerate() {
+            let _ = write!(out, "{i:5} {:?} {}", instr.op, instr.arg);
+            match instr.op {
+                Opcode::LoadConst => {
+                    let _ = write!(out, "    ({:?})", self.consts[instr.arg as usize]);
+                }
+                Opcode::LoadFast | Opcode::StoreFast => {
+                    let _ = write!(out, "    ({})", self.varnames[instr.arg as usize]);
+                }
+                Opcode::LoadGlobal
+                | Opcode::StoreGlobal
+                | Opcode::LoadName
+                | Opcode::StoreName
+                | Opcode::LoadAttr
+                | Opcode::StoreAttr
+                | Opcode::BuildClass => {
+                    let _ = write!(out, "    ({})", self.names[instr.arg as usize]);
+                }
+                Opcode::CompareOp => {
+                    let _ = write!(out, "    ({:?})", Cmp::from_arg(instr.arg));
+                }
+                _ => {}
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Validates internal consistency: every jump lands in range, every
+    /// const/name/varname index is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, instr) in self.code.iter().enumerate() {
+            let arg = instr.arg as usize;
+            let ok = match instr.op {
+                _ if instr.op.is_jump() => arg <= self.code.len(),
+                Opcode::LoadConst => arg < self.consts.len(),
+                Opcode::LoadFast | Opcode::StoreFast => arg < self.varnames.len(),
+                Opcode::LoadGlobal
+                | Opcode::StoreGlobal
+                | Opcode::LoadName
+                | Opcode::StoreName
+                | Opcode::LoadAttr
+                | Opcode::StoreAttr
+                | Opcode::BuildClass => arg < self.names.len(),
+                Opcode::CompareOp => arg < 8,
+                _ => true,
+            };
+            if !ok {
+                return Err(format!("instr {i}: {:?} arg {arg} out of range", instr.op));
+            }
+        }
+        // Nested code objects validate recursively.
+        for c in &self.consts {
+            if let Const::Code(code) = c {
+                code.validate()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over this code object and all nested ones.
+    pub fn iter_all(self: &Rc<Self>) -> Vec<Rc<CodeObject>> {
+        let mut out = vec![Rc::clone(self)];
+        let mut i = 0;
+        while i < out.len() {
+            let current = Rc::clone(&out[i]);
+            for c in &current.consts {
+                if let Const::Code(code) = c {
+                    out.push(Rc::clone(code));
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_round_trip() {
+        for (i, c) in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge, Cmp::In, Cmp::NotIn]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(Cmp::from_arg(i as u32), *c);
+        }
+    }
+
+    #[test]
+    fn const_equality_handles_floats_and_nan() {
+        assert_eq!(Const::Float(1.5), Const::Float(1.5));
+        assert_eq!(Const::Float(f64::NAN), Const::Float(f64::NAN));
+        assert_ne!(Const::Float(0.0), Const::Float(-0.0));
+        assert_ne!(Const::Int(1), Const::Float(1.0));
+    }
+
+    #[test]
+    fn validation_catches_bad_indices() {
+        let code = CodeObject {
+            name: "t".into(),
+            kind: CodeKind::Function,
+            argcount: 0,
+            num_defaults: 0,
+            varnames: vec![],
+            names: vec![],
+            consts: vec![],
+            code: vec![Instr { op: Opcode::LoadConst, arg: 0, line: 1 }],
+        };
+        assert!(code.validate().is_err());
+    }
+}

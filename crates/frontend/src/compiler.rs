@@ -1,0 +1,789 @@
+//! Bytecode compiler: AST → [`CodeObject`].
+//!
+//! Scoping follows Python's rule: a name assigned anywhere in a function
+//! body is a fast local of that function unless declared `global`; all
+//! other names resolve as globals at run time (the *name resolution*
+//! overhead of Table II). Class bodies execute in a dictionary namespace
+//! (`LoadName`/`StoreName`), exactly like CPython 2.7.
+
+use crate::ast::*;
+use crate::bytecode::{Cmp, CodeKind, CodeObject, Const, Instr, Opcode};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A compilation error with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a parsed module into its top-level code object.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on semantic problems (e.g. `break` outside a
+/// loop or `return` at module level).
+pub fn compile_module(module: &Module) -> Result<Rc<CodeObject>, CompileError> {
+    let mut c = Compiler::new("<module>".into(), CodeKind::Module, &[]);
+    c.stmts(&module.body)?;
+    // Modules implicitly return None.
+    let none = c.const_index(Const::None);
+    c.emit(Opcode::LoadConst, none, 0);
+    c.emit(Opcode::ReturnValue, 0, 0);
+    Ok(Rc::new(c.finish()))
+}
+
+struct LoopCtx {
+    start: usize,
+    /// Indices of `BreakLoop` placeholders — patched by the VM's block
+    /// stack at run time, kept here only for validation.
+    _breaks: Vec<usize>,
+}
+
+struct Compiler {
+    name: String,
+    kind: CodeKind,
+    argcount: usize,
+    num_defaults: usize,
+    varnames: Vec<String>,
+    names: Vec<String>,
+    consts: Vec<Const>,
+    code: Vec<Instr>,
+    locals: HashSet<String>,
+    globals_declared: HashSet<String>,
+    loops: Vec<LoopCtx>,
+}
+
+impl Compiler {
+    fn new(name: String, kind: CodeKind, params: &[String]) -> Self {
+        Compiler {
+            name,
+            kind,
+            argcount: params.len(),
+            num_defaults: 0,
+            varnames: params.to_vec(),
+            names: Vec::new(),
+            consts: Vec::new(),
+            code: Vec::new(),
+            locals: params.iter().cloned().collect(),
+            globals_declared: HashSet::new(),
+            loops: Vec::new(),
+        }
+    }
+
+    fn finish(self) -> CodeObject {
+        CodeObject {
+            name: self.name,
+            kind: self.kind,
+            argcount: self.argcount,
+            num_defaults: self.num_defaults,
+            varnames: self.varnames,
+            names: self.names,
+            consts: self.consts,
+            code: self.code,
+        }
+    }
+
+    fn err(&self, line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { message: message.into(), line }
+    }
+
+    fn emit(&mut self, op: Opcode, arg: u32, line: u32) -> usize {
+        self.code.push(Instr { op, arg, line });
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        self.code[at].arg = target as u32;
+    }
+
+    fn const_index(&mut self, c: Const) -> u32 {
+        if let Some(i) = self.consts.iter().position(|x| *x == c) {
+            return i as u32;
+        }
+        self.consts.push(c);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn name_index(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.names.iter().position(|x| x == name) {
+            return i as u32;
+        }
+        self.names.push(name.to_owned());
+        (self.names.len() - 1) as u32
+    }
+
+    fn var_index(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.varnames.iter().position(|x| x == name) {
+            return i as u32;
+        }
+        self.varnames.push(name.to_owned());
+        (self.varnames.len() - 1) as u32
+    }
+
+    fn is_local(&self, name: &str) -> bool {
+        self.kind == CodeKind::Function
+            && self.locals.contains(name)
+            && !self.globals_declared.contains(name)
+    }
+
+    // ---- scope analysis ---------------------------------------------------
+
+    /// Collects names assigned in a body (Python's local-variable rule).
+    fn collect_assigned(body: &[Stmt], out: &mut HashSet<String>, globals: &mut HashSet<String>) {
+        for stmt in body {
+            match &stmt.kind {
+                StmtKind::Assign(t, _) | StmtKind::AugAssign(t, _, _) => {
+                    Self::collect_target(t, out);
+                }
+                StmtKind::For { target, body, .. } => {
+                    Self::collect_target(target, out);
+                    Self::collect_assigned(body, out, globals);
+                }
+                StmtKind::If { then, orelse, .. } => {
+                    Self::collect_assigned(then, out, globals);
+                    Self::collect_assigned(orelse, out, globals);
+                }
+                StmtKind::While { body, .. } => Self::collect_assigned(body, out, globals),
+                StmtKind::FuncDef(d) => {
+                    out.insert(d.name.clone());
+                }
+                StmtKind::ClassDef(c) => {
+                    out.insert(c.name.clone());
+                }
+                StmtKind::Global(names) => {
+                    for n in names {
+                        globals.insert(n.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn collect_target(t: &Target, out: &mut HashSet<String>) {
+        match t {
+            Target::Name(n) => {
+                out.insert(n.clone());
+            }
+            Target::Tuple(ts) => {
+                for t in ts {
+                    Self::collect_target(t, out);
+                }
+            }
+            Target::Index(..) | Target::Attr(..) => {}
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                self.emit(Opcode::PopTop, 0, line);
+            }
+            StmtKind::Assign(target, value) => {
+                self.expr(value)?;
+                self.store(target, line)?;
+            }
+            StmtKind::AugAssign(target, op, value) => self.aug_assign(target, *op, value, line)?,
+            StmtKind::If { cond, then, orelse } => {
+                self.expr(cond)?;
+                let jf = self.emit(Opcode::PopJumpIfFalse, 0, line);
+                self.stmts(then)?;
+                if orelse.is_empty() {
+                    let end = self.here();
+                    self.patch(jf, end);
+                } else {
+                    let jend = self.emit(Opcode::JumpAbsolute, 0, line);
+                    let else_start = self.here();
+                    self.patch(jf, else_start);
+                    self.stmts(orelse)?;
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let setup = self.emit(Opcode::SetupLoop, 0, line);
+                let start = self.here();
+                self.expr(cond)?;
+                let jf = self.emit(Opcode::PopJumpIfFalse, 0, line);
+                self.loops.push(LoopCtx { start, _breaks: Vec::new() });
+                self.stmts(body)?;
+                self.loops.pop();
+                self.emit(Opcode::JumpAbsolute, start as u32, line);
+                let done = self.here();
+                self.patch(jf, done);
+                self.emit(Opcode::PopBlock, 0, line);
+                let end = self.here();
+                self.patch(setup, end);
+            }
+            StmtKind::For { target, iter, body } => {
+                let setup = self.emit(Opcode::SetupLoop, 0, line);
+                self.expr(iter)?;
+                self.emit(Opcode::GetIter, 0, line);
+                let start = self.here();
+                let for_iter = self.emit(Opcode::ForIter, 0, line);
+                self.store(target, line)?;
+                self.loops.push(LoopCtx { start, _breaks: Vec::new() });
+                self.stmts(body)?;
+                self.loops.pop();
+                self.emit(Opcode::JumpAbsolute, start as u32, line);
+                let done = self.here();
+                self.patch(for_iter, done);
+                self.emit(Opcode::PopBlock, 0, line);
+                let end = self.here();
+                self.patch(setup, end);
+            }
+            StmtKind::Break => {
+                if self.loops.is_empty() {
+                    return Err(self.err(line, "break outside loop"));
+                }
+                self.emit(Opcode::BreakLoop, 0, line);
+            }
+            StmtKind::Continue => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(self.err(line, "continue outside loop"));
+                };
+                let start = ctx.start as u32;
+                self.emit(Opcode::JumpAbsolute, start, line);
+            }
+            StmtKind::Return(value) => {
+                if self.kind != CodeKind::Function {
+                    return Err(self.err(line, "return outside function"));
+                }
+                match value {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let none = self.const_index(Const::None);
+                        self.emit(Opcode::LoadConst, none, line);
+                    }
+                }
+                self.emit(Opcode::ReturnValue, 0, line);
+            }
+            StmtKind::Pass => {}
+            StmtKind::Global(_) => {
+                // Handled during scope analysis; nothing at run time.
+            }
+            StmtKind::DelIndex(obj, idx) => {
+                self.expr(obj)?;
+                self.expr(idx)?;
+                self.emit(Opcode::DeleteSubscr, 0, line);
+            }
+            StmtKind::FuncDef(d) => {
+                self.func_def(d, line)?;
+                self.store(&Target::Name(d.name.clone()), line)?;
+            }
+            StmtKind::ClassDef(c) => {
+                self.class_def(c, line)?;
+                self.store(&Target::Name(c.name.clone()), line)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn func_def(&mut self, d: &FuncDef, line: u32) -> Result<(), CompileError> {
+        // Defaults are evaluated at definition time, pushed before the code.
+        for def in &d.defaults {
+            self.expr(def)?;
+        }
+        let mut inner = Compiler::new(d.name.clone(), CodeKind::Function, &d.params);
+        inner.num_defaults = d.defaults.len();
+        let mut assigned = HashSet::new();
+        let mut globals = HashSet::new();
+        Compiler::collect_assigned(&d.body, &mut assigned, &mut globals);
+        inner.locals.extend(assigned.difference(&globals).cloned());
+        inner.globals_declared = globals;
+        // Pre-intern local names so indices are stable.
+        let mut local_names: Vec<_> = inner
+            .locals
+            .iter()
+            .filter(|n| !inner.varnames.contains(n))
+            .cloned()
+            .collect();
+        local_names.sort();
+        for n in local_names {
+            inner.var_index(&n);
+        }
+        inner.stmts(&d.body)?;
+        // Implicit `return None`.
+        let none = inner.const_index(Const::None);
+        inner.emit(Opcode::LoadConst, none, line);
+        inner.emit(Opcode::ReturnValue, 0, line);
+        let code = Rc::new(inner.finish());
+        let ci = self.const_index(Const::Code(code));
+        self.emit(Opcode::LoadConst, ci, line);
+        self.emit(Opcode::MakeFunction, d.defaults.len() as u32, line);
+        Ok(())
+    }
+
+    fn class_def(&mut self, c: &ClassDef, line: u32) -> Result<(), CompileError> {
+        // Base class (or None) goes under the namespace dict.
+        match &c.base {
+            Some(base) => self.load_name(base, line),
+            None => {
+                let none = self.const_index(Const::None);
+                self.emit(Opcode::LoadConst, none, line);
+            }
+        }
+        // The class body runs as a function with a dict namespace; its
+        // return value is that namespace.
+        let mut inner = Compiler::new(c.name.clone(), CodeKind::ClassBody, &[]);
+        inner.stmts(&c.body)?;
+        inner.emit(Opcode::ReturnValue, 0, line); // VM returns the namespace
+        let code = Rc::new(inner.finish());
+        let ci = self.const_index(Const::Code(code));
+        self.emit(Opcode::LoadConst, ci, line);
+        self.emit(Opcode::MakeFunction, 0, line);
+        self.emit(Opcode::CallFunction, 0, line);
+        let ni = self.name_index(&c.name);
+        self.emit(Opcode::BuildClass, ni, line);
+        Ok(())
+    }
+
+    fn aug_assign(
+        &mut self,
+        target: &Target,
+        op: BinOp,
+        value: &Expr,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let bin = Self::bin_opcode(op);
+        match target {
+            Target::Name(n) => {
+                self.load_name(n, line);
+                self.expr(value)?;
+                self.emit(bin, 0, line);
+                self.store_name(n, line);
+            }
+            Target::Index(obj, idx) => {
+                self.expr(obj)?;
+                self.expr(idx)?;
+                self.emit(Opcode::DupTopTwo, 0, line);
+                self.emit(Opcode::BinarySubscr, 0, line);
+                self.expr(value)?;
+                self.emit(bin, 0, line);
+                self.emit(Opcode::RotThree, 0, line);
+                self.emit(Opcode::StoreSubscr, 0, line);
+            }
+            Target::Attr(obj, name) => {
+                self.expr(obj)?;
+                self.emit(Opcode::DupTop, 0, line);
+                let ni = self.name_index(name);
+                self.emit(Opcode::LoadAttr, ni, line);
+                self.expr(value)?;
+                self.emit(bin, 0, line);
+                self.emit(Opcode::RotTwo, 0, line);
+                self.emit(Opcode::StoreAttr, ni, line);
+            }
+            Target::Tuple(_) => {
+                return Err(self.err(line, "augmented assignment to tuple"));
+            }
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, target: &Target, line: u32) -> Result<(), CompileError> {
+        match target {
+            Target::Name(n) => self.store_name(n, line),
+            Target::Index(obj, idx) => {
+                // Stack: [value]; STORE_SUBSCR wants [value, obj, idx].
+                self.expr(obj)?;
+                self.expr(idx)?;
+                self.emit(Opcode::StoreSubscr, 0, line);
+            }
+            Target::Attr(obj, name) => {
+                self.expr(obj)?;
+                let ni = self.name_index(name);
+                self.emit(Opcode::StoreAttr, ni, line);
+            }
+            Target::Tuple(targets) => {
+                self.emit(Opcode::UnpackSequence, targets.len() as u32, line);
+                for t in targets {
+                    self.store(t, line)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn load_name(&mut self, name: &str, line: u32) {
+        if self.is_local(name) {
+            let vi = self.var_index(name);
+            self.emit(Opcode::LoadFast, vi, line);
+        } else if self.kind == CodeKind::ClassBody {
+            let ni = self.name_index(name);
+            self.emit(Opcode::LoadName, ni, line);
+        } else {
+            let ni = self.name_index(name);
+            self.emit(Opcode::LoadGlobal, ni, line);
+        }
+    }
+
+    fn store_name(&mut self, name: &str, line: u32) {
+        if self.is_local(name) {
+            let vi = self.var_index(name);
+            self.emit(Opcode::StoreFast, vi, line);
+        } else if self.kind == CodeKind::ClassBody {
+            let ni = self.name_index(name);
+            self.emit(Opcode::StoreName, ni, line);
+        } else {
+            let ni = self.name_index(name);
+            self.emit(Opcode::StoreGlobal, ni, line);
+        }
+    }
+
+    fn bin_opcode(op: BinOp) -> Opcode {
+        match op {
+            BinOp::Add => Opcode::BinaryAdd,
+            BinOp::Sub => Opcode::BinarySubtract,
+            BinOp::Mul => Opcode::BinaryMultiply,
+            BinOp::Div => Opcode::BinaryDivide,
+            BinOp::FloorDiv => Opcode::BinaryFloorDivide,
+            BinOp::Mod => Opcode::BinaryModulo,
+            BinOp::Pow => Opcode::BinaryPower,
+            BinOp::BitAnd => Opcode::BinaryAnd,
+            BinOp::BitOr => Opcode::BinaryOr,
+            BinOp::BitXor => Opcode::BinaryXor,
+            BinOp::Shl => Opcode::BinaryLshift,
+            BinOp::Shr => Opcode::BinaryRshift,
+        }
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let ci = self.const_index(Const::Int(*v));
+                self.emit(Opcode::LoadConst, ci, line);
+            }
+            ExprKind::Float(v) => {
+                let ci = self.const_index(Const::Float(*v));
+                self.emit(Opcode::LoadConst, ci, line);
+            }
+            ExprKind::Str(s) => {
+                let ci = self.const_index(Const::Str(s.clone()));
+                self.emit(Opcode::LoadConst, ci, line);
+            }
+            ExprKind::Bool(b) => {
+                let ci = self.const_index(Const::Bool(*b));
+                self.emit(Opcode::LoadConst, ci, line);
+            }
+            ExprKind::None => {
+                let ci = self.const_index(Const::None);
+                self.emit(Opcode::LoadConst, ci, line);
+            }
+            ExprKind::Name(n) => self.load_name(n, line),
+            ExprKind::Bin(op, l, r) => {
+                self.expr(l)?;
+                self.expr(r)?;
+                self.emit(Self::bin_opcode(*op), 0, line);
+            }
+            ExprKind::Cmp(op, l, r) => {
+                self.expr(l)?;
+                self.expr(r)?;
+                let arg = match op {
+                    CmpOp::Eq => Cmp::Eq,
+                    CmpOp::Ne => Cmp::Ne,
+                    CmpOp::Lt => Cmp::Lt,
+                    CmpOp::Le => Cmp::Le,
+                    CmpOp::Gt => Cmp::Gt,
+                    CmpOp::Ge => Cmp::Ge,
+                    CmpOp::In => Cmp::In,
+                    CmpOp::NotIn => Cmp::NotIn,
+                } as u32;
+                self.emit(Opcode::CompareOp, arg, line);
+            }
+            ExprKind::Unary(op, inner) => {
+                self.expr(inner)?;
+                let opc = match op {
+                    UnaryOp::Neg => Opcode::UnaryNegative,
+                    UnaryOp::Not => Opcode::UnaryNot,
+                    UnaryOp::Invert => Opcode::UnaryInvert,
+                };
+                self.emit(opc, 0, line);
+            }
+            ExprKind::And(l, r) => {
+                self.expr(l)?;
+                let j = self.emit(Opcode::JumpIfFalseOrPop, 0, line);
+                self.expr(r)?;
+                let end = self.here();
+                self.patch(j, end);
+            }
+            ExprKind::Or(l, r) => {
+                self.expr(l)?;
+                let j = self.emit(Opcode::JumpIfTrueOrPop, 0, line);
+                self.expr(r)?;
+                let end = self.here();
+                self.patch(j, end);
+            }
+            ExprKind::Call { func, args } => {
+                self.expr(func)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.emit(Opcode::CallFunction, args.len() as u32, line);
+            }
+            ExprKind::Attr(obj, name) => {
+                self.expr(obj)?;
+                let ni = self.name_index(name);
+                self.emit(Opcode::LoadAttr, ni, line);
+            }
+            ExprKind::Index(obj, idx) => {
+                self.expr(obj)?;
+                self.expr(idx)?;
+                self.emit(Opcode::BinarySubscr, 0, line);
+            }
+            ExprKind::Slice { obj, lo, hi } => {
+                self.expr(obj)?;
+                match lo {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let ci = self.const_index(Const::None);
+                        self.emit(Opcode::LoadConst, ci, line);
+                    }
+                }
+                match hi {
+                    Some(e) => self.expr(e)?,
+                    None => {
+                        let ci = self.const_index(Const::None);
+                        self.emit(Opcode::LoadConst, ci, line);
+                    }
+                }
+                self.emit(Opcode::BuildSlice, 2, line);
+                self.emit(Opcode::BinarySubscr, 0, line);
+            }
+            ExprKind::List(items) => {
+                for i in items {
+                    self.expr(i)?;
+                }
+                self.emit(Opcode::BuildList, items.len() as u32, line);
+            }
+            ExprKind::Tuple(items) => {
+                for i in items {
+                    self.expr(i)?;
+                }
+                self.emit(Opcode::BuildTuple, items.len() as u32, line);
+            }
+            ExprKind::Dict(items) => {
+                for (k, v) in items {
+                    self.expr(k)?;
+                    self.expr(v)?;
+                }
+                self.emit(Opcode::BuildMap, items.len() as u32, line);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Rc<CodeObject> {
+        let m = parse(src).expect("parse");
+        let code = compile_module(&m).expect("compile");
+        code.validate().expect("validate");
+        code
+    }
+
+    fn ops(code: &CodeObject) -> Vec<Opcode> {
+        code.code.iter().map(|i| i.op).collect()
+    }
+
+    #[test]
+    fn module_assignment_uses_globals() {
+        let c = compile("x = 1\n");
+        assert_eq!(
+            ops(&c),
+            vec![
+                Opcode::LoadConst,
+                Opcode::StoreGlobal,
+                Opcode::LoadConst,
+                Opcode::ReturnValue
+            ]
+        );
+    }
+
+    #[test]
+    fn function_locals_are_fast() {
+        let c = compile("def f(a):\n    b = a + 1\n    return b\n");
+        let Const::Code(f) = &c.consts[0] else { panic!("expected code const") };
+        assert_eq!(f.argcount, 1);
+        assert!(ops(f).contains(&Opcode::LoadFast));
+        assert!(ops(f).contains(&Opcode::StoreFast));
+        assert!(!ops(f).contains(&Opcode::LoadGlobal));
+    }
+
+    #[test]
+    fn global_declaration_overrides_local_rule() {
+        let c = compile("def f():\n    global g\n    g = 1\n");
+        let Const::Code(f) = &c.consts[0] else { panic!("expected code const") };
+        assert!(ops(f).contains(&Opcode::StoreGlobal));
+        assert!(!ops(f).contains(&Opcode::StoreFast));
+    }
+
+    #[test]
+    fn while_loop_has_block_structure() {
+        let c = compile("while x:\n    x = x - 1\n");
+        let o = ops(&c);
+        assert!(o.contains(&Opcode::SetupLoop));
+        assert!(o.contains(&Opcode::PopBlock));
+        assert!(o.contains(&Opcode::PopJumpIfFalse));
+        assert!(o.contains(&Opcode::JumpAbsolute));
+    }
+
+    #[test]
+    fn for_loop_uses_iterator_protocol() {
+        let c = compile("for i in xs:\n    pass\n");
+        let o = ops(&c);
+        assert!(o.contains(&Opcode::GetIter));
+        assert!(o.contains(&Opcode::ForIter));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let m = parse("break\n").expect("parse");
+        assert!(compile_module(&m).is_err());
+    }
+
+    #[test]
+    fn return_at_module_level_rejected() {
+        let m = parse("return 1\n").expect("parse");
+        assert!(compile_module(&m).is_err());
+    }
+
+    #[test]
+    fn consts_are_interned() {
+        let c = compile("x = 5\ny = 5\nz = 5\n");
+        let int_consts = c.consts.iter().filter(|c| matches!(c, Const::Int(5))).count();
+        assert_eq!(int_consts, 1);
+    }
+
+    #[test]
+    fn class_body_uses_name_ops_and_build_class() {
+        let c = compile("class A:\n    x = 1\n    def m(self):\n        return 2\n");
+        assert!(ops(&c).contains(&Opcode::BuildClass));
+        let body = c
+            .consts
+            .iter()
+            .find_map(|k| match k {
+                Const::Code(code) if code.kind == CodeKind::ClassBody => Some(code),
+                _ => None,
+            })
+            .expect("class body code");
+        assert!(ops(body).contains(&Opcode::StoreName));
+    }
+
+    #[test]
+    fn aug_assign_subscript_reuses_obj_and_index() {
+        let c = compile("xs[0] += 1\n");
+        let o = ops(&c);
+        assert!(o.contains(&Opcode::DupTopTwo));
+        assert!(o.contains(&Opcode::RotThree));
+        assert!(o.contains(&Opcode::StoreSubscr));
+    }
+
+    #[test]
+    fn tuple_unpack_compiles_to_unpack_sequence() {
+        let c = compile("a, b = t\n");
+        let o = ops(&c);
+        let i = o.iter().position(|&x| x == Opcode::UnpackSequence).expect("unpack");
+        assert_eq!(c.code[i].arg, 2);
+    }
+
+    #[test]
+    fn and_or_shortcircuit_jumps() {
+        let c = compile("r = a and b or c\n");
+        let o = ops(&c);
+        assert!(o.contains(&Opcode::JumpIfFalseOrPop));
+        assert!(o.contains(&Opcode::JumpIfTrueOrPop));
+    }
+
+    #[test]
+    fn defaults_are_pushed_before_make_function() {
+        let c = compile("def f(a, b=2):\n    return a\n");
+        let o = ops(&c);
+        let mf = o.iter().position(|&x| x == Opcode::MakeFunction).expect("mf");
+        assert_eq!(c.code[mf].arg, 1);
+        assert_eq!(c.code[mf - 1].op, Opcode::LoadConst); // the code object
+    }
+
+    #[test]
+    fn slice_compiles_to_build_slice() {
+        let c = compile("y = xs[1:3]\n");
+        let o = ops(&c);
+        assert!(o.contains(&Opcode::BuildSlice));
+    }
+
+    #[test]
+    fn nested_functions_compile() {
+        let c = compile("def outer():\n    def inner():\n        return 1\n    return inner()\n");
+        let Const::Code(outer) = &c.consts[0] else { panic!("outer code") };
+        assert!(outer.consts.iter().any(|k| matches!(k, Const::Code(_))));
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let c = compile("x = 1 + 2\n");
+        let d = c.disassemble();
+        assert!(d.contains("LoadConst"));
+        assert!(d.contains("StoreGlobal"));
+    }
+
+    #[test]
+    fn all_jumps_validated_in_larger_program() {
+        let src = "
+def fib(n):
+    if n < 2:
+        return n
+    a = 0
+    b = 1
+    i = 2
+    while i <= n:
+        a, b = b, a + b
+        i += 1
+    return b
+
+total = 0
+for k in range(10):
+    if k % 2 == 0:
+        total += fib(k)
+    else:
+        total -= 1
+";
+        let c = compile(src);
+        for code in c.iter_all() {
+            code.validate().expect("validate all");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Front end for Pyl, the Python-like guest language of the QOA stack.
+//!
+//! Pyl is an indentation-structured dynamic language covering the Python
+//! subset the paper's benchmarks exercise: integers (with overflow
+//! checking), floats, strings, lists, tuples, dicts, functions with default
+//! arguments, classes with single inheritance, `for`/`while` with
+//! `break`/`continue`, boolean short-circuiting, slices, tuple unpacking,
+//! augmented assignment, and `global`.
+//!
+//! Compilation goes source → tokens → AST → a CPython-2.7-style stack
+//! [`CodeObject`], which both the reference-counting interpreter
+//! (`qoa-vm`) and the tracing JIT (`qoa-jit`) execute.
+//!
+//! Known simplifications relative to Python (each documented where it is
+//! implemented): no closures over function locals (nested `def`s may only
+//! use their own locals and globals), no `try`/`except`, chained
+//! comparisons re-evaluate the middle operand, and `del` applies only to
+//! subscripts.
+//!
+//! # Example
+//!
+//! ```
+//! let code = qoa_frontend::compile("x = 1 + 2\n").expect("compiles");
+//! assert_eq!(code.name, "<module>");
+//! code.validate().expect("well-formed bytecode");
+//! ```
+
+pub mod ast;
+pub mod bytecode;
+pub mod compiler;
+pub mod parser;
+pub mod token;
+
+pub use bytecode::{Cmp, CodeKind, CodeObject, Const, Instr, Opcode};
+pub use compiler::{compile_module, CompileError};
+pub use parser::{parse, ParseError};
+pub use token::{tokenize, LexError};
+
+use std::rc::Rc;
+
+/// Everything that can go wrong turning source text into bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Tokenizer or parser error.
+    Parse(ParseError),
+    /// Semantic/compilation error.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "syntax error: {e}"),
+            FrontendError::Compile(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<CompileError> for FrontendError {
+    fn from(e: CompileError) -> Self {
+        FrontendError::Compile(e)
+    }
+}
+
+/// Compiles Pyl source text to its module code object.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] carrying the line and description of the
+/// first problem found.
+pub fn compile(source: &str) -> Result<Rc<CodeObject>, FrontendError> {
+    let module = parser::parse(source)?;
+    Ok(compiler::compile_module(&module)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let code = compile("def f(x):\n    return x * 2\ny = f(21)\n").expect("compiles");
+        code.validate().expect("valid");
+        assert_eq!(code.kind, CodeKind::Module);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        match compile("x = 1\ny = $\n") {
+            Err(FrontendError::Parse(e)) => assert_eq!(e.line, 2),
+            other => panic!("{other:?}"),
+        }
+        match compile("x = 1\nbreak\n") {
+            Err(FrontendError::Compile(e)) => assert_eq!(e.line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,850 @@
+//! Recursive-descent parser for the Pyl mini-language.
+//!
+//! Produces the [`Module`] AST from the token stream. The grammar is a
+//! Python subset; notable simplifications (documented in the crate docs):
+//! chained comparisons `a < b < c` are desugared to `a < b and b < c`
+//! (re-evaluating `b`), and `elif` is lowered to a nested `if` in the
+//! `else` branch.
+
+use crate::ast::*;
+use crate::token::{tokenize, Kw, LexError, Op, Tok, Token};
+use std::fmt;
+
+/// A syntax error with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Parses a complete module.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse(source: &str) -> Result<Module, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser { toks: tokens, pos: 0 }.module()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line() }
+    }
+
+    fn eat_op(&mut self, op: Op) -> bool {
+        if *self.peek() == Tok::Op(op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: Op) -> Result<(), ParseError> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {op:?}, found {}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        if *self.peek() == Tok::Kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw:?}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        match self.bump() {
+            Tok::Newline | Tok::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other}"))),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Name(n) => Ok(n),
+            other => Err(self.err(format!("expected name, found {other}"))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn module(mut self) -> Result<Module, ParseError> {
+        let mut body = Vec::new();
+        while *self.peek() != Tok::Eof {
+            body.push(self.statement()?);
+        }
+        Ok(Module { body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_op(Op::Colon)?;
+        if *self.peek() == Tok::Newline {
+            self.bump();
+            match self.bump() {
+                Tok::Indent => {}
+                other => return Err(self.err(format!("expected indented block, found {other}"))),
+            }
+            let mut body = Vec::new();
+            while *self.peek() != Tok::Dedent {
+                if *self.peek() == Tok::Eof {
+                    return Err(self.err("unexpected end of input in block"));
+                }
+                body.push(self.statement()?);
+            }
+            self.bump(); // Dedent
+            Ok(body)
+        } else {
+            // Inline suite: `if x: y = 1`
+            let stmt = self.simple_statement()?;
+            self.expect_newline()?;
+            Ok(vec![stmt])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Kw(Kw::If) => self.if_statement(),
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                let cond = self.expression()?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::While { cond, body }, line })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                let target_expr = self.target_list()?;
+                let target = self.to_target(target_expr)?;
+                self.expect_kw(Kw::In)?;
+                let iter = self.expression_list()?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::For { target, iter, body }, line })
+            }
+            Tok::Kw(Kw::Def) => {
+                let d = self.func_def()?;
+                Ok(Stmt { kind: StmtKind::FuncDef(d), line })
+            }
+            Tok::Kw(Kw::Class) => {
+                self.bump();
+                let name = self.name()?;
+                let base = if self.eat_op(Op::LParen) {
+                    if self.eat_op(Op::RParen) {
+                        None
+                    } else {
+                        let b = self.name()?;
+                        self.expect_op(Op::RParen)?;
+                        Some(b)
+                    }
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::ClassDef(ClassDef { name, base, body }), line })
+            }
+            _ => {
+                let stmt = self.simple_statement()?;
+                self.expect_newline()?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.bump(); // if / elif
+        let cond = self.expression()?;
+        let then = self.block()?;
+        let orelse = if *self.peek() == Tok::Kw(Kw::Elif) {
+            vec![self.if_statement_elif()?]
+        } else if self.eat_kw(Kw::Else) {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt { kind: StmtKind::If { cond, then, orelse }, line })
+    }
+
+    fn if_statement_elif(&mut self) -> Result<Stmt, ParseError> {
+        // `elif` parses exactly like `if`.
+        self.if_statement()
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, ParseError> {
+        self.expect_kw(Kw::Def)?;
+        let name = self.name()?;
+        self.expect_op(Op::LParen)?;
+        let mut params = Vec::new();
+        let mut defaults = Vec::new();
+        while *self.peek() != Tok::Op(Op::RParen) {
+            params.push(self.name()?);
+            if self.eat_op(Op::Assign) {
+                defaults.push(self.expression()?);
+            } else if !defaults.is_empty() {
+                return Err(self.err("non-default parameter after default parameter"));
+            }
+            if !self.eat_op(Op::Comma) {
+                break;
+            }
+        }
+        self.expect_op(Op::RParen)?;
+        let body = self.block()?;
+        Ok(FuncDef { name, params, defaults, body })
+    }
+
+    fn simple_statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Tok::Kw(Kw::Pass) => {
+                self.bump();
+                StmtKind::Pass
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                StmtKind::Break
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                StmtKind::Continue
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                if matches!(self.peek(), Tok::Newline | Tok::Eof) {
+                    StmtKind::Return(None)
+                } else {
+                    StmtKind::Return(Some(self.expression_list()?))
+                }
+            }
+            Tok::Kw(Kw::Global) => {
+                self.bump();
+                let mut names = vec![self.name()?];
+                while self.eat_op(Op::Comma) {
+                    names.push(self.name()?);
+                }
+                StmtKind::Global(names)
+            }
+            Tok::Kw(Kw::Del) => {
+                self.bump();
+                let e = self.expression()?;
+                match e.kind {
+                    ExprKind::Index(obj, idx) => StmtKind::DelIndex(*obj, *idx),
+                    _ => return Err(self.err("del supports only subscript targets")),
+                }
+            }
+            _ => {
+                let first = self.expression_list()?;
+                if self.eat_op(Op::Assign) {
+                    let target = self.to_target(first)?;
+                    let value = self.expression_list()?;
+                    StmtKind::Assign(target, value)
+                } else if let Some(op) = self.aug_op() {
+                    let target = self.to_target(first)?;
+                    let value = self.expression_list()?;
+                    StmtKind::AugAssign(target, op, value)
+                } else {
+                    StmtKind::Expr(first)
+                }
+            }
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    fn aug_op(&mut self) -> Option<BinOp> {
+        let op = match self.peek() {
+            Tok::Op(Op::PlusEq) => BinOp::Add,
+            Tok::Op(Op::MinusEq) => BinOp::Sub,
+            Tok::Op(Op::StarEq) => BinOp::Mul,
+            Tok::Op(Op::SlashEq) => BinOp::Div,
+            Tok::Op(Op::SlashSlashEq) => BinOp::FloorDiv,
+            Tok::Op(Op::PercentEq) => BinOp::Mod,
+            Tok::Op(Op::AmpEq) => BinOp::BitAnd,
+            Tok::Op(Op::PipeEq) => BinOp::BitOr,
+            Tok::Op(Op::CaretEq) => BinOp::BitXor,
+            Tok::Op(Op::ShlEq) => BinOp::Shl,
+            Tok::Op(Op::ShrEq) => BinOp::Shr,
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn to_target(&self, e: Expr) -> Result<Target, ParseError> {
+        match e.kind {
+            ExprKind::Name(n) => Ok(Target::Name(n)),
+            ExprKind::Index(obj, idx) => Ok(Target::Index(*obj, *idx)),
+            ExprKind::Attr(obj, name) => Ok(Target::Attr(*obj, name)),
+            ExprKind::Tuple(items) => {
+                let targets: Result<Vec<_>, _> =
+                    items.into_iter().map(|i| self.to_target(i)).collect();
+                Ok(Target::Tuple(targets?))
+            }
+            _ => Err(ParseError { message: "invalid assignment target".into(), line: e.line }),
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// `a, b, c` — a comma-joined list becomes a tuple.
+    fn expression_list(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let first = self.expression()?;
+        if *self.peek() != Tok::Op(Op::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_op(Op::Comma) {
+            if matches!(
+                self.peek(),
+                Tok::Newline | Tok::Eof | Tok::Op(Op::Assign) | Tok::Op(Op::RParen)
+            ) {
+                break;
+            }
+            items.push(self.expression()?);
+        }
+        Ok(Expr { kind: ExprKind::Tuple(items), line })
+    }
+
+    /// Like `expression_list` but for `for` targets: parses only postfix
+    /// expressions so the `in` keyword is left for the loop header.
+    fn target_list(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let first = self.postfix()?;
+        if *self.peek() != Tok::Op(Op::Comma) {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_op(Op::Comma) {
+            if *self.peek() == Tok::Kw(Kw::In) {
+                break;
+            }
+            items.push(self.postfix()?);
+        }
+        Ok(Expr { kind: ExprKind::Tuple(items), line })
+    }
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.or_test()
+    }
+
+    fn or_test(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_test()?;
+        while self.eat_kw(Kw::Or) {
+            let line = lhs.line;
+            let rhs = self.and_test()?;
+            lhs = Expr { kind: ExprKind::Or(Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn and_test(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_test()?;
+        while self.eat_kw(Kw::And) {
+            let line = lhs.line;
+            let rhs = self.not_test()?;
+            lhs = Expr { kind: ExprKind::And(Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn not_test(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        if self.eat_kw(Kw::Not) {
+            let e = self.not_test()?;
+            Ok(Expr { kind: ExprKind::Unary(UnaryOp::Not, Box::new(e)), line })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek() {
+            Tok::Op(Op::EqEq) => CmpOp::Eq,
+            Tok::Op(Op::Ne) => CmpOp::Ne,
+            Tok::Op(Op::Lt) => CmpOp::Lt,
+            Tok::Op(Op::Le) => CmpOp::Le,
+            Tok::Op(Op::Gt) => CmpOp::Gt,
+            Tok::Op(Op::Ge) => CmpOp::Ge,
+            Tok::Kw(Kw::In) => CmpOp::In,
+            Tok::Kw(Kw::Not) => {
+                // `not in`
+                if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Kw(Kw::In)) {
+                    self.bump();
+                    CmpOp::NotIn
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        };
+        self.bump();
+        Some(op)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.bit_or()?;
+        let Some(op) = self.cmp_op() else { return Ok(lhs) };
+        let line = lhs.line;
+        let rhs = self.bit_or()?;
+        let mut result = Expr {
+            kind: ExprKind::Cmp(op, Box::new(lhs), Box::new(rhs.clone())),
+            line,
+        };
+        // Chained comparison: desugar `a < b < c` into `a < b and b < c`.
+        let mut prev = rhs;
+        while let Some(op) = self.cmp_op() {
+            let next = self.bit_or()?;
+            let link = Expr {
+                kind: ExprKind::Cmp(op, Box::new(prev.clone()), Box::new(next.clone())),
+                line,
+            };
+            result = Expr { kind: ExprKind::And(Box::new(result), Box::new(link)), line };
+            prev = next;
+        }
+        Ok(result)
+    }
+
+    fn bin_level(
+        &mut self,
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+        table: &[(Op, BinOp)],
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for &(tok_op, bin_op) in table {
+                if *self.peek() == Tok::Op(tok_op) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let line = lhs.line;
+                    lhs = Expr {
+                        kind: ExprKind::Bin(bin_op, Box::new(lhs), Box::new(rhs)),
+                        line,
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Self::bit_xor, &[(Op::Pipe, BinOp::BitOr)])
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Self::bit_and, &[(Op::Caret, BinOp::BitXor)])
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Self::shift, &[(Op::Amp, BinOp::BitAnd)])
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Self::arith, &[(Op::Shl, BinOp::Shl), (Op::Shr, BinOp::Shr)])
+    }
+
+    fn arith(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(Self::term, &[(Op::Plus, BinOp::Add), (Op::Minus, BinOp::Sub)])
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        self.bin_level(
+            Self::factor,
+            &[
+                (Op::Star, BinOp::Mul),
+                (Op::Slash, BinOp::Div),
+                (Op::SlashSlash, BinOp::FloorDiv),
+                (Op::Percent, BinOp::Mod),
+            ],
+        )
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        if self.eat_op(Op::Minus) {
+            let e = self.factor()?;
+            // Constant-fold negative literals.
+            return Ok(match e.kind {
+                ExprKind::Int(v) => Expr { kind: ExprKind::Int(-v), line },
+                ExprKind::Float(v) => Expr { kind: ExprKind::Float(-v), line },
+                _ => Expr { kind: ExprKind::Unary(UnaryOp::Neg, Box::new(e)), line },
+            });
+        }
+        if self.eat_op(Op::Tilde) {
+            let e = self.factor()?;
+            return Ok(Expr { kind: ExprKind::Unary(UnaryOp::Invert, Box::new(e)), line });
+        }
+        if self.eat_op(Op::Plus) {
+            return self.factor();
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.postfix()?;
+        if self.eat_op(Op::StarStar) {
+            let line = base.line;
+            let exp = self.factor()?;
+            return Ok(Expr { kind: ExprKind::Bin(BinOp::Pow, Box::new(base), Box::new(exp)), line });
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            let line = self.line();
+            if self.eat_op(Op::LParen) {
+                let mut args = Vec::new();
+                while *self.peek() != Tok::Op(Op::RParen) {
+                    args.push(self.expression()?);
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(Op::RParen)?;
+                e = Expr { kind: ExprKind::Call { func: Box::new(e), args }, line };
+            } else if self.eat_op(Op::LBracket) {
+                // Subscript or slice.
+                let lo = if *self.peek() == Tok::Op(Op::Colon) {
+                    None
+                } else {
+                    Some(Box::new(self.expression()?))
+                };
+                if self.eat_op(Op::Colon) {
+                    let hi = if *self.peek() == Tok::Op(Op::RBracket) {
+                        None
+                    } else {
+                        Some(Box::new(self.expression()?))
+                    };
+                    self.expect_op(Op::RBracket)?;
+                    e = Expr { kind: ExprKind::Slice { obj: Box::new(e), lo, hi }, line };
+                } else {
+                    self.expect_op(Op::RBracket)?;
+                    let idx = lo.expect("non-slice subscript has an index");
+                    e = Expr { kind: ExprKind::Index(Box::new(e), idx), line };
+                }
+            } else if self.eat_op(Op::Dot) {
+                let name = self.name()?;
+                e = Expr { kind: ExprKind::Attr(Box::new(e), name), line };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let kind = match self.bump() {
+            Tok::Int(v) => ExprKind::Int(v),
+            Tok::Float(v) => ExprKind::Float(v),
+            Tok::Str(s) => ExprKind::Str(s),
+            Tok::Kw(Kw::True) => ExprKind::Bool(true),
+            Tok::Kw(Kw::False) => ExprKind::Bool(false),
+            Tok::Kw(Kw::None) => ExprKind::None,
+            Tok::Name(n) => ExprKind::Name(n),
+            Tok::Op(Op::LParen) => {
+                if self.eat_op(Op::RParen) {
+                    ExprKind::Tuple(Vec::new())
+                } else {
+                    let inner = self.expression_list()?;
+                    self.expect_op(Op::RParen)?;
+                    return Ok(Expr { kind: inner.kind, line });
+                }
+            }
+            Tok::Op(Op::LBracket) => {
+                let mut items = Vec::new();
+                while *self.peek() != Tok::Op(Op::RBracket) {
+                    items.push(self.expression()?);
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(Op::RBracket)?;
+                ExprKind::List(items)
+            }
+            Tok::Op(Op::LBrace) => {
+                let mut items = Vec::new();
+                while *self.peek() != Tok::Op(Op::RBrace) {
+                    let k = self.expression()?;
+                    self.expect_op(Op::Colon)?;
+                    let v = self.expression()?;
+                    items.push((k, v));
+                    if !self.eat_op(Op::Comma) {
+                        break;
+                    }
+                }
+                self.expect_op(Op::RBrace)?;
+                ExprKind::Dict(items)
+            }
+            other => return Err(self.err(format!("unexpected token {other}"))),
+        };
+        Ok(Expr { kind, line })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Module {
+        parse(src).expect("parse")
+    }
+
+    fn first_stmt(src: &str) -> StmtKind {
+        parse_ok(src).body.into_iter().next().expect("stmt").kind
+    }
+
+    #[test]
+    fn assignment_and_arithmetic() {
+        match first_stmt("x = 1 + 2 * 3\n") {
+            StmtKind::Assign(Target::Name(n), e) => {
+                assert_eq!(n, "x");
+                // Precedence: 1 + (2 * 3)
+                match e.kind {
+                    ExprKind::Bin(BinOp::Add, _, rhs) => {
+                        assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+                    }
+                    other => panic!("wrong shape: {other:?}"),
+                }
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_bitwise_below_comparison() {
+        // `a & b == c` parses as `(a & b) == c`? No — Python binds == looser
+        // than &; our grammar places comparison above bit-or, so
+        // `a & b == c` is `(a & b) == c`.
+        match first_stmt("r = a & b == c\n") {
+            StmtKind::Assign(_, e) => {
+                assert!(matches!(e.kind, ExprKind::Cmp(CmpOp::Eq, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_comparison_desugars_to_and() {
+        match first_stmt("r = a < b < c\n") {
+            StmtKind::Assign(_, e) => {
+                assert!(matches!(e.kind, ExprKind::And(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elif_else_lowering() {
+        let m = parse_ok("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n");
+        match &m.body[0].kind {
+            StmtKind::If { orelse, .. } => {
+                assert_eq!(orelse.len(), 1);
+                match &orelse[0].kind {
+                    StmtKind::If { orelse: inner_else, .. } => {
+                        assert_eq!(inner_else.len(), 1);
+                    }
+                    other => panic!("elif should lower to nested if, got {other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let m = parse_ok("while x > 0:\n    if x == 5:\n        break\n    continue\n");
+        assert!(matches!(m.body[0].kind, StmtKind::While { .. }));
+    }
+
+    #[test]
+    fn for_loop_with_tuple_target() {
+        match first_stmt("for k, v in items:\n    pass\n") {
+            StmtKind::For { target: Target::Tuple(ts), .. } => assert_eq!(ts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_def_with_defaults() {
+        match first_stmt("def f(a, b, c=3):\n    return a + b + c\n") {
+            StmtKind::FuncDef(d) => {
+                assert_eq!(d.params, vec!["a", "b", "c"]);
+                assert_eq!(d.defaults.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_def_with_base() {
+        match first_stmt("class Dog(Animal):\n    def bark(self):\n        return 1\n") {
+            StmtKind::ClassDef(c) => {
+                assert_eq!(c.name, "Dog");
+                assert_eq!(c.base.as_deref(), Some("Animal"));
+                assert_eq!(c.body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_attributes_and_subscripts_chain() {
+        match first_stmt("y = obj.items[0].get(k)\n") {
+            StmtKind::Assign(_, e) => {
+                assert!(matches!(e.kind, ExprKind::Call { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slices() {
+        match first_stmt("y = xs[1:5]\n") {
+            StmtKind::Assign(_, e) => {
+                assert!(matches!(e.kind, ExprKind::Slice { lo: Some(_), hi: Some(_), .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match first_stmt("y = xs[:n]\n") {
+            StmtKind::Assign(_, e) => {
+                assert!(matches!(e.kind, ExprKind::Slice { lo: None, hi: Some(_), .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn displays() {
+        assert!(matches!(
+            first_stmt("x = [1, 2, 3]\n"),
+            StmtKind::Assign(_, Expr { kind: ExprKind::List(_), .. })
+        ));
+        assert!(matches!(
+            first_stmt("x = {1: 'a', 2: 'b'}\n"),
+            StmtKind::Assign(_, Expr { kind: ExprKind::Dict(_), .. })
+        ));
+        assert!(matches!(
+            first_stmt("x = (1, 2)\n"),
+            StmtKind::Assign(_, Expr { kind: ExprKind::Tuple(_), .. })
+        ));
+    }
+
+    #[test]
+    fn tuple_unpacking_assignment() {
+        match first_stmt("a, b = b, a\n") {
+            StmtKind::Assign(Target::Tuple(ts), e) => {
+                assert_eq!(ts.len(), 2);
+                assert!(matches!(e.kind, ExprKind::Tuple(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn augmented_assignment() {
+        assert!(matches!(first_stmt("x += 1\n"), StmtKind::AugAssign(_, BinOp::Add, _)));
+        assert!(matches!(first_stmt("x <<= 2\n"), StmtKind::AugAssign(_, BinOp::Shl, _)));
+        assert!(matches!(
+            first_stmt("xs[0] *= 3\n"),
+            StmtKind::AugAssign(Target::Index(_, _), BinOp::Mul, _)
+        ));
+    }
+
+    #[test]
+    fn not_in_comparison() {
+        match first_stmt("r = x not in d\n") {
+            StmtKind::Assign(_, e) => assert!(matches!(e.kind, ExprKind::Cmp(CmpOp::NotIn, _, _))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn del_statement() {
+        assert!(matches!(first_stmt("del d[k]\n"), StmtKind::DelIndex(_, _)));
+        assert!(parse("del x\n").is_err());
+    }
+
+    #[test]
+    fn global_statement() {
+        match first_stmt("global a, b\n") {
+            StmtKind::Global(names) => assert_eq!(names, vec!["a", "b"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_with_lines() {
+        let err = parse("x = 1\ny = (\n").expect_err("should fail");
+        assert!(err.line >= 2, "line = {}", err.line);
+        assert!(parse("def f(:\n    pass\n").is_err());
+        assert!(parse("1 = x\n").is_err());
+    }
+
+    #[test]
+    fn inline_suites() {
+        let m = parse_ok("if x: y = 1\n");
+        match &m.body[0].kind {
+            StmtKind::If { then, .. } => assert_eq!(then.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        match first_stmt("x = -5\n") {
+            StmtKind::Assign(_, e) => assert_eq!(e.kind, ExprKind::Int(-5)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

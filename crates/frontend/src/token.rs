@@ -1,0 +1,671 @@
+//! Lexical analysis for the Pyl mini-language.
+//!
+//! Pyl is an indentation-structured, Python-like surface syntax. The lexer
+//! produces a flat token stream in which block structure is made explicit
+//! through [`Tok::Indent`] / [`Tok::Dedent`] tokens, exactly as CPython's
+//! tokenizer does. Blank lines and `#` comments are skipped; newlines inside
+//! brackets are implicit continuations.
+
+use std::fmt;
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// Identifier or non-keyword name.
+    Name(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation or operator.
+    Op(Op),
+    /// Logical end of statement.
+    Newline,
+    /// Increase of indentation depth.
+    Indent,
+    /// Decrease of indentation depth.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Def,
+    Class,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Break,
+    Continue,
+    Return,
+    Pass,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+    Global,
+    Del,
+}
+
+impl Kw {
+    fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "def" => Kw::Def,
+            "class" => Kw::Class,
+            "if" => Kw::If,
+            "elif" => Kw::Elif,
+            "else" => Kw::Else,
+            "while" => Kw::While,
+            "for" => Kw::For,
+            "in" => Kw::In,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "return" => Kw::Return,
+            "pass" => Kw::Pass,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "not" => Kw::Not,
+            "True" => Kw::True,
+            "False" => Kw::False,
+            "None" => Kw::None,
+            "global" => Kw::Global,
+            "del" => Kw::Del,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    SlashSlash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    SlashSlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Op(o) => write!(f, "{o:?}"),
+            Tok::Newline => write!(f, "NEWLINE"),
+            Tok::Indent => write!(f, "INDENT"),
+            Tok::Dedent => write!(f, "DEDENT"),
+            Tok::Eof => write!(f, "EOF"),
+        }
+    }
+}
+
+/// A lexical error with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source` into a flat stream ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed numbers, unterminated strings,
+/// inconsistent dedents, or unexpected characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    indents: Vec<usize>,
+    brackets: u32,
+    out: Vec<Token>,
+    line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            indents: vec![0],
+            brackets: 0,
+            out: Vec::new(),
+            line_start: true,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), line: self.line }
+    }
+
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.push(Token { tok, line: self.line });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while self.pos < self.src.len() {
+            if self.line_start && self.brackets == 0 {
+                self.handle_indent()?;
+                if self.pos >= self.src.len() {
+                    break;
+                }
+            }
+            let c = self.peek();
+            match c {
+                b'\n' => {
+                    self.bump();
+                    if self.brackets == 0 {
+                        // Suppress empty statements.
+                        if !matches!(
+                            self.out.last().map(|t| &t.tok),
+                            None | Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent)
+                        ) {
+                            self.push(Tok::Newline);
+                        }
+                        self.line_start = true;
+                    }
+                    self.line += 1;
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'0'..=b'9' => self.number()?,
+                b'"' | b'\'' => self.string()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.name(),
+                b'\\' if self.peek2() == b'\n' => {
+                    // Explicit line continuation.
+                    self.bump();
+                    self.bump();
+                    self.line += 1;
+                }
+                _ => self.operator()?,
+            }
+        }
+        // Final newline + dedents.
+        if !matches!(
+            self.out.last().map(|t| &t.tok),
+            None | Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent)
+        ) {
+            self.push(Tok::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent);
+        }
+        self.push(Tok::Eof);
+        Ok(self.out)
+    }
+
+    fn handle_indent(&mut self) -> Result<(), LexError> {
+        loop {
+            // Measure leading whitespace of this line.
+            let mut width = 0usize;
+            loop {
+                match self.peek() {
+                    b' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    b'\t' => {
+                        width += 8 - width % 8;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank or comment-only line: consume and re-measure.
+                b'\n' => {
+                    self.bump();
+                    self.line += 1;
+                    continue;
+                }
+                b'#' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                    continue;
+                }
+                0 => {
+                    self.line_start = false;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            let current = *self.indents.last().expect("indent stack never empty");
+            if width > current {
+                self.indents.push(width);
+                self.push(Tok::Indent);
+            } else if width < current {
+                while *self.indents.last().expect("indent stack never empty") > width {
+                    self.indents.pop();
+                    self.push(Tok::Dedent);
+                }
+                if *self.indents.last().expect("indent stack never empty") != width {
+                    return Err(self.err("inconsistent dedent"));
+                }
+            }
+            self.line_start = false;
+            return Ok(());
+        }
+    }
+
+    fn number(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        // Hex literal.
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start + 2..self.pos]).expect("ascii");
+            let v = i64::from_str_radix(text, 16)
+                .map_err(|_| self.err("hex literal out of range"))?;
+            self.push(Tok::Int(v));
+            return Ok(());
+        }
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            let save = self.pos;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("bad float literal"))?;
+            self.push(Tok::Float(v));
+        } else {
+            let v: i64 = text.parse().map_err(|_| self.err("integer literal out of range"))?;
+            self.push(Tok::Int(v));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<(), LexError> {
+        let quote = self.bump();
+        let mut s = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string"));
+            }
+            let c = self.bump();
+            if c == quote {
+                break;
+            }
+            if c == b'\n' {
+                return Err(self.err("newline in string"));
+            }
+            if c == b'\\' {
+                let esc = self.bump();
+                let resolved = match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'\\' => '\\',
+                    b'\'' => '\'',
+                    b'"' => '"',
+                    b'0' => '\0',
+                    other => {
+                        s.push('\\');
+                        other as char
+                    }
+                };
+                s.push(resolved);
+            } else {
+                s.push(c as char);
+            }
+        }
+        self.push(Tok::Str(s));
+        Ok(())
+    }
+
+    fn name(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        match Kw::from_str(text) {
+            Some(kw) => self.push(Tok::Kw(kw)),
+            None => self.push(Tok::Name(text.to_owned())),
+        }
+    }
+
+    fn operator(&mut self) -> Result<(), LexError> {
+        use Op::*;
+        let c = self.bump();
+        let next = self.peek();
+        let op = match (c, next) {
+            (b'*', b'*') => {
+                self.bump();
+                StarStar
+            }
+            (b'/', b'/') => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    SlashSlashEq
+                } else {
+                    SlashSlash
+                }
+            }
+            (b'<', b'<') => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    ShlEq
+                } else {
+                    Shl
+                }
+            }
+            (b'>', b'>') => {
+                self.bump();
+                if self.peek() == b'=' {
+                    self.bump();
+                    ShrEq
+                } else {
+                    Shr
+                }
+            }
+            (b'<', b'=') => {
+                self.bump();
+                Le
+            }
+            (b'>', b'=') => {
+                self.bump();
+                Ge
+            }
+            (b'=', b'=') => {
+                self.bump();
+                EqEq
+            }
+            (b'!', b'=') => {
+                self.bump();
+                Ne
+            }
+            (b'+', b'=') => {
+                self.bump();
+                PlusEq
+            }
+            (b'-', b'=') => {
+                self.bump();
+                MinusEq
+            }
+            (b'*', b'=') => {
+                self.bump();
+                StarEq
+            }
+            (b'/', b'=') => {
+                self.bump();
+                SlashEq
+            }
+            (b'%', b'=') => {
+                self.bump();
+                PercentEq
+            }
+            (b'&', b'=') => {
+                self.bump();
+                AmpEq
+            }
+            (b'|', b'=') => {
+                self.bump();
+                PipeEq
+            }
+            (b'^', b'=') => {
+                self.bump();
+                CaretEq
+            }
+            (b'+', _) => Plus,
+            (b'-', _) => Minus,
+            (b'*', _) => Star,
+            (b'/', _) => Slash,
+            (b'%', _) => Percent,
+            (b'&', _) => Amp,
+            (b'|', _) => Pipe,
+            (b'^', _) => Caret,
+            (b'~', _) => Tilde,
+            (b'<', _) => Lt,
+            (b'>', _) => Gt,
+            (b'=', _) => Assign,
+            (b'(', _) => {
+                self.brackets += 1;
+                LParen
+            }
+            (b')', _) => {
+                self.brackets = self.brackets.saturating_sub(1);
+                RParen
+            }
+            (b'[', _) => {
+                self.brackets += 1;
+                LBracket
+            }
+            (b']', _) => {
+                self.brackets = self.brackets.saturating_sub(1);
+                RBracket
+            }
+            (b'{', _) => {
+                self.brackets += 1;
+                LBrace
+            }
+            (b'}', _) => {
+                self.brackets = self.brackets.saturating_sub(1);
+                RBrace
+            }
+            (b',', _) => Comma,
+            (b':', _) => Colon,
+            (b'.', _) => Dot,
+            (other, _) => {
+                return Err(self.err(format!("unexpected character {:?}", other as char)))
+            }
+        };
+        self.push(Tok::Op(op));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).expect("lex").into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn simple_expression() {
+        assert_eq!(
+            toks("x = 1 + 2\n"),
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op(Op::Assign),
+                Tok::Int(1),
+                Tok::Op(Op::Plus),
+                Tok::Int(2),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("if x:\n    y = 1\nz = 2\n");
+        assert!(t.contains(&Tok::Indent));
+        assert!(t.contains(&Tok::Dedent));
+        let i = t.iter().position(|t| *t == Tok::Indent).expect("indent");
+        let d = t.iter().position(|t| *t == Tok::Dedent).expect("dedent");
+        assert!(i < d);
+    }
+
+    #[test]
+    fn nested_dedents_close_all_levels() {
+        let t = toks("if a:\n  if b:\n    c = 1\n");
+        let dedents = t.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let t = toks("x = 1\n\n# comment\n   # indented comment\ny = 2\n");
+        let newlines = t.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+        assert!(!t.contains(&Tok::Indent));
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let t = toks("x = [1,\n     2,\n     3]\n");
+        let newlines = t.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42\n")[0], Tok::Int(42));
+        assert_eq!(toks("3.25\n")[0], Tok::Float(3.25));
+        assert_eq!(toks("1e3\n")[0], Tok::Float(1000.0));
+        assert_eq!(toks("0xff\n")[0], Tok::Int(255));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'a\\nb'\n")[0], Tok::Str("a\nb".into()));
+        assert_eq!(toks("\"hi\"\n")[0], Tok::Str("hi".into()));
+    }
+
+    #[test]
+    fn keywords_vs_names() {
+        assert_eq!(toks("while\n")[0], Tok::Kw(Kw::While));
+        assert_eq!(toks("whiles\n")[0], Tok::Name("whiles".into()));
+        assert_eq!(toks("True\n")[0], Tok::Kw(Kw::True));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(toks("a // b\n")[1], Tok::Op(Op::SlashSlash));
+        assert_eq!(toks("a ** b\n")[1], Tok::Op(Op::StarStar));
+        assert_eq!(toks("a <= b\n")[1], Tok::Op(Op::Le));
+        assert_eq!(toks("a != b\n")[1], Tok::Op(Op::Ne));
+        assert_eq!(toks("a <<= b\n")[1], Tok::Op(Op::ShlEq));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated\n").is_err());
+        assert!(tokenize("x = $\n").is_err());
+        assert!(tokenize("if a:\n   b = 1\n  c = 2\n").is_err(), "inconsistent dedent");
+    }
+}

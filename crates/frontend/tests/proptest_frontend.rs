@@ -1,0 +1,42 @@
+//! Property tests for the front end: totality (no panics on arbitrary
+//! input) and structural validity of everything that compiles.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer+parser never panic, whatever bytes come in.
+    #[test]
+    fn parser_is_total(src in "[ -~\\n\\t]{0,200}") {
+        let _ = qoa_frontend::parse(&src);
+    }
+
+    /// Anything that compiles produces structurally valid bytecode, down
+    /// through every nested code object.
+    #[test]
+    fn compiled_code_validates(
+        names in proptest::collection::vec("[a-z][a-z0-9_]{0,6}", 1..6),
+        vals in proptest::collection::vec(-100i64..100, 1..6),
+    ) {
+        let mut src = String::new();
+        for (n, v) in names.iter().zip(vals.iter()) {
+            src.push_str(&format!("{n} = {v}\n"));
+        }
+        src.push_str(&format!("def f(x):\n    return x + {}\n", vals[0]));
+        src.push_str(&format!("r = f({})\n", vals[vals.len() - 1]));
+        if let Ok(code) = qoa_frontend::compile(&src) {
+            for c in code.iter_all() {
+                prop_assert!(c.validate().is_ok(), "invalid bytecode for\n{}", src);
+            }
+        }
+    }
+
+    /// Integer literals round-trip through tokenization.
+    #[test]
+    fn int_literals_round_trip(v in 0i64..1_000_000_000) {
+        let toks = qoa_frontend::tokenize(&format!("x = {v}\n")).expect("lexes");
+        let found = toks.iter().any(|t| {
+            matches!(&t.tok, qoa_frontend::token::Tok::Int(i) if *i == v)
+        });
+        prop_assert!(found, "literal {} not tokenized", v);
+    }
+}

@@ -1,0 +1,83 @@
+//! Memory-management substrates over the simulated address space.
+//!
+//! Two allocators model the two run-time families the paper studies:
+//!
+//! * [`RcHeap`] — a CPython-style size-class allocator with immediate
+//!   reclamation, used by the reference-counting interpreter. Objects live
+//!   at stable simulated addresses in the `rc-heap` segment.
+//! * [`GenHeap`] — a PyPy-style generational collector: new objects are
+//!   bump-allocated in a contiguous, configurable-size *nursery*; a copying
+//!   minor collection moves survivors to the old space; the old space is
+//!   collected mark-sweep when it grows past a threshold; a write barrier
+//!   maintains the remembered set of old→young references.
+//!
+//! Both allocators *emit* categorized micro-ops for everything they do, so
+//! the cache hierarchy in `qoa-uarch` observes allocation streaming through
+//! the nursery — that interaction is the entire subject of §V-B of the
+//! paper (nursery size vs. LLC size, Fig. 10–17).
+//!
+//! Object identity is a stable [`ObjId`] owned by the VM; the heap maps ids
+//! to (moving) simulated addresses. The VM describes its object graph to
+//! the collector through the [`Tracer`] trait.
+
+pub mod gen;
+pub mod rc;
+
+pub use gen::{GcConfig, GcStats, GenHeap, Space};
+pub use rc::{RcHeap, RcStats};
+
+/// Stable identity of a heap object, assigned by the VM's object table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ObjId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Describes the mutator's object graph to the garbage collector.
+///
+/// The VM implements this: `roots` enumerates frame slots, value stacks and
+/// globals; `refs` enumerates the outgoing references of one object.
+pub trait Tracer {
+    /// Visits every root reference.
+    fn roots(&self, visit: &mut dyn FnMut(ObjId));
+    /// Visits every outgoing reference of `id`.
+    fn refs(&self, id: ObjId, visit: &mut dyn FnMut(ObjId));
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::{ObjId, Tracer};
+    use std::collections::HashMap;
+
+    /// A test object graph with explicit roots and edges.
+    #[derive(Debug, Default, Clone)]
+    pub struct Graph {
+        pub roots: Vec<ObjId>,
+        pub edges: HashMap<ObjId, Vec<ObjId>>,
+    }
+
+    impl Tracer for Graph {
+        fn roots(&self, visit: &mut dyn FnMut(ObjId)) {
+            for &r in &self.roots {
+                visit(r);
+            }
+        }
+        fn refs(&self, id: ObjId, visit: &mut dyn FnMut(ObjId)) {
+            if let Some(children) = self.edges.get(&id) {
+                for &c in children {
+                    visit(c);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! CPython-style size-class allocator with immediate reclamation.
+//!
+//! Models `obmalloc`: small allocations are served from per-size-class free
+//! lists (pools), larger ones from a large-object region. Every allocation
+//! and free emits the loads/stores a real free-list allocator performs, so
+//! the *object allocation* overhead category of Table II (deallocation
+//! immediately followed by reallocation, e.g. method frames and arithmetic
+//! temporaries) is visible in both the instruction counts and the cache.
+
+use crate::ObjId;
+use qoa_model::{mem, Category, Emitter, OpSink};
+
+/// Size classes step by 16 bytes up to this bound; beyond it allocations go
+/// to the large-object region.
+const SMALL_LIMIT: u64 = 512;
+const CLASS_STEP: u64 = 16;
+const NUM_CLASSES: usize = (SMALL_LIMIT / CLASS_STEP) as usize;
+
+/// Emission sites within the allocator's code region.
+mod site {
+    pub const ALLOC: u32 = 0x000;
+    pub const FREE: u32 = 0x040;
+    pub const INCREF: u32 = 0x080;
+    pub const DECREF: u32 = 0x0C0;
+}
+
+/// Allocator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RcStats {
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Objects freed.
+    pub frees: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+    /// Reference-count increments observed.
+    pub increfs: u64,
+    /// Reference-count decrements observed.
+    pub decrefs: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Record {
+    addr: u64,
+    size: u64,
+}
+
+/// The reference-counting interpreter's heap.
+#[derive(Debug)]
+pub struct RcHeap {
+    /// Free lists per size class (addresses of freed blocks).
+    free: Vec<Vec<u64>>,
+    /// Free lists for large blocks, keyed by rounded size.
+    free_large: std::collections::HashMap<u64, Vec<u64>>,
+    bump: u64,
+    large_bump: u64,
+    records: Vec<Option<Record>>,
+    stats: RcStats,
+}
+
+impl Default for RcHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RcHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        RcHeap {
+            free: vec![Vec::new(); NUM_CLASSES],
+            free_large: std::collections::HashMap::new(),
+            bump: mem::RC_HEAP_BASE,
+            large_bump: mem::LARGE_OBJECT_BASE,
+            records: Vec::new(),
+            stats: RcStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> RcStats {
+        self.stats
+    }
+
+    fn record_slot(&mut self, id: ObjId) -> &mut Option<Record> {
+        let idx = id.index();
+        if idx >= self.records.len() {
+            self.records.resize(idx + 1, None);
+        }
+        &mut self.records[idx]
+    }
+
+    fn round(size: u64) -> u64 {
+        size.max(CLASS_STEP).div_ceil(CLASS_STEP) * CLASS_STEP
+    }
+
+    /// Allocates `size` bytes for object `id`, emitting allocator traffic
+    /// tagged with `category`, and returns the simulated address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already allocated.
+    pub fn alloc<S: OpSink>(
+        &mut self,
+        id: ObjId,
+        size: u64,
+        category: Category,
+        e: &mut Emitter<'_, S>,
+    ) -> u64 {
+        let rounded = Self::round(size);
+        // Size-class computation.
+        e.alu(site::ALLOC, category, 2);
+        let addr = if rounded <= SMALL_LIMIT {
+            let class = (rounded / CLASS_STEP) as usize - 1;
+            // Load the free-list head.
+            e.load(site::ALLOC + 2, category, self.class_head_addr(class));
+            match self.free[class].pop() {
+                Some(addr) => {
+                    // Pop: read the link word stored in the block.
+                    e.load(site::ALLOC + 3, category, addr);
+                    e.store(site::ALLOC + 4, category, self.class_head_addr(class));
+                    addr
+                }
+                None => {
+                    // Bump a fresh block from the arena.
+                    e.alu(site::ALLOC + 5, category, 1);
+                    e.store(site::ALLOC + 6, category, self.class_head_addr(class));
+                    let addr = self.bump;
+                    self.bump += rounded;
+                    addr
+                }
+            }
+        } else {
+            let key = rounded.next_power_of_two();
+            e.alu(site::ALLOC + 7, category, 3);
+            match self.free_large.get_mut(&key).and_then(|v| v.pop()) {
+                Some(addr) => {
+                    e.load(site::ALLOC + 8, category, addr);
+                    addr
+                }
+                None => {
+                    let addr = self.large_bump;
+                    self.large_bump += key;
+                    addr
+                }
+            }
+        };
+        let prev = self.record_slot(id).replace(Record { addr, size: rounded });
+        assert!(prev.is_none(), "{id} allocated twice");
+        self.stats.allocs += 1;
+        self.stats.live_bytes += rounded;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        addr
+    }
+
+    fn class_head_addr(&self, class: usize) -> u64 {
+        mem::STATIC_DATA_BASE + 0x1000 + (class as u64) * 8
+    }
+
+    /// Frees object `id`, emitting the free-list pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not allocated.
+    pub fn free<S: OpSink>(&mut self, id: ObjId, category: Category, e: &mut Emitter<'_, S>) {
+        let rec = self
+            .record_slot(id)
+            .take()
+            .unwrap_or_else(|| panic!("free of unallocated {id}"));
+        // Push onto the free list: write the link word and the head.
+        e.store(site::FREE, category, rec.addr);
+        if rec.size <= SMALL_LIMIT {
+            let class = (rec.size / CLASS_STEP) as usize - 1;
+            e.store(site::FREE + 1, category, self.class_head_addr(class));
+            self.free[class].push(rec.addr);
+        } else {
+            e.alu(site::FREE + 2, category, 2);
+            self.free_large
+                .entry(rec.size.next_power_of_two())
+                .or_default()
+                .push(rec.addr);
+        }
+        self.stats.frees += 1;
+        self.stats.live_bytes -= rec.size;
+    }
+
+    /// Emits a reference-count increment on `id` — a single
+    /// read-modify-write of the header word, like `Py_INCREF`.
+    pub fn incref<S: OpSink>(&mut self, id: ObjId, e: &mut Emitter<'_, S>) {
+        if let Some(rec) = self.records.get(id.index()).copied().flatten() {
+            e.store(site::INCREF, Category::GarbageCollection, rec.addr);
+            self.stats.increfs += 1;
+        }
+    }
+
+    /// Emits a reference-count decrement on `id`. Returns `true` when the
+    /// modeled count would reach zero — the *caller* decides to free (it
+    /// owns the real count).
+    pub fn decref<S: OpSink>(&mut self, id: ObjId, new_count_zero: bool, e: &mut Emitter<'_, S>) {
+        if let Some(rec) = self.records.get(id.index()).copied().flatten() {
+            e.store(site::DECREF, Category::GarbageCollection, rec.addr);
+            // The zero test.
+            e.branch(site::DECREF + 3, Category::GarbageCollection, new_count_zero, site::FREE);
+            self.stats.decrefs += 1;
+        }
+    }
+
+    /// Simulated address of `id`, if allocated.
+    pub fn addr_of(&self, id: ObjId) -> Option<u64> {
+        self.records.get(id.index()).copied().flatten().map(|r| r.addr)
+    }
+
+    /// Rounded size of `id`, if allocated.
+    pub fn size_of(&self, id: ObjId) -> Option<u64> {
+        self.records.get(id.index()).copied().flatten().map(|r| r.size)
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.records.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_model::{CountingSink, Phase};
+
+    fn emitter(sink: &mut CountingSink) -> Emitter<'_, CountingSink> {
+        Emitter::new(sink, Phase::Interpreter, mem::INTERP_CODE_BASE)
+    }
+
+    #[test]
+    fn alloc_free_reuses_addresses() {
+        let mut h = RcHeap::new();
+        let mut sink = CountingSink::new();
+        let mut e = emitter(&mut sink);
+        let a = h.alloc(ObjId(0), 32, Category::ObjectAllocation, &mut e);
+        h.free(ObjId(0), Category::GarbageCollection, &mut e);
+        let b = h.alloc(ObjId(1), 32, Category::ObjectAllocation, &mut e);
+        assert_eq!(a, b, "freed block should be reused");
+        assert_eq!(h.stats().allocs, 2);
+        assert_eq!(h.stats().frees, 1);
+    }
+
+    #[test]
+    fn distinct_live_objects_do_not_alias() {
+        let mut h = RcHeap::new();
+        let mut sink = CountingSink::new();
+        let mut e = emitter(&mut sink);
+        let mut addrs = Vec::new();
+        for i in 0..100 {
+            addrs.push(h.alloc(ObjId(i), 48, Category::ObjectAllocation, &mut e));
+        }
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 100);
+        assert_eq!(h.live_objects(), 100);
+    }
+
+    #[test]
+    fn large_allocations_go_to_large_region() {
+        let mut h = RcHeap::new();
+        let mut sink = CountingSink::new();
+        let mut e = emitter(&mut sink);
+        let a = h.alloc(ObjId(0), 4096, Category::ObjectAllocation, &mut e);
+        assert!(qoa_model::Segment::of(a) == Some(qoa_model::Segment::LargeObject));
+        h.free(ObjId(0), Category::GarbageCollection, &mut e);
+        let b = h.alloc(ObjId(1), 4000, Category::ObjectAllocation, &mut e);
+        assert_eq!(a, b, "large block reused via power-of-two bucket");
+    }
+
+    #[test]
+    fn refcount_ops_emit_gc_category() {
+        let mut h = RcHeap::new();
+        let mut sink = CountingSink::new();
+        {
+            let mut e = emitter(&mut sink);
+            h.alloc(ObjId(0), 32, Category::ObjectAllocation, &mut e);
+            h.incref(ObjId(0), &mut e);
+            h.decref(ObjId(0), false, &mut e);
+        }
+        assert!(sink.by_category[Category::GarbageCollection] >= 3);
+        assert_eq!(h.stats().increfs, 1);
+        assert_eq!(h.stats().decrefs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn double_alloc_panics() {
+        let mut h = RcHeap::new();
+        let mut sink = CountingSink::new();
+        let mut e = emitter(&mut sink);
+        h.alloc(ObjId(0), 32, Category::ObjectAllocation, &mut e);
+        h.alloc(ObjId(0), 32, Category::ObjectAllocation, &mut e);
+    }
+
+    #[test]
+    fn live_bytes_track_alloc_and_free() {
+        let mut h = RcHeap::new();
+        let mut sink = CountingSink::new();
+        let mut e = emitter(&mut sink);
+        h.alloc(ObjId(0), 30, Category::ObjectAllocation, &mut e); // rounds to 32
+        h.alloc(ObjId(1), 100, Category::ObjectAllocation, &mut e); // rounds to 112
+        assert_eq!(h.stats().live_bytes, 32 + 112);
+        h.free(ObjId(0), Category::GarbageCollection, &mut e);
+        assert_eq!(h.stats().live_bytes, 112);
+        assert_eq!(h.stats().peak_bytes, 144);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the generational collector: random object
+//! graphs and collection schedules must never lose a reachable object,
+//! never alias live allocations, and always keep addresses inside the
+//! owning segment.
+
+use proptest::prelude::*;
+use qoa_heap::{GcConfig, GenHeap, ObjId, Tracer};
+use qoa_model::{CountingSink, Emitter, Phase, Segment};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Default, Clone)]
+struct Graph {
+    roots: Vec<ObjId>,
+    edges: HashMap<ObjId, Vec<ObjId>>,
+}
+
+impl Tracer for Graph {
+    fn roots(&self, visit: &mut dyn FnMut(ObjId)) {
+        for &r in &self.roots {
+            visit(r);
+        }
+    }
+    fn refs(&self, id: ObjId, visit: &mut dyn FnMut(ObjId)) {
+        if let Some(children) = self.edges.get(&id) {
+            for &c in children {
+                visit(c);
+            }
+        }
+    }
+}
+
+impl Graph {
+    fn reachable(&self) -> HashSet<ObjId> {
+        let mut seen = HashSet::new();
+        let mut work = self.roots.clone();
+        while let Some(id) = work.pop() {
+            if seen.insert(id) {
+                if let Some(cs) = self.edges.get(&id) {
+                    work.extend(cs.iter().copied());
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// One step of a randomized heap schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Allocate an object of the given size and link it from an existing
+    /// object (or make it a root).
+    Alloc { size: u64, link_from_root: bool },
+    /// Drop a random root (making a subgraph unreachable).
+    DropRoot(usize),
+    /// Run a minor collection.
+    Minor,
+    /// Run a major collection.
+    Major,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (16u64..600, any::<bool>()).prop_map(|(size, link_from_root)| Step::Alloc {
+            size,
+            link_from_root
+        }),
+        1 => (0usize..64).prop_map(Step::DropRoot),
+        1 => Just(Step::Minor),
+        1 => Just(Step::Major),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_schedules_preserve_reachability(
+        steps in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        let mut heap = GenHeap::new(GcConfig::with_nursery(8 << 10));
+        let mut graph = Graph::default();
+        let mut sink = CountingSink::new();
+        let mut next_id = 0u32;
+        let mut alive: HashSet<ObjId> = HashSet::new();
+
+        for step in steps {
+            let mut e = Emitter::new(&mut sink, Phase::Interpreter, 0x40_0000);
+            match step {
+                Step::Alloc { size, link_from_root } => {
+                    if heap.needs_minor(size) {
+                        for dead in heap.minor_collect(&graph, &mut e) {
+                            alive.remove(&dead);
+                            graph.edges.remove(&dead);
+                        }
+                    }
+                    let id = ObjId(next_id);
+                    next_id += 1;
+                    heap.alloc(id, size, &mut e);
+                    alive.insert(id);
+                    if link_from_root || graph.roots.is_empty() {
+                        graph.roots.push(id);
+                    } else {
+                        let parent = graph.roots[graph.roots.len() / 2];
+                        graph.edges.entry(parent).or_default().push(id);
+                        heap.write_barrier(parent, id, &mut e);
+                    }
+                }
+                Step::DropRoot(i) => {
+                    if !graph.roots.is_empty() {
+                        let i = i % graph.roots.len();
+                        graph.roots.remove(i);
+                    }
+                }
+                Step::Minor => {
+                    for dead in heap.minor_collect(&graph, &mut e) {
+                        alive.remove(&dead);
+                        graph.edges.remove(&dead);
+                    }
+                }
+                Step::Major => {
+                    for dead in heap.major_collect(&graph, &mut e) {
+                        alive.remove(&dead);
+                        graph.edges.remove(&dead);
+                    }
+                }
+            }
+
+            // Invariant 1: every reachable object is still tracked.
+            let reachable = graph.reachable();
+            for id in &reachable {
+                prop_assert!(
+                    heap.addr_of(*id).is_some(),
+                    "reachable {id} lost (step {step:?})"
+                );
+            }
+            // Invariant 2: no two live objects overlap, and every address
+            // lies in a heap segment.
+            let mut spans: Vec<(u64, u64)> = Vec::new();
+            for id in &alive {
+                if let Some(addr) = heap.addr_of(*id) {
+                    let seg = Segment::of(addr);
+                    prop_assert!(
+                        matches!(
+                            seg,
+                            Some(Segment::Nursery | Segment::OldSpace | Segment::LargeObject)
+                        ),
+                        "{id} at {addr:#x} in {seg:?}"
+                    );
+                    spans.push((addr, addr + 16));
+                }
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "live objects alias: {w:?}");
+            }
+        }
+    }
+
+    /// Survival accounting never exceeds allocation.
+    #[test]
+    fn promotion_never_exceeds_allocation(
+        sizes in proptest::collection::vec(16u64..256, 1..200),
+        keep_mask in any::<u64>(),
+    ) {
+        let mut heap = GenHeap::new(GcConfig::with_nursery(8 << 10));
+        let mut graph = Graph::default();
+        let mut sink = CountingSink::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let mut e = Emitter::new(&mut sink, Phase::Interpreter, 0x40_0000);
+            if heap.needs_minor(*size) {
+                heap.minor_collect(&graph, &mut e);
+            }
+            let id = ObjId(i as u32);
+            heap.alloc(id, *size, &mut e);
+            if keep_mask & (1 << (i % 64)) != 0 {
+                graph.roots.push(id);
+            }
+        }
+        let mut e = Emitter::new(&mut sink, Phase::Interpreter, 0x40_0000);
+        heap.minor_collect(&graph, &mut e);
+        let stats = heap.stats();
+        prop_assert!(stats.bytes_promoted <= stats.nursery_allocated);
+        prop_assert!(stats.survival_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,443 @@
+//! The overhead taxonomy of Table II, plus the two non-overhead labels the
+//! paper reports against it (`Execute` and `CLibrary`).
+//!
+//! Every simulated machine instruction emitted by the run-times carries
+//! exactly one [`Category`]. Categories are grouped exactly as in the paper:
+//! *additional language features* (things C simply does not do), *dynamic
+//! language features* (things C resolves at compile time), and *interpreter
+//! operations* (the cost of emulating a virtual machine). The residual work —
+//! the computation a C program would also have to perform — is labeled
+//! [`Category::Execute`], and time spent inside the native ("C extension")
+//! library is labeled [`Category::CLibrary`], matching the paper's separate
+//! accounting of C-library time (7.0% on average, >64% for the pickle/regex
+//! group).
+
+/// Category groups, matching the three groups of Table II plus the residual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Group {
+    /// Language features that do not exist in a static language such as C.
+    AdditionalLanguage,
+    /// Features that exist in C but require run-time work in Python.
+    DynamicLanguage,
+    /// The cost of emulating a virtual machine on a physical machine.
+    InterpreterOp,
+    /// Work a C version of the program would also perform.
+    Compute,
+}
+
+impl Group {
+    /// All groups in Table II order.
+    pub const ALL: [Group; 4] = [
+        Group::AdditionalLanguage,
+        Group::DynamicLanguage,
+        Group::InterpreterOp,
+        Group::Compute,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::AdditionalLanguage => "Additional Language Features",
+            Group::DynamicLanguage => "Dynamic Language Features",
+            Group::InterpreterOp => "Interpreter Operations",
+            Group::Compute => "Computation",
+        }
+    }
+}
+
+impl std::fmt::Display for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A single overhead (or residual) attribution label.
+///
+/// The first fourteen variants are the fourteen rows of Table II; the paper
+/// marks `ErrorCheck`, `RegTransfer` and `CFunctionCall` as newly identified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Category {
+    // --- Additional language features -----------------------------------
+    /// Checks for overflow, out-of-bounds and other errors.
+    ErrorCheck = 0,
+    /// Automatically freeing unused memory (refcount maintenance, tracing,
+    /// copying, sweeping).
+    GarbageCollection,
+    /// Support for more condition cases and control structures (block
+    /// stack management, rich comparisons).
+    RichControlFlow,
+    // --- Dynamic language features ---------------------------------------
+    /// Checking a variable's type to determine the operation.
+    TypeCheck,
+    /// Wrapping or unwrapping integer or float primitive values.
+    BoxUnbox,
+    /// Looking up a variable in a map keyed by its name.
+    NameResolution,
+    /// Dereferencing function pointers to perform an operation.
+    FunctionResolution,
+    /// Setting up for a function call and cleaning up when finished.
+    FunctionSetup,
+    // --- Interpreter operations ------------------------------------------
+    /// Reading and decoding a bytecode instruction.
+    Dispatch,
+    /// Reading, writing, and managing the VM value stack.
+    Stack,
+    /// Loading constants from the constant pool to the stack.
+    ConstLoad,
+    /// Deallocation immediately followed by reallocation of objects.
+    ObjectAllocation,
+    /// Calculating the address of VM storage before a real access.
+    RegTransfer,
+    /// Following the C calling convention inside the interpreter.
+    CFunctionCall,
+    // --- Residuals ---------------------------------------------------------
+    /// The computation the program itself requires (a C program would too).
+    Execute,
+    /// Work performed inside native "C extension" library code.
+    CLibrary,
+}
+
+impl Category {
+    /// Number of distinct categories (array-map dimension).
+    pub const COUNT: usize = 16;
+
+    /// All categories, in Table II order followed by the residuals.
+    pub const ALL: [Category; Self::COUNT] = [
+        Category::ErrorCheck,
+        Category::GarbageCollection,
+        Category::RichControlFlow,
+        Category::TypeCheck,
+        Category::BoxUnbox,
+        Category::NameResolution,
+        Category::FunctionResolution,
+        Category::FunctionSetup,
+        Category::Dispatch,
+        Category::Stack,
+        Category::ConstLoad,
+        Category::ObjectAllocation,
+        Category::RegTransfer,
+        Category::CFunctionCall,
+        Category::Execute,
+        Category::CLibrary,
+    ];
+
+    /// The fourteen overhead categories of Table II (excludes the residuals).
+    pub const OVERHEADS: [Category; 14] = [
+        Category::ErrorCheck,
+        Category::GarbageCollection,
+        Category::RichControlFlow,
+        Category::TypeCheck,
+        Category::BoxUnbox,
+        Category::NameResolution,
+        Category::FunctionResolution,
+        Category::FunctionSetup,
+        Category::Dispatch,
+        Category::Stack,
+        Category::ConstLoad,
+        Category::ObjectAllocation,
+        Category::RegTransfer,
+        Category::CFunctionCall,
+    ];
+
+    /// Categories shown in the paper's Fig. 4(a): language features.
+    pub const LANGUAGE_FEATURES: [Category; 8] = [
+        Category::NameResolution,
+        Category::GarbageCollection,
+        Category::FunctionResolution,
+        Category::FunctionSetup,
+        Category::BoxUnbox,
+        Category::TypeCheck,
+        Category::ErrorCheck,
+        Category::RichControlFlow,
+    ];
+
+    /// Categories shown in the paper's Fig. 4(b): interpreter operations.
+    pub const INTERPRETER_OPERATIONS: [Category; 6] = [
+        Category::CFunctionCall,
+        Category::ObjectAllocation,
+        Category::RegTransfer,
+        Category::Dispatch,
+        Category::Stack,
+        Category::ConstLoad,
+    ];
+
+    /// Stable dense index for array-backed maps.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Category::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Category::COUNT`.
+    pub fn from_index(index: usize) -> Category {
+        Self::ALL[index]
+    }
+
+    /// The Table II group this category belongs to.
+    pub fn group(self) -> Group {
+        match self {
+            Category::ErrorCheck | Category::GarbageCollection | Category::RichControlFlow => {
+                Group::AdditionalLanguage
+            }
+            Category::TypeCheck
+            | Category::BoxUnbox
+            | Category::NameResolution
+            | Category::FunctionResolution
+            | Category::FunctionSetup => Group::DynamicLanguage,
+            Category::Dispatch
+            | Category::Stack
+            | Category::ConstLoad
+            | Category::ObjectAllocation
+            | Category::RegTransfer
+            | Category::CFunctionCall => Group::InterpreterOp,
+            Category::Execute | Category::CLibrary => Group::Compute,
+        }
+    }
+
+    /// Whether this category counts toward the paper's "identified
+    /// overheads" total (64.9% on average for CPython).
+    pub fn is_overhead(self) -> bool {
+        !matches!(self, Category::Execute | Category::CLibrary)
+    }
+
+    /// Whether the paper flags this category as newly identified ("NEW" in
+    /// Table II).
+    pub fn is_new_in_paper(self) -> bool {
+        matches!(
+            self,
+            Category::ErrorCheck | Category::RegTransfer | Category::CFunctionCall
+        )
+    }
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::ErrorCheck => "Error check",
+            Category::GarbageCollection => "Garbage collection",
+            Category::RichControlFlow => "Rich control flow",
+            Category::TypeCheck => "Type check",
+            Category::BoxUnbox => "Boxing/unboxing",
+            Category::NameResolution => "Name resolution",
+            Category::FunctionResolution => "Function resolution",
+            Category::FunctionSetup => "Function setup/cleanup",
+            Category::Dispatch => "Dispatch",
+            Category::Stack => "Stack",
+            Category::ConstLoad => "Const load",
+            Category::ObjectAllocation => "Object allocation",
+            Category::RegTransfer => "Reg transfer",
+            Category::CFunctionCall => "C function call",
+            Category::Execute => "Execute",
+            Category::CLibrary => "C library",
+        }
+    }
+
+    /// Table II description text.
+    pub fn description(self) -> &'static str {
+        match self {
+            Category::ErrorCheck => "Check for overflow, out-of-bounds, and other errors",
+            Category::GarbageCollection => "Automatically freeing unused memory",
+            Category::RichControlFlow => {
+                "Support for more condition cases and control structures"
+            }
+            Category::TypeCheck => "Checking variable type to determine operation",
+            Category::BoxUnbox => "Wrapping or unwrapping integer or float types",
+            Category::NameResolution => "Looking up variable in a map",
+            Category::FunctionResolution => {
+                "Dereferencing function pointers to perform an operation"
+            }
+            Category::FunctionSetup => {
+                "Setting up for a function call and cleaning up when finished"
+            }
+            Category::Dispatch => "Reading and decoding bytecode instruction",
+            Category::Stack => "Reading, writing, and managing VM stack",
+            Category::ConstLoad => "Reading constants",
+            Category::ObjectAllocation => {
+                "Inefficient deallocation followed by allocation of objects"
+            }
+            Category::RegTransfer => "Calculating address of VM storage",
+            Category::CFunctionCall => "Following the C calling convention in the interpreter",
+            Category::Execute => "Core computation of the program itself",
+            Category::CLibrary => "Execution inside native library code",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A dense map from [`Category`] to `T`, backed by a fixed array.
+///
+/// # Example
+///
+/// ```
+/// use qoa_model::{Category, CategoryMap};
+///
+/// let mut cycles: CategoryMap<u64> = CategoryMap::default();
+/// cycles[Category::Dispatch] += 10;
+/// assert_eq!(cycles[Category::Dispatch], 10);
+/// assert_eq!(cycles.iter().count(), Category::COUNT);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryMap<T> {
+    values: [T; Category::COUNT],
+}
+
+impl<T: Default + Copy> Default for CategoryMap<T> {
+    fn default() -> Self {
+        CategoryMap {
+            values: [T::default(); Category::COUNT],
+        }
+    }
+}
+
+impl<T> CategoryMap<T> {
+    /// Builds a map by evaluating `f` for every category.
+    pub fn from_fn(mut f: impl FnMut(Category) -> T) -> Self {
+        CategoryMap {
+            values: Category::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates over `(category, &value)` pairs in Table II order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, &T)> {
+        Category::ALL.iter().copied().zip(self.values.iter())
+    }
+
+    /// Iterates over `(category, &mut value)` pairs in Table II order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Category, &mut T)> {
+        Category::ALL.iter().copied().zip(self.values.iter_mut())
+    }
+}
+
+impl CategoryMap<u64> {
+    /// Sum across all categories.
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Sum across the fourteen overhead categories only.
+    pub fn overhead_total(&self) -> u64 {
+        Category::OVERHEADS
+            .iter()
+            .map(|&c| self[c])
+            .sum()
+    }
+
+    /// Sum across one Table II group.
+    pub fn group_total(&self, group: Group) -> u64 {
+        self.iter()
+            .filter(|(c, _)| c.group() == group)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &CategoryMap<u64>) {
+        for (c, v) in other.iter() {
+            self[c] += *v;
+        }
+    }
+}
+
+impl CategoryMap<f64> {
+    /// Sum across all categories.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+impl<T> std::ops::Index<Category> for CategoryMap<T> {
+    type Output = T;
+    fn index(&self, c: Category) -> &T {
+        &self.values[c.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Category> for CategoryMap<T> {
+    fn index_mut(&mut self, c: Category) -> &mut T {
+        &mut self.values[c.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Category::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn table_ii_has_fourteen_overheads_in_three_groups() {
+        assert_eq!(Category::OVERHEADS.len(), 14);
+        for c in Category::OVERHEADS {
+            assert!(c.is_overhead());
+            assert_ne!(c.group(), Group::Compute);
+        }
+        assert_eq!(Category::Execute.group(), Group::Compute);
+        assert_eq!(Category::CLibrary.group(), Group::Compute);
+    }
+
+    #[test]
+    fn paper_marks_three_new_categories() {
+        let new: Vec<_> = Category::ALL
+            .iter()
+            .filter(|c| c.is_new_in_paper())
+            .collect();
+        assert_eq!(new.len(), 3);
+    }
+
+    #[test]
+    fn figure4_panels_partition_the_overheads() {
+        let mut all: Vec<Category> = Category::LANGUAGE_FEATURES.to_vec();
+        all.extend_from_slice(&Category::INTERPRETER_OPERATIONS);
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 14);
+        for c in Category::OVERHEADS {
+            assert!(all.contains(&c));
+        }
+    }
+
+    #[test]
+    fn category_map_accumulates_and_groups() {
+        let mut m: CategoryMap<u64> = CategoryMap::default();
+        m[Category::Dispatch] = 5;
+        m[Category::ErrorCheck] = 3;
+        m[Category::Execute] = 2;
+        assert_eq!(m.total(), 10);
+        assert_eq!(m.overhead_total(), 8);
+        assert_eq!(m.group_total(Group::InterpreterOp), 5);
+        assert_eq!(m.group_total(Group::AdditionalLanguage), 3);
+        assert_eq!(m.group_total(Group::Compute), 2);
+
+        let mut other: CategoryMap<u64> = CategoryMap::default();
+        other[Category::Dispatch] = 1;
+        m.merge(&other);
+        assert_eq!(m[Category::Dispatch], 6);
+    }
+
+    #[test]
+    fn labels_and_descriptions_are_nonempty_and_unique() {
+        let mut labels: Vec<&str> = Category::ALL.iter().map(|c| c.label()).collect();
+        for l in &labels {
+            assert!(!l.is_empty());
+        }
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::COUNT);
+        for c in Category::ALL {
+            assert!(!c.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Convenience layer for emitting tagged micro-ops.
+//!
+//! Every run-time component (interpreter, JIT, GC, native library) emits
+//! micro-ops from *emission sites* — stable synthetic PCs that play the role
+//! of the static instructions of the interpreter binary in the paper's Pin
+//! methodology. An [`Emitter`] bundles the sink, the current [`Phase`], and
+//! a base PC for the component's code region; call sites pass a small site
+//! index that is turned into a stable PC.
+
+use crate::{Category, MicroOp, OpKind, OpSink, Pc, Phase};
+
+/// Emits micro-ops for one code region at a fixed phase.
+#[derive(Debug)]
+pub struct Emitter<'s, S: OpSink> {
+    sink: &'s mut S,
+    /// Phase stamped on every emitted op.
+    pub phase: Phase,
+    /// Base PC of the component's code region.
+    pub base: u64,
+}
+
+impl<'s, S: OpSink> Emitter<'s, S> {
+    /// Creates an emitter for the code region starting at `base`.
+    pub fn new(sink: &'s mut S, phase: Phase, base: u64) -> Self {
+        sink.phase_change(phase);
+        Emitter { sink, phase, base }
+    }
+
+    /// PC of emission site `site` (4 bytes per synthetic instruction).
+    #[inline]
+    pub fn pc(&self, site: u32) -> Pc {
+        Pc(self.base + (site as u64) * 4)
+    }
+
+    #[inline]
+    fn emit(&mut self, site: u32, kind: OpKind, category: Category) {
+        self.sink.op(MicroOp { pc: self.pc(site), kind, category, phase: self.phase });
+    }
+
+    /// Emits `n` integer ALU ops.
+    #[inline]
+    pub fn alu(&mut self, site: u32, category: Category, n: u32) {
+        for i in 0..n {
+            self.emit(site + i, OpKind::Alu, category);
+        }
+    }
+
+    /// Emits one floating-point op.
+    #[inline]
+    pub fn fp(&mut self, site: u32, category: Category) {
+        self.emit(site, OpKind::FpAlu, category);
+    }
+
+    /// Emits one integer multiply.
+    #[inline]
+    pub fn mul(&mut self, site: u32, category: Category) {
+        self.emit(site, OpKind::Mul, category);
+    }
+
+    /// Emits one divide.
+    #[inline]
+    pub fn div(&mut self, site: u32, category: Category) {
+        self.emit(site, OpKind::Div, category);
+    }
+
+    /// Emits one 8-byte load.
+    #[inline]
+    pub fn load(&mut self, site: u32, category: Category, addr: u64) {
+        self.emit(site, OpKind::Load { addr, size: 8 }, category);
+    }
+
+    /// Emits one 8-byte store.
+    #[inline]
+    pub fn store(&mut self, site: u32, category: Category, addr: u64) {
+        self.emit(site, OpKind::Store { addr, size: 8 }, category);
+    }
+
+    /// Emits loads covering `bytes` bytes starting at `addr` (8 B per load).
+    pub fn load_span(&mut self, site: u32, category: Category, addr: u64, bytes: u64) {
+        let mut a = addr;
+        let end = addr + bytes;
+        while a < end {
+            self.emit(site, OpKind::Load { addr: a, size: 8 }, category);
+            a += 8;
+        }
+    }
+
+    /// Emits stores covering `bytes` bytes starting at `addr` (8 B per store).
+    pub fn store_span(&mut self, site: u32, category: Category, addr: u64, bytes: u64) {
+        let mut a = addr;
+        let end = addr + bytes;
+        while a < end {
+            self.emit(site, OpKind::Store { addr: a, size: 8 }, category);
+            a += 8;
+        }
+    }
+
+    /// Emits a conditional direct branch.
+    #[inline]
+    pub fn branch(&mut self, site: u32, category: Category, taken: bool, target_site: u32) {
+        let target = self.pc(target_site);
+        self.emit(site, OpKind::Branch { taken, target, indirect: false }, category);
+    }
+
+    /// Emits a taken indirect branch to an arbitrary PC (e.g. the dispatch
+    /// switch).
+    #[inline]
+    pub fn indirect_branch(&mut self, site: u32, category: Category, target: Pc) {
+        self.emit(site, OpKind::Branch { taken: true, target, indirect: true }, category);
+    }
+
+    /// Emits a direct call.
+    #[inline]
+    pub fn call(&mut self, site: u32, category: Category, target: Pc) {
+        self.emit(site, OpKind::Call { target, indirect: false }, category);
+    }
+
+    /// Emits an indirect call through a function pointer.
+    #[inline]
+    pub fn indirect_call(&mut self, site: u32, category: Category, target: Pc) {
+        self.emit(site, OpKind::Call { target, indirect: true }, category);
+    }
+
+    /// Emits a return.
+    #[inline]
+    pub fn ret(&mut self, site: u32, category: Category) {
+        self.emit(site, OpKind::Ret, category);
+    }
+
+    /// Runs `f` with the phase temporarily switched to `phase`.
+    pub fn with_phase<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        let old = self.phase;
+        self.phase = phase;
+        self.sink.phase_change(phase);
+        let r = f(self);
+        self.phase = old;
+        self.sink.phase_change(old);
+        r
+    }
+
+    /// Direct access to the underlying sink.
+    pub fn sink(&mut self) -> &mut S {
+        self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountingSink;
+
+    #[test]
+    fn sites_map_to_stable_pcs() {
+        let mut sink = CountingSink::new();
+        let e = Emitter::new(&mut sink, Phase::Interpreter, 0x40_0000);
+        assert_eq!(e.pc(0), Pc(0x40_0000));
+        assert_eq!(e.pc(3), Pc(0x40_000C));
+    }
+
+    #[test]
+    fn span_helpers_emit_one_op_per_word() {
+        let mut sink = CountingSink::new();
+        {
+            let mut e = Emitter::new(&mut sink, Phase::GcMinor, 0x40_0000);
+            e.load_span(0, Category::GarbageCollection, 0x1000, 32);
+            e.store_span(1, Category::GarbageCollection, 0x2000, 17);
+        }
+        assert_eq!(sink.loads, 4);
+        assert_eq!(sink.stores, 3); // ceil(17/8)
+        assert_eq!(sink.by_category[Category::GarbageCollection], 7);
+    }
+
+    #[test]
+    fn with_phase_restores() {
+        let mut sink = CountingSink::new();
+        let mut e = Emitter::new(&mut sink, Phase::Interpreter, 0x40_0000);
+        e.alu(0, Category::Execute, 1);
+        e.with_phase(Phase::GcMinor, |e| e.alu(1, Category::GarbageCollection, 2));
+        e.alu(2, Category::Execute, 1);
+        assert_eq!(e.phase, Phase::Interpreter);
+        drop(e);
+        assert_eq!(sink.by_phase[Phase::Interpreter], 2);
+        assert_eq!(sink.by_phase[Phase::GcMinor], 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Execution phases.
+//!
+//! Fig. 7 of the paper breaks PyPy-with-JIT execution into *bytecode
+//! interpreter*, *garbage collection*, and *JIT compiled code* phases by
+//! annotating PyPy at the function granularity. The same phase labels are
+//! carried on every micro-op here, with two extra phases the paper accounts
+//! for in prose: time spent inside the JIT compiler itself and time inside
+//! native library code.
+
+/// The coarse execution phase a micro-op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Phase {
+    /// Executing the bytecode interpreter loop.
+    Interpreter = 0,
+    /// Running the JIT compiler (profiling, trace recording, optimization,
+    /// code emission).
+    JitCompile,
+    /// Executing JIT-compiled trace code.
+    JitCode,
+    /// Minor (nursery) garbage collection.
+    GcMinor,
+    /// Major (old-space) garbage collection.
+    GcMajor,
+    /// Executing native "C extension" library code.
+    NativeLib,
+}
+
+impl Phase {
+    /// Number of phases (array-map dimension).
+    pub const COUNT: usize = 6;
+
+    /// All phases.
+    pub const ALL: [Phase; Self::COUNT] = [
+        Phase::Interpreter,
+        Phase::JitCompile,
+        Phase::JitCode,
+        Phase::GcMinor,
+        Phase::GcMajor,
+        Phase::NativeLib,
+    ];
+
+    /// Stable dense index for array-backed maps.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this phase is garbage collection (minor or major).
+    pub fn is_gc(self) -> bool {
+        matches!(self, Phase::GcMinor | Phase::GcMajor)
+    }
+
+    /// Label matching the paper's Fig. 7 legend where applicable.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Interpreter => "Bytecode Interpreter",
+            Phase::JitCompile => "JIT Compilation",
+            Phase::JitCode => "JIT Compiled Code",
+            Phase::GcMinor => "Garbage Collection (minor)",
+            Phase::GcMajor => "Garbage Collection (major)",
+            Phase::NativeLib => "Native Library",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A dense map from [`Phase`] to `T`, backed by a fixed array.
+///
+/// # Example
+///
+/// ```
+/// use qoa_model::{Phase, PhaseMap};
+///
+/// let mut cycles: PhaseMap<u64> = PhaseMap::default();
+/// cycles[Phase::GcMinor] += 7;
+/// assert_eq!(cycles.gc_total(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseMap<T> {
+    values: [T; Phase::COUNT],
+}
+
+impl<T: Default + Copy> Default for PhaseMap<T> {
+    fn default() -> Self {
+        PhaseMap {
+            values: [T::default(); Phase::COUNT],
+        }
+    }
+}
+
+impl<T> PhaseMap<T> {
+    /// Builds a map by evaluating `f` for every phase.
+    pub fn from_fn(mut f: impl FnMut(Phase) -> T) -> Self {
+        PhaseMap {
+            values: Phase::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates over `(phase, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, &T)> {
+        Phase::ALL.iter().copied().zip(self.values.iter())
+    }
+}
+
+impl PhaseMap<u64> {
+    /// Sum across all phases.
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Sum across the two GC phases.
+    pub fn gc_total(&self) -> u64 {
+        self[Phase::GcMinor] + self[Phase::GcMajor]
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &PhaseMap<u64>) {
+        for (p, v) in other.iter() {
+            self[p] += *v;
+        }
+    }
+}
+
+impl<T> std::ops::Index<Phase> for PhaseMap<T> {
+    type Output = T;
+    fn index(&self, p: Phase) -> &T {
+        &self.values[p.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Phase> for PhaseMap<T> {
+    fn index_mut(&mut self, p: Phase) -> &mut T {
+        &mut self.values[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn gc_phases() {
+        assert!(Phase::GcMinor.is_gc());
+        assert!(Phase::GcMajor.is_gc());
+        assert!(!Phase::JitCode.is_gc());
+    }
+
+    #[test]
+    fn phase_map_totals() {
+        let mut m: PhaseMap<u64> = PhaseMap::default();
+        m[Phase::Interpreter] = 10;
+        m[Phase::GcMinor] = 3;
+        m[Phase::GcMajor] = 2;
+        assert_eq!(m.total(), 15);
+        assert_eq!(m.gc_total(), 5);
+        let mut n: PhaseMap<u64> = PhaseMap::default();
+        n[Phase::Interpreter] = 1;
+        m.merge(&n);
+        assert_eq!(m[Phase::Interpreter], 11);
+    }
+}

@@ -1,0 +1,322 @@
+//! Simulator configuration, defaulting to the paper's Table I.
+//!
+//! Table I (ZSim configuration, Intel Skylake-like):
+//!
+//! | Component | Setting |
+//! |---|---|
+//! | Core | 4-way OOO, 16B fetch, 3.40 GHz, 2-level 2-bit BP with 2048x18b L1, 16384x2b L2, 224 ROB, 72 Load-Q, 56 Store-Q |
+//! | L1I | 64 kB, 8-way, 4-cycle latency |
+//! | L1D | 64 kB, 8-way, 4-cycle latency |
+//! | L2 | 256 kB, 4-way, 12-cycle latency |
+//! | L3 | 2 MB (per-core quarter of 8 MB), 16-way, 42-cycle latency |
+//! | Memory | 16 GB DDR4-2400, 173-cycle latency |
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size: u64,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Access latency in cycles, charged when this level satisfies a miss
+    /// from the level above.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::validate`]).
+    pub fn sets(&self) -> usize {
+        self.validate();
+        (self.size / (self.line * self.assoc as u64)) as usize
+    }
+
+    /// Checks size/line/associativity consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if size or line are not powers of two, if associativity is
+    /// zero, or if the division does not yield at least one set.
+    pub fn validate(&self) {
+        assert!(self.size.is_power_of_two(), "cache size must be a power of two");
+        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc > 0, "associativity must be positive");
+        assert!(
+            self.size >= self.line * self.assoc as u64,
+            "cache must hold at least one set"
+        );
+    }
+}
+
+/// Branch-predictor sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Entries in the first-level (per-branch history) table.
+    pub l1_entries: usize,
+    /// History bits kept per first-level entry.
+    pub history_bits: u32,
+    /// Entries in the second-level pattern history table of 2-bit counters.
+    pub l2_entries: usize,
+    /// Entries in the branch target buffer (indirect branches and calls).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// Pipeline refill penalty on a mispredict, in cycles.
+    pub mispredict_penalty: u64,
+}
+
+impl BranchConfig {
+    /// Table I sizing: 2048x18b L1, 16384x2b L2.
+    pub fn skylake() -> Self {
+        BranchConfig {
+            l1_entries: 2048,
+            history_bits: 18,
+            l2_entries: 16384,
+            btb_entries: 4096,
+            ras_depth: 32,
+            mispredict_penalty: 14,
+        }
+    }
+
+    /// Scales the predictor tables relative to the baseline, as in the
+    /// paper's Fig. 7(b) sweep (0.5x – 8x). The BTB scales with the tables.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(16).next_power_of_two();
+        BranchConfig {
+            l1_entries: scale(self.l1_entries),
+            history_bits: self.history_bits,
+            l2_entries: scale(self.l2_entries),
+            btb_entries: scale(self.btb_entries),
+            ras_depth: self.ras_depth,
+            mispredict_penalty: self.mispredict_penalty,
+        }
+    }
+}
+
+/// Main-memory model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Flat access latency in CPU cycles (Table I: 173).
+    pub latency: u64,
+    /// Sustained bandwidth in MB/s (DDR4-2400 ≈ 19200 MB/s per channel; the
+    /// paper sweeps 200 – 25600).
+    pub bandwidth_mbps: u64,
+    /// Core clock in Hz, used to convert bandwidth to bytes/cycle.
+    pub clock_hz: u64,
+}
+
+impl MemConfig {
+    /// Table I memory: DDR4-2400, 173-cycle latency, 3.4 GHz core clock.
+    pub fn ddr4_2400() -> Self {
+        MemConfig {
+            latency: 173,
+            bandwidth_mbps: 19200,
+            clock_hz: 3_400_000_000,
+        }
+    }
+
+    /// Bytes transferable per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        (self.bandwidth_mbps as f64 * 1_000_000.0) / self.clock_hz as f64
+    }
+}
+
+/// Out-of-order core parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Issue (dispatch) width in ops/cycle.
+    pub issue_width: usize,
+    /// Fetch width in bytes/cycle (Table I: 16B).
+    pub fetch_bytes: u64,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Load-queue entries (bounds memory-level parallelism).
+    pub load_queue: usize,
+    /// Store-queue entries.
+    pub store_queue: usize,
+}
+
+impl CoreConfig {
+    /// Table I core: 4-way OOO, 16B fetch, 224 ROB, 72 LQ, 56 SQ.
+    pub fn skylake() -> Self {
+        CoreConfig {
+            issue_width: 4,
+            fetch_bytes: 16,
+            rob_size: 224,
+            load_queue: 72,
+            store_queue: 56,
+        }
+    }
+}
+
+/// Complete simulator configuration (core + predictor + caches + memory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Branch predictor parameters.
+    pub branch: BranchConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache (per-core share).
+    pub l3: CacheConfig,
+    /// Main memory.
+    pub mem: MemConfig,
+}
+
+impl UarchConfig {
+    /// The paper's Table I configuration.
+    pub fn skylake() -> Self {
+        UarchConfig {
+            core: CoreConfig::skylake(),
+            branch: BranchConfig::skylake(),
+            l1i: CacheConfig { size: 64 << 10, assoc: 8, line: 64, latency: 4 },
+            l1d: CacheConfig { size: 64 << 10, assoc: 8, line: 64, latency: 4 },
+            l2: CacheConfig { size: 256 << 10, assoc: 4, line: 64, latency: 12 },
+            l3: CacheConfig { size: 2 << 20, assoc: 16, line: 64, latency: 42 },
+            mem: MemConfig::ddr4_2400(),
+        }
+    }
+
+    /// Returns a copy with the given issue width (Fig. 7a sweep: 2–32).
+    pub fn with_issue_width(mut self, width: usize) -> Self {
+        self.core.issue_width = width;
+        self
+    }
+
+    /// Returns a copy with branch tables scaled relative to baseline
+    /// (Fig. 7b sweep: 0.5x – 8x).
+    pub fn with_branch_scale(mut self, factor: f64) -> Self {
+        self.branch = BranchConfig::skylake().scaled(factor);
+        self
+    }
+
+    /// Returns a copy with the given LLC size (Fig. 7c sweep: 256 kB – 16 MB).
+    pub fn with_llc_size(mut self, size: u64) -> Self {
+        self.l3.size = size;
+        self
+    }
+
+    /// Returns a copy with the given line size applied to every cache level
+    /// (Fig. 7d sweep: 64 B – 4096 B).
+    pub fn with_line_size(mut self, line: u64) -> Self {
+        self.l1i.line = line;
+        self.l1d.line = line;
+        self.l2.line = line;
+        self.l3.line = line;
+        // Keep at least one set per level by growing associativity-adjusted
+        // minimum sizes if a huge line would underflow the geometry.
+        for c in [&mut self.l1i, &mut self.l1d, &mut self.l2, &mut self.l3] {
+            let min = c.line * c.assoc as u64;
+            if c.size < min {
+                c.size = min;
+            }
+        }
+        self
+    }
+
+    /// Returns a copy with the given memory latency in cycles (Fig. 7e
+    /// sweep: 50 – 400).
+    pub fn with_mem_latency(mut self, latency: u64) -> Self {
+        self.mem.latency = latency;
+        self
+    }
+
+    /// Returns a copy with the given memory bandwidth in MB/s (Fig. 7f
+    /// sweep: 200 – 25600).
+    pub fn with_mem_bandwidth(mut self, mbps: u64) -> Self {
+        self.mem.bandwidth_mbps = mbps;
+        self
+    }
+
+    /// Validates every cache level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level has inconsistent geometry.
+    pub fn validate(&self) {
+        self.l1i.validate();
+        self.l1d.validate();
+        self.l2.validate();
+        self.l3.validate();
+        assert!(self.core.issue_width > 0);
+    }
+}
+
+impl Default for UarchConfig {
+    fn default() -> Self {
+        UarchConfig::skylake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_table_i() {
+        let c = UarchConfig::skylake();
+        assert_eq!(c.core.issue_width, 4);
+        assert_eq!(c.core.rob_size, 224);
+        assert_eq!(c.core.load_queue, 72);
+        assert_eq!(c.core.store_queue, 56);
+        assert_eq!(c.branch.l1_entries, 2048);
+        assert_eq!(c.branch.history_bits, 18);
+        assert_eq!(c.branch.l2_entries, 16384);
+        assert_eq!(c.l1i.size, 64 << 10);
+        assert_eq!(c.l1d.latency, 4);
+        assert_eq!(c.l2.size, 256 << 10);
+        assert_eq!(c.l2.latency, 12);
+        assert_eq!(c.l3.size, 2 << 20);
+        assert_eq!(c.l3.assoc, 16);
+        assert_eq!(c.l3.latency, 42);
+        assert_eq!(c.mem.latency, 173);
+        c.validate();
+    }
+
+    #[test]
+    fn cache_sets_geometry() {
+        let c = CacheConfig { size: 64 << 10, assoc: 8, line: 64, latency: 4 };
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_cache_size_panics() {
+        CacheConfig { size: 3000, assoc: 8, line: 64, latency: 4 }.validate();
+    }
+
+    #[test]
+    fn branch_scaling_is_monotone() {
+        let base = BranchConfig::skylake();
+        let half = base.scaled(0.5);
+        let oct = base.scaled(8.0);
+        assert!(half.l2_entries < base.l2_entries);
+        assert!(oct.l2_entries > base.l2_entries);
+        assert_eq!(oct.l2_entries, 16384 * 8);
+    }
+
+    #[test]
+    fn line_size_sweep_keeps_geometry_valid() {
+        for line in [64, 128, 256, 512, 1024, 2048, 4096] {
+            let c = UarchConfig::skylake().with_line_size(line);
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        let m = MemConfig::ddr4_2400();
+        let bpc = m.bytes_per_cycle();
+        assert!(bpc > 5.0 && bpc < 6.0, "bpc = {bpc}");
+    }
+}

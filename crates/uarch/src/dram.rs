@@ -1,0 +1,121 @@
+//! Main-memory model: flat latency plus a bandwidth-limited channel.
+//!
+//! Replaces DRAMSim2 in the paper's stack. Each LLC miss transfers one cache
+//! line over a channel with finite sustained bandwidth; when the channel is
+//! busy the access queues, which is what produces the steep CPI growth at
+//! the low end of the paper's Fig. 7(f) bandwidth sweep.
+
+use crate::config::MemConfig;
+
+/// Bandwidth-limited DRAM channel.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: MemConfig,
+    line_bytes: u64,
+    /// Cycles of channel occupancy per line transfer, in 1/256 cycle units
+    /// to keep integer math while supporting fractional rates.
+    occupancy_q8: u64,
+    /// Cycle (in 1/256 units) at which the channel next becomes free.
+    free_at_q8: u64,
+    accesses: u64,
+    queued_cycles: u64,
+}
+
+impl Dram {
+    /// Builds a channel for the given memory config and LLC line size.
+    pub fn new(cfg: MemConfig, line_bytes: u64) -> Self {
+        let bpc = cfg.bytes_per_cycle();
+        let occupancy = (line_bytes as f64 / bpc * 256.0).ceil() as u64;
+        Dram {
+            cfg,
+            line_bytes,
+            occupancy_q8: occupancy.max(1),
+            free_at_q8: 0,
+            accesses: 0,
+            queued_cycles: 0,
+        }
+    }
+
+    /// Flat DRAM latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// Performs one line transfer issued at cycle `now`, returning the
+    /// queuing delay (cycles spent waiting for the channel).
+    pub fn access(&mut self, now: u64) -> u64 {
+        self.accesses += 1;
+        let now_q8 = now << 8;
+        let start = self.free_at_q8.max(now_q8);
+        self.free_at_q8 = start + self.occupancy_q8;
+        let queue = (start - now_q8) >> 8;
+        self.queued_cycles += queue;
+        queue
+    }
+
+    /// Total line transfers served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.accesses * self.line_bytes
+    }
+
+    /// Total cycles accesses spent queued behind the channel.
+    pub fn queued_cycles(&self) -> u64 {
+        self.queued_cycles
+    }
+
+    /// Resets statistics and channel state.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.queued_cycles = 0;
+        self.free_at_q8 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(mbps: u64) -> MemConfig {
+        MemConfig { latency: 173, bandwidth_mbps: mbps, clock_hz: 3_400_000_000 }
+    }
+
+    #[test]
+    fn high_bandwidth_rarely_queues() {
+        let mut d = Dram::new(cfg(25600), 64);
+        let mut total_queue = 0;
+        for now in (0..1000).step_by(20) {
+            total_queue += d.access(now);
+        }
+        assert_eq!(total_queue, 0);
+    }
+
+    #[test]
+    fn low_bandwidth_queues_back_to_back_accesses() {
+        // 200 MB/s at 3.4 GHz ≈ 0.0588 B/cycle → ~1088 cycles per 64 B line.
+        let mut d = Dram::new(cfg(200), 64);
+        assert_eq!(d.access(0), 0);
+        let q = d.access(0);
+        assert!(q > 1000, "queue was {q}");
+    }
+
+    #[test]
+    fn spaced_accesses_do_not_queue() {
+        let mut d = Dram::new(cfg(200), 64);
+        assert_eq!(d.access(0), 0);
+        assert_eq!(d.access(100_000), 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut d = Dram::new(cfg(19200), 64);
+        d.access(0);
+        d.access(0);
+        assert_eq!(d.accesses(), 2);
+        assert_eq!(d.bytes_transferred(), 128);
+    }
+}

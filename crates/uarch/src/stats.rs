@@ -1,0 +1,81 @@
+//! Aggregated execution statistics shared by both core models.
+
+use crate::branch::BranchStats;
+use crate::cache::CacheStats;
+use qoa_model::{CategoryMap, PhaseMap};
+
+/// Cycle- and instruction-level result of simulating one run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total retired micro-ops.
+    pub instructions: u64,
+    /// Cycles attributed to each Table II category.
+    pub cycles_by_category: CategoryMap<u64>,
+    /// Instructions attributed to each Table II category.
+    pub instructions_by_category: CategoryMap<u64>,
+    /// Cycles attributed to each execution phase.
+    pub cycles_by_phase: PhaseMap<u64>,
+    /// Instructions attributed to each execution phase.
+    pub instructions_by_phase: PhaseMap<u64>,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Last-level cache statistics.
+    pub llc: CacheStats,
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+    /// Bytes transferred from DRAM.
+    pub dram_bytes: u64,
+}
+
+impl ExecutionStats {
+    /// Cycles per instruction; zero when nothing ran.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of cycles spent in each category, summing to 1.
+    pub fn category_shares(&self) -> CategoryMap<f64> {
+        let total = self.cycles.max(1) as f64;
+        CategoryMap::from_fn(|c| self.cycles_by_category[c] as f64 / total)
+    }
+
+    /// Fraction of cycles spent in garbage collection.
+    pub fn gc_share(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.cycles_by_phase.gc_total() as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_model::{Category, Phase};
+
+    #[test]
+    fn cpi_and_shares() {
+        let mut s = ExecutionStats::default();
+        assert_eq!(s.cpi(), 0.0);
+        s.cycles = 100;
+        s.instructions = 50;
+        s.cycles_by_category[Category::Dispatch] = 25;
+        s.cycles_by_category[Category::Execute] = 75;
+        s.cycles_by_phase[Phase::GcMinor] = 10;
+        assert_eq!(s.cpi(), 2.0);
+        let shares = s.category_shares();
+        assert!((shares[Category::Dispatch] - 0.25).abs() < 1e-12);
+        assert!((s.gc_share() - 0.10).abs() < 1e-12);
+    }
+}

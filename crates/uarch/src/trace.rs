@@ -1,0 +1,125 @@
+//! Trace capture and replay.
+//!
+//! The paper's microarchitecture sweeps (Fig. 7–9) re-simulate the *same*
+//! program execution under many hardware configurations. Because simulated
+//! timing never feeds back into run-time behaviour (just as with Pin+ZSim),
+//! the micro-op stream can be captured once per (benchmark, run-time) pair
+//! and replayed through each configuration — the standard trace-driven
+//! simulation methodology.
+
+use crate::stats::ExecutionStats;
+use crate::{OooCore, SimpleCore, UarchConfig};
+use qoa_model::{MicroOp, OpSink, Phase};
+
+/// An in-memory micro-op trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    ops: Vec<MicroOp>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with pre-reserved capacity.
+    pub fn with_capacity(ops: usize) -> Self {
+        TraceBuffer { ops: Vec::with_capacity(ops) }
+    }
+
+    /// Number of captured micro-ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The captured ops.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Replays the trace into any sink.
+    pub fn replay<S: OpSink>(&self, sink: &mut S) {
+        let mut phase = None;
+        for op in &self.ops {
+            if phase != Some(op.phase) {
+                phase = Some(op.phase);
+                sink.phase_change(op.phase);
+            }
+            sink.op(*op);
+        }
+    }
+
+    /// Replays through a fresh [`SimpleCore`] built from `cfg`.
+    pub fn simulate_simple(&self, cfg: &UarchConfig) -> ExecutionStats {
+        let mut core = SimpleCore::new(cfg);
+        self.replay(&mut core);
+        core.finish()
+    }
+
+    /// Replays through a fresh [`OooCore`] built from `cfg`.
+    pub fn simulate_ooo(&self, cfg: &UarchConfig) -> ExecutionStats {
+        let mut core = OooCore::new(cfg);
+        self.replay(&mut core);
+        core.finish()
+    }
+}
+
+impl OpSink for TraceBuffer {
+    fn op(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    fn phase_change(&mut self, _phase: Phase) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_model::{Category, CountingSink, OpKind, Pc};
+
+    fn sample_trace() -> TraceBuffer {
+        let mut t = TraceBuffer::new();
+        for i in 0..100u64 {
+            t.op(MicroOp {
+                pc: Pc(0x400000 + (i % 8) * 4),
+                kind: if i % 3 == 0 {
+                    OpKind::Load { addr: 0x5_0000_0000 + i * 8, size: 8 }
+                } else {
+                    OpKind::Alu
+                },
+                category: Category::Execute,
+                phase: if i < 50 { Phase::Interpreter } else { Phase::GcMinor },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn capture_then_replay_preserves_counts() {
+        let t = sample_trace();
+        assert_eq!(t.len(), 100);
+        let mut sink = CountingSink::new();
+        t.replay(&mut sink);
+        assert_eq!(sink.total(), 100);
+        assert_eq!(sink.by_phase[Phase::Interpreter], 50);
+        assert_eq!(sink.by_phase[Phase::GcMinor], 50);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_cores() {
+        let t = sample_trace();
+        let cfg = UarchConfig::skylake();
+        let a = t.simulate_ooo(&cfg);
+        let b = t.simulate_ooo(&cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        let s = t.simulate_simple(&cfg);
+        assert_eq!(s.instructions, 100);
+    }
+}

@@ -1,0 +1,111 @@
+//! Hierarchy-level behaviour: level interaction, DRAM queuing under the
+//! bandwidth sweep, and replay equivalence between capture paths.
+
+use qoa_model::{Category, MicroOp, OpKind, OpSink, Pc, Phase};
+use qoa_uarch::{HitLevel, MemoryHierarchy, OooCore, TraceBuffer, UarchConfig};
+
+fn mk_load(i: u64, addr: u64) -> MicroOp {
+    MicroOp {
+        pc: Pc(0x40_0000 + (i % 64) * 4),
+        kind: OpKind::Load { addr, size: 8 },
+        category: Category::Execute,
+        phase: Phase::Interpreter,
+    }
+}
+
+#[test]
+fn levels_fill_on_the_way_back() {
+    let cfg = UarchConfig::skylake();
+    let mut h = MemoryHierarchy::new(&cfg);
+    // First touch goes to memory and fills every level.
+    assert_eq!(h.data(0x1000, 0).level, HitLevel::Memory);
+    // Second touch hits L1.
+    assert_eq!(h.data(0x1000, 10).level, HitLevel::L1);
+    assert_eq!(h.l1d_stats().accesses, 2);
+    assert_eq!(h.l2_stats().misses, 1);
+    assert_eq!(h.llc_stats().misses, 1);
+}
+
+#[test]
+fn dram_byte_accounting_matches_llc_misses() {
+    let cfg = UarchConfig::skylake();
+    let mut h = MemoryHierarchy::new(&cfg);
+    for i in 0..100u64 {
+        h.data(0x5_0000_0000 + i * 4096, 0);
+    }
+    assert_eq!(h.dram_bytes(), 100 * 64, "one line per distinct page touch");
+}
+
+#[test]
+fn bandwidth_sweep_is_monotone_for_streaming_loads() {
+    // Lower bandwidth must never make a DRAM-bound loop faster.
+    let mut trace = TraceBuffer::new();
+    for i in 0..60_000u64 {
+        trace.op(mk_load(i, 0x5_0000_0000 + i * 64));
+    }
+    let mut last = 0u64;
+    for bw in [200u64, 800, 3200, 12800, 25600] {
+        let cfg = UarchConfig::skylake().with_mem_bandwidth(bw);
+        let cycles = trace.simulate_ooo(&cfg).cycles;
+        if last != 0 {
+            assert!(
+                cycles <= last + last / 100,
+                "{bw} MB/s took {cycles}, slower than previous {last}"
+            );
+        }
+        last = cycles;
+    }
+    // And the sweep's extremes must differ substantially.
+    let slow = trace
+        .simulate_ooo(&UarchConfig::skylake().with_mem_bandwidth(200))
+        .cycles;
+    let fast = trace
+        .simulate_ooo(&UarchConfig::skylake().with_mem_bandwidth(25600))
+        .cycles;
+    assert!(slow > fast * 3, "slow {slow} vs fast {fast}");
+}
+
+#[test]
+fn direct_sink_and_trace_replay_agree() {
+    // Feeding a core directly and replaying a captured trace must give
+    // identical statistics.
+    let ops: Vec<MicroOp> = (0..20_000u64)
+        .map(|i| mk_load(i, 0x5_0000_0000 + (i * 64) % (8 << 20)))
+        .collect();
+    let cfg = UarchConfig::skylake();
+
+    let mut direct = OooCore::new(&cfg);
+    for op in &ops {
+        direct.op(*op);
+    }
+    let direct_stats = direct.finish();
+
+    let mut trace = TraceBuffer::with_capacity(ops.len());
+    for op in &ops {
+        trace.op(*op);
+    }
+    let replay_stats = trace.simulate_ooo(&cfg);
+
+    assert_eq!(direct_stats.cycles, replay_stats.cycles);
+    assert_eq!(direct_stats.instructions, replay_stats.instructions);
+    assert_eq!(direct_stats.llc.misses, replay_stats.llc.misses);
+}
+
+#[test]
+fn larger_llc_never_hurts_a_fixed_trace() {
+    let mut trace = TraceBuffer::new();
+    // Mixed working set around 4 MB.
+    for i in 0..120_000u64 {
+        trace.op(mk_load(i, 0x5_0000_0000 + (i * 640) % (4 << 20)));
+    }
+    let mut last = u64::MAX;
+    for llc in [256u64 << 10, 1 << 20, 4 << 20, 16 << 20] {
+        let cfg = UarchConfig::skylake().with_llc_size(llc);
+        let cycles = trace.simulate_ooo(&cfg).cycles;
+        assert!(
+            cycles <= last + last / 50,
+            "LLC {llc} made things worse: {cycles} vs {last}"
+        );
+        last = cycles;
+    }
+}

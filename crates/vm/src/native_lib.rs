@@ -1,0 +1,1016 @@
+//! Heavyweight native modules: JSON, pickle, regular expressions,
+//! checksums and compression.
+//!
+//! These are the analogs of the C extension modules that dominate the
+//! paper's `pickle`, `pickle_dict`, `pickle_list`, `unpickle`, `json_*`,
+//! and `regex_*` benchmarks (>64% of their time is spent in C library
+//! code). The implementations are real — they parse, serialize, match and
+//! hash actual guest data — and their costs are emitted per character /
+//! per node with internal C-helper calls, so the *C function call overhead
+//! inside library code* reported in §IV-C.1 is reproduced.
+
+use crate::native::NativeFn;
+use crate::object::{ObjKind, ObjRef};
+use crate::vm::{Vm, VmError};
+use qoa_model::OpSink;
+use std::rc::Rc;
+
+impl<S: OpSink> Vm<S> {
+    pub(crate) fn native_lib_body(
+        &mut self,
+        f: NativeFn,
+        args: &[ObjRef],
+    ) -> Result<ObjRef, VmError> {
+        match f {
+            NativeFn::JsonDumps => {
+                let [root] = args else {
+                    return Err(self.err_here("TypeError: json_dumps(obj)"));
+                };
+                let mut out = String::new();
+                self.serialize_json(*root, &mut out, 0)?;
+                let r = self.alloc_obj(ObjKind::Str(Rc::from(out.as_str())));
+                let ra = self.obj_addr(r) + 48;
+                for i in 0..(out.len() as u64 / 8).min(2048) {
+                    self.lib_store(40, ra + i * 8);
+                }
+                Ok(r)
+            }
+            NativeFn::JsonLoads => {
+                let [src] = args else {
+                    return Err(self.err_here("TypeError: json_loads(text)"));
+                };
+                let text = self.need_str(*src)?;
+                let base = self.obj_addr(*src) + 48;
+                let mut p = JsonParser { text: text.as_bytes(), pos: 0 };
+                let v = self.parse_json(&mut p, base)?;
+                p.skip_ws();
+                if p.pos != p.text.len() {
+                    self.decref(v);
+                    return Err(self.err_here("ValueError: trailing JSON data"));
+                }
+                Ok(v)
+            }
+            NativeFn::PickleDumps => {
+                let [root] = args else {
+                    return Err(self.err_here("TypeError: pickle_dumps(obj)"));
+                };
+                let mut out = String::new();
+                self.serialize_pickle(*root, &mut out, 0)?;
+                let r = self.alloc_obj(ObjKind::Str(Rc::from(out.as_str())));
+                let ra = self.obj_addr(r) + 48;
+                for i in 0..(out.len() as u64 / 8).min(2048) {
+                    self.lib_store(44, ra + i * 8);
+                }
+                Ok(r)
+            }
+            NativeFn::PickleLoads => {
+                let [src] = args else {
+                    return Err(self.err_here("TypeError: pickle_loads(text)"));
+                };
+                let text = self.need_str(*src)?;
+                let base = self.obj_addr(*src) + 48;
+                let mut p = JsonParser { text: text.as_bytes(), pos: 0 };
+                let v = self.parse_pickle(&mut p, base)?;
+                Ok(v)
+            }
+            NativeFn::ReSearch | NativeFn::ReMatch => {
+                let [pat, text] = args else {
+                    return Err(self.err_here("TypeError: re_search(pattern, text)"));
+                };
+                let pat = self.need_str(*pat)?;
+                let text = self.need_str(*text)?;
+                let base = self.obj_addr(args[1]) + 48;
+                let prog = Regex::compile(&pat)
+                    .map_err(|m| self.err_here(format!("ValueError: bad regex: {m}")))?;
+                self.lib_call(48, NativeFn::ReSearch);
+                let found = if f == NativeFn::ReMatch {
+                    let (hit, cost) = prog.match_at(text.as_bytes(), 0);
+                    self.emit_regex_cost(base, cost);
+                    hit.is_some()
+                } else {
+                    let (hit, cost) = prog.search(text.as_bytes());
+                    self.emit_regex_cost(base, cost);
+                    hit.is_some()
+                };
+                self.lib_ret(52);
+                let b = self.bool_ref(found);
+                self.incref(b);
+                Ok(b)
+            }
+            NativeFn::ReFindall => {
+                let [pat, text] = args else {
+                    return Err(self.err_here("TypeError: re_findall(pattern, text)"));
+                };
+                let pat = self.need_str(*pat)?;
+                let text = self.need_str(*text)?;
+                let base = self.obj_addr(args[1]) + 48;
+                let prog = Regex::compile(&pat)
+                    .map_err(|m| self.err_here(format!("ValueError: bad regex: {m}")))?;
+                self.lib_call(48, NativeFn::ReFindall);
+                let bytes = text.as_bytes();
+                let mut pos = 0;
+                let mark = self.scratch.len();
+                let mut count = 0usize;
+                while pos <= bytes.len() && count < 100_000 {
+                    let (hit, cost) = prog.match_at(bytes, pos);
+                    self.emit_regex_cost(base + pos as u64, cost);
+                    match hit {
+                        Some(end) if end > pos => {
+                            let m: Rc<str> = Rc::from(&text[pos..end]);
+                            let o = self.alloc_obj(ObjKind::Str(m));
+                            self.scratch.push(o);
+                            count += 1;
+                            pos = end;
+                        }
+                        Some(_) => pos += 1,
+                        None => pos += 1,
+                    }
+                }
+                let items: Vec<ObjRef> = self.scratch[mark..].to_vec();
+                let n = items.len();
+                let list = self.alloc_obj(ObjKind::List(items));
+                self.scratch.truncate(mark);
+                self.attach_list_buffer(list, n);
+                self.lib_ret(52);
+                Ok(list)
+            }
+            NativeFn::Crc32 => {
+                let [src] = args else { return Err(self.err_here("TypeError: crc32(text)")) };
+                let text = self.need_str(*src)?;
+                let base = self.obj_addr(*src) + 48;
+                let mut crc: u32 = 0xFFFF_FFFF;
+                for (i, &b) in text.as_bytes().iter().enumerate() {
+                    if i % 8 == 0 {
+                        self.lib_load(56, base + i as u64);
+                    }
+                    self.lib_work(57, 2);
+                    crc ^= b as u32;
+                    for _ in 0..8 {
+                        crc = (crc >> 1) ^ (0xEDB8_8320 & (0u32.wrapping_sub(crc & 1)));
+                    }
+                }
+                Ok(self.make_int((crc ^ 0xFFFF_FFFF) as i64))
+            }
+            NativeFn::Md5 => {
+                let [src] = args else { return Err(self.err_here("TypeError: md5(text)")) };
+                let text = self.need_str(*src)?;
+                let base = self.obj_addr(*src) + 48;
+                // A real (if abbreviated) Merkle–Damgård mix over the bytes.
+                let mut h: u64 = 0x6745_2301_EFCD_AB89;
+                for (i, &b) in text.as_bytes().iter().enumerate() {
+                    if i % 8 == 0 {
+                        self.lib_load(60, base + i as u64);
+                    }
+                    self.lib_work(61, 4);
+                    h = h.rotate_left(7) ^ (b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    h = h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                }
+                Ok(self.make_int((h & 0x7FFF_FFFF_FFFF_FFFF) as i64))
+            }
+            NativeFn::Compress => {
+                let [src] = args else {
+                    return Err(self.err_here("TypeError: compress(text)"));
+                };
+                let text = self.need_str(*src)?;
+                let base = self.obj_addr(*src) + 48;
+                // Run-length encoding with a small match window — the
+                // zlib/pyflate analog.
+                let bytes = text.as_bytes();
+                let mut out = String::new();
+                let mut i = 0;
+                while i < bytes.len() {
+                    if i % 8 == 0 {
+                        self.lib_load(64, base + i as u64);
+                    }
+                    self.lib_work(65, 8);
+                    self.lib_load(67, base + (i as u64 / 16) * 8);
+                    let c = bytes[i];
+                    let mut run = 1;
+                    while i + run < bytes.len() && bytes[i + run] == c && run < 255 {
+                        run += 1;
+                        self.lib_work(66, 1);
+                    }
+                    if run > 3 {
+                        out.push('~');
+                        out.push_str(&run.to_string());
+                        out.push(c as char);
+                        i += run;
+                    } else {
+                        out.push(c as char);
+                        i += 1;
+                    }
+                }
+                Ok(self.alloc_obj(ObjKind::Str(Rc::from(out.as_str()))))
+            }
+            other => Err(self.err_here(format!("internal: unrouted lib native {other:?}"))),
+        }
+    }
+
+    fn emit_regex_cost(&mut self, base: u64, steps: u64) {
+        for i in 0..steps.min(65536) {
+            if i % 4 == 0 {
+                self.lib_load(50, base + i / 4 * 8);
+            }
+            self.lib_work(51, 2);
+        }
+    }
+
+    // ---- JSON ------------------------------------------------------------------
+
+    fn serialize_json(
+        &mut self,
+        r: ObjRef,
+        out: &mut String,
+        depth: usize,
+    ) -> Result<(), VmError> {
+        if depth > 64 {
+            return Err(self.err_here("ValueError: JSON structure too deep"));
+        }
+        // Per-node helper call inside the library (type dispatch, memo
+        // probe, buffer management).
+        self.lib_call(30, NativeFn::JsonDumps);
+        let addr = self.obj_addr(r);
+        self.lib_load(31, addr);
+        self.lib_load(37, addr + 8);
+        self.lib_load(29, addr + 16);
+        self.lib_work(35, 44);
+        match self.kind(r).clone() {
+            ObjKind::None => out.push_str("null"),
+            ObjKind::Bool(true) => out.push_str("true"),
+            ObjKind::Bool(false) => out.push_str("false"),
+            ObjKind::Int(v) => {
+                self.lib_work(32, 3);
+                out.push_str(&v.to_string());
+            }
+            ObjKind::Float(v) => {
+                self.lib_work(32, 6);
+                out.push_str(&format!("{v}"));
+            }
+            ObjKind::Str(s) => {
+                self.lib_work(32, (s.len() as u32 * 2).min(4096));
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            ObjKind::List(items) => {
+                out.push('[');
+                for (i, &item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.serialize_json(item, out, depth + 1)?;
+                }
+                out.push(']');
+            }
+            ObjKind::Tuple(items) => {
+                out.push('[');
+                for (i, &item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.serialize_json(item, out, depth + 1)?;
+                }
+                out.push(']');
+            }
+            ObjKind::Dict(_) => {
+                out.push('{');
+                for (i, (k, v)) in self.dict_pairs(r).into_iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let key = self.display_string(k);
+                    self.lib_work(33, (key.len() as u32).min(64));
+                    out.push('"');
+                    out.push_str(&key);
+                    out.push_str("\":");
+                    self.serialize_json(v, out, depth + 1)?;
+                }
+                out.push('}');
+            }
+            other => {
+                return Err(self.err_here(format!(
+                    "TypeError: '{}' is not JSON serializable",
+                    other.type_name()
+                )))
+            }
+        }
+        self.lib_ret(36);
+        Ok(())
+    }
+
+    fn parse_json(&mut self, p: &mut JsonParser<'_>, base: u64) -> Result<ObjRef, VmError> {
+        p.skip_ws();
+        // Per-token costs: a load per 8 consumed bytes, alu per token.
+        self.lib_load(34, base + (p.pos as u64 / 8) * 8);
+        self.lib_work(35, 40);
+        match p.peek() {
+            Some(b'n') => {
+                p.expect_word(b"null").map_err(|m| self.err_here(m))?;
+                let n = self.none();
+                self.incref(n);
+                Ok(n)
+            }
+            Some(b't') => {
+                p.expect_word(b"true").map_err(|m| self.err_here(m))?;
+                let b = self.bool_ref(true);
+                self.incref(b);
+                Ok(b)
+            }
+            Some(b'f') => {
+                p.expect_word(b"false").map_err(|m| self.err_here(m))?;
+                let b = self.bool_ref(false);
+                self.incref(b);
+                Ok(b)
+            }
+            Some(b'"') => {
+                let s = p.parse_string().map_err(|m| self.err_here(m))?;
+                self.lib_work(36, (s.len() as u32 * 2).min(4096));
+                Ok(self.alloc_obj(ObjKind::Str(Rc::from(s.as_str()))))
+            }
+            Some(b'[') => {
+                p.pos += 1;
+                let mark = self.scratch.len();
+                p.skip_ws();
+                if p.peek() == Some(b']') {
+                    p.pos += 1;
+                } else {
+                    loop {
+                        let v = self.parse_json(p, base)?;
+                        self.scratch.push(v);
+                        p.skip_ws();
+                        match p.next() {
+                            Some(b',') => continue,
+                            Some(b']') => break,
+                            _ => return Err(self.err_here("ValueError: expected ',' or ']'")),
+                        }
+                    }
+                }
+                let items: Vec<ObjRef> = self.scratch[mark..].to_vec();
+                let n = items.len();
+                let list = self.alloc_obj(ObjKind::List(items));
+                self.scratch.truncate(mark);
+                self.attach_list_buffer(list, n);
+                Ok(list)
+            }
+            Some(b'{') => {
+                p.pos += 1;
+                let d = self.alloc_obj(ObjKind::Dict(crate::dict::DictObj::new()));
+                self.scratch.push(d);
+                self.attach_dict_buffer(d);
+                p.skip_ws();
+                if p.peek() == Some(b'}') {
+                    p.pos += 1;
+                } else {
+                    loop {
+                        p.skip_ws();
+                        let key_s = p.parse_string().map_err(|m| self.err_here(m))?;
+                        p.skip_ws();
+                        if p.next() != Some(b':') {
+                            return Err(self.err_here("ValueError: expected ':'"));
+                        }
+                        let key_obj = self.alloc_obj(ObjKind::Str(Rc::from(key_s.as_str())));
+                        self.scratch.push(key_obj);
+                        let v = self.parse_json(p, base)?;
+                        self.dict_insert(
+                            d,
+                            crate::dict::Key::Str(Rc::from(key_s.as_str())),
+                            key_obj,
+                            v,
+                            qoa_model::Category::CLibrary,
+                        )?;
+                        // The dict now owns the key; drop our scratch ref.
+                        self.scratch.pop();
+                        self.decref(key_obj);
+                        p.skip_ws();
+                        match p.next() {
+                            Some(b',') => continue,
+                            Some(b'}') => break,
+                            _ => return Err(self.err_here("ValueError: expected ',' or '}'")),
+                        }
+                    }
+                }
+                self.scratch.pop();
+                Ok(d)
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let (text, is_float) = p.parse_number().map_err(|m| self.err_here(m))?;
+                self.lib_work(36, (text.len() as u32 * 6 + 10).min(256));
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| self.err_here("ValueError: bad JSON number"))?;
+                    Ok(self.make_float(v))
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| self.err_here("ValueError: bad JSON number"))?;
+                    Ok(self.make_int(v))
+                }
+            }
+            _ => Err(self.err_here("ValueError: unexpected JSON input")),
+        }
+    }
+
+    // ---- pickle (a compact typed text format) -----------------------------------
+
+    fn serialize_pickle(
+        &mut self,
+        r: ObjRef,
+        out: &mut String,
+        depth: usize,
+    ) -> Result<(), VmError> {
+        if depth > 64 {
+            return Err(self.err_here("ValueError: pickle structure too deep"));
+        }
+        self.lib_call(38, NativeFn::PickleDumps);
+        self.lib_load(39, self.obj_addr(r));
+        self.lib_load(46, self.obj_addr(r) + 8);
+        self.lib_load(45, self.obj_addr(r) + 16);
+        self.lib_work(47, 44);
+        match self.kind(r).clone() {
+            ObjKind::None => out.push('N'),
+            ObjKind::Bool(b) => out.push(if b { 'T' } else { 'F' }),
+            ObjKind::Int(v) => {
+                self.lib_work(40, 3);
+                out.push('I');
+                out.push_str(&v.to_string());
+                out.push(';');
+            }
+            ObjKind::Float(v) => {
+                self.lib_work(40, 5);
+                out.push('D');
+                out.push_str(&format!("{:?}", v));
+                out.push(';');
+            }
+            ObjKind::Str(s) => {
+                self.lib_work(40, (s.len() as u32 * 2).min(4096));
+                out.push('S');
+                out.push_str(&s.len().to_string());
+                out.push(':');
+                out.push_str(&s);
+            }
+            ObjKind::List(items) => {
+                out.push('L');
+                out.push_str(&items.len().to_string());
+                out.push(':');
+                for &i in &items {
+                    self.serialize_pickle(i, out, depth + 1)?;
+                }
+            }
+            ObjKind::Tuple(items) => {
+                out.push('U');
+                out.push_str(&items.len().to_string());
+                out.push(':');
+                for &i in items.iter() {
+                    self.serialize_pickle(i, out, depth + 1)?;
+                }
+            }
+            ObjKind::Dict(_) => {
+                let pairs = self.dict_pairs(r);
+                out.push('M');
+                out.push_str(&pairs.len().to_string());
+                out.push(':');
+                for (k, v) in pairs {
+                    self.serialize_pickle(k, out, depth + 1)?;
+                    self.serialize_pickle(v, out, depth + 1)?;
+                }
+            }
+            other => {
+                return Err(self.err_here(format!(
+                    "TypeError: cannot pickle '{}'",
+                    other.type_name()
+                )))
+            }
+        }
+        self.lib_ret(42);
+        Ok(())
+    }
+
+    fn parse_pickle(&mut self, p: &mut JsonParser<'_>, base: u64) -> Result<ObjRef, VmError> {
+        self.lib_load(43, base + (p.pos as u64 / 8) * 8);
+        self.lib_work(44, 40);
+        match p.next() {
+            Some(b'N') => {
+                let n = self.none();
+                self.incref(n);
+                Ok(n)
+            }
+            Some(b'T') => {
+                let b = self.bool_ref(true);
+                self.incref(b);
+                Ok(b)
+            }
+            Some(b'F') => {
+                let b = self.bool_ref(false);
+                self.incref(b);
+                Ok(b)
+            }
+            Some(b'I') => {
+                let text = p.take_until(b';').map_err(|m| self.err_here(m))?;
+                let v: i64 =
+                    text.parse().map_err(|_| self.err_here("ValueError: bad pickle int"))?;
+                self.lib_work(45, (text.len() as u32 * 6 + 10).min(256));
+                Ok(self.make_int(v))
+            }
+            Some(b'D') => {
+                let text = p.take_until(b';').map_err(|m| self.err_here(m))?;
+                let v: f64 =
+                    text.parse().map_err(|_| self.err_here("ValueError: bad pickle float"))?;
+                self.lib_work(45, (text.len() as u32 * 6 + 10).min(256));
+                Ok(self.make_float(v))
+            }
+            Some(b'S') => {
+                let len: usize = p
+                    .take_until(b':')
+                    .map_err(|m| self.err_here(m))?
+                    .parse()
+                    .map_err(|_| self.err_here("ValueError: bad pickle string length"))?;
+                let s = p.take_bytes(len).map_err(|m| self.err_here(m))?;
+                self.lib_work(45, (len as u32 * 2).min(4096));
+                Ok(self.alloc_obj(ObjKind::Str(Rc::from(s))))
+            }
+            Some(b'L') | Some(b'U') => {
+                let is_list = p.text[p.pos - 1] == b'L';
+                let len: usize = p
+                    .take_until(b':')
+                    .map_err(|m| self.err_here(m))?
+                    .parse()
+                    .map_err(|_| self.err_here("ValueError: bad pickle sequence length"))?;
+                let mark = self.scratch.len();
+                for _ in 0..len {
+                    let v = self.parse_pickle(p, base)?;
+                    self.scratch.push(v);
+                }
+                let items: Vec<ObjRef> = self.scratch[mark..].to_vec();
+                let r = if is_list {
+                    let n = items.len();
+                    let l = self.alloc_obj(ObjKind::List(items));
+                    self.attach_list_buffer(l, n);
+                    l
+                } else {
+                    self.alloc_obj(ObjKind::Tuple(items.into()))
+                };
+                self.scratch.truncate(mark);
+                Ok(r)
+            }
+            Some(b'M') => {
+                let len: usize = p
+                    .take_until(b':')
+                    .map_err(|m| self.err_here(m))?
+                    .parse()
+                    .map_err(|_| self.err_here("ValueError: bad pickle map length"))?;
+                let d = self.alloc_obj(ObjKind::Dict(crate::dict::DictObj::new()));
+                self.scratch.push(d);
+                self.attach_dict_buffer(d);
+                for _ in 0..len {
+                    let k = self.parse_pickle(p, base)?;
+                    self.scratch.push(k);
+                    let v = self.parse_pickle(p, base)?;
+                    let key = self
+                        .key_of(k)
+                        .map_err(|m| self.err_here(format!("TypeError: {m}")))?;
+                    self.dict_insert(d, key, k, v, qoa_model::Category::CLibrary)?;
+                    self.scratch.pop();
+                    self.decref(k);
+                }
+                self.scratch.pop();
+                Ok(d)
+            }
+            _ => Err(self.err_here("ValueError: bad pickle data")),
+        }
+    }
+}
+
+// ---- cursor ---------------------------------------------------------------------
+
+struct JsonParser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_word(&mut self, w: &[u8]) -> Result<(), String> {
+        if self.text[self.pos..].starts_with(w) {
+            self.pos += w.len();
+            Ok(())
+        } else {
+            Err("ValueError: bad JSON literal".into())
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        if self.next() != Some(b'"') {
+            return Err("ValueError: expected string".into());
+        }
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(c) => out.push(c as char),
+                    None => return Err("ValueError: unterminated escape".into()),
+                },
+                Some(c) => out.push(c as char),
+                None => return Err("ValueError: unterminated string".into()),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<(String, bool), String> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.pos == start {
+            return Err("ValueError: expected number".into());
+        }
+        Ok((
+            String::from_utf8_lossy(&self.text[start..self.pos]).into_owned(),
+            is_float,
+        ))
+    }
+
+    fn take_until(&mut self, delim: u8) -> Result<String, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == delim {
+                let s = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("ValueError: unterminated field".into())
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a str, String> {
+        if self.pos + n > self.text.len() {
+            return Err("ValueError: truncated data".into());
+        }
+        let s = std::str::from_utf8(&self.text[self.pos..self.pos + n])
+            .map_err(|_| "ValueError: invalid utf-8".to_string())?;
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+// ---- regex ------------------------------------------------------------------------
+
+/// One element of a compiled pattern.
+#[derive(Debug, Clone)]
+enum Piece {
+    Lit(u8),
+    Any,
+    Class { negated: bool, ranges: Vec<(u8, u8)> },
+    Start,
+    End,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Rep {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+/// A small backtracking regular-expression engine: literals, `.`,
+/// character classes, anchors, and `* + ?` repetition, with `|`
+/// alternation at the top level.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    alternatives: Vec<Vec<(Piece, Rep)>>,
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn compile(pattern: &str) -> Result<Regex, String> {
+        let mut alternatives = Vec::new();
+        for alt in split_alternatives(pattern.as_bytes()) {
+            let mut seq = Vec::new();
+            let bytes = alt;
+            let mut i = 0;
+            while i < bytes.len() {
+                let piece = match bytes[i] {
+                    b'.' => {
+                        i += 1;
+                        Piece::Any
+                    }
+                    b'^' => {
+                        i += 1;
+                        Piece::Start
+                    }
+                    b'$' => {
+                        i += 1;
+                        Piece::End
+                    }
+                    b'[' => {
+                        i += 1;
+                        let negated = bytes.get(i) == Some(&b'^');
+                        if negated {
+                            i += 1;
+                        }
+                        let mut ranges = Vec::new();
+                        while i < bytes.len() && bytes[i] != b']' {
+                            let lo = bytes[i];
+                            if bytes.get(i + 1) == Some(&b'-')
+                                && i + 2 < bytes.len()
+                                && bytes[i + 2] != b']'
+                            {
+                                ranges.push((lo, bytes[i + 2]));
+                                i += 3;
+                            } else {
+                                ranges.push((lo, lo));
+                                i += 1;
+                            }
+                        }
+                        if i >= bytes.len() {
+                            return Err("unterminated character class".into());
+                        }
+                        i += 1; // ']'
+                        Piece::Class { negated, ranges }
+                    }
+                    b'\\' => {
+                        i += 1;
+                        let Some(&c) = bytes.get(i) else {
+                            return Err("trailing backslash".into());
+                        };
+                        i += 1;
+                        match c {
+                            b'd' => Piece::Class { negated: false, ranges: vec![(b'0', b'9')] },
+                            b'w' => Piece::Class {
+                                negated: false,
+                                ranges: vec![(b'a', b'z'), (b'A', b'Z'), (b'0', b'9'), (b'_', b'_')],
+                            },
+                            b's' => Piece::Class {
+                                negated: false,
+                                ranges: vec![(b' ', b' '), (b'\t', b'\t'), (b'\n', b'\n')],
+                            },
+                            c => Piece::Lit(c),
+                        }
+                    }
+                    b'*' | b'+' | b'?' => return Err("dangling repetition".into()),
+                    c => {
+                        i += 1;
+                        Piece::Lit(c)
+                    }
+                };
+                let rep = match bytes.get(i) {
+                    Some(b'*') => {
+                        i += 1;
+                        Rep::Star
+                    }
+                    Some(b'+') => {
+                        i += 1;
+                        Rep::Plus
+                    }
+                    Some(b'?') => {
+                        i += 1;
+                        Rep::Opt
+                    }
+                    _ => Rep::One,
+                };
+                seq.push((piece, rep));
+            }
+            alternatives.push(seq);
+        }
+        Ok(Regex { alternatives })
+    }
+
+    /// Tries to match at `start`; returns (end offset on success, steps).
+    pub fn match_at(&self, text: &[u8], start: usize) -> (Option<usize>, u64) {
+        let mut steps = 0;
+        for alt in &self.alternatives {
+            if let Some(end) = match_seq(alt, text, start, 0, &mut steps) {
+                return (Some(end), steps);
+            }
+        }
+        (None, steps)
+    }
+
+    /// Searches the whole text; returns (match start on success, steps).
+    pub fn search(&self, text: &[u8]) -> (Option<usize>, u64) {
+        let mut total = 0;
+        for start in 0..=text.len() {
+            let (hit, steps) = self.match_at(text, start);
+            total += steps;
+            if hit.is_some() {
+                return (Some(start), total);
+            }
+        }
+        (None, total)
+    }
+}
+
+fn split_alternatives(pattern: &[u8]) -> Vec<&[u8]> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut depth = 0;
+    for (i, &c) in pattern.iter().enumerate() {
+        match c {
+            b'[' => depth += 1,
+            b']' => depth -= 1,
+            b'|' if depth == 0 => {
+                parts.push(&pattern[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&pattern[start..]);
+    parts
+}
+
+fn piece_matches(piece: &Piece, text: &[u8], pos: usize) -> bool {
+    match piece {
+        Piece::Lit(c) => text.get(pos) == Some(c),
+        Piece::Any => pos < text.len(),
+        Piece::Class { negated, ranges } => match text.get(pos) {
+            Some(&b) => {
+                let inside = ranges.iter().any(|&(lo, hi)| b >= lo && b <= hi);
+                inside != *negated
+            }
+            None => false,
+        },
+        Piece::Start | Piece::End => unreachable!("anchors handled in match_seq"),
+    }
+}
+
+fn match_seq(
+    seq: &[(Piece, Rep)],
+    text: &[u8],
+    pos: usize,
+    idx: usize,
+    steps: &mut u64,
+) -> Option<usize> {
+    *steps += 1;
+    if *steps > 1_000_000 {
+        return None; // backtracking fuse
+    }
+    let Some((piece, rep)) = seq.get(idx) else {
+        return Some(pos);
+    };
+    match piece {
+        Piece::Start => {
+            if pos == 0 {
+                match_seq(seq, text, pos, idx + 1, steps)
+            } else {
+                None
+            }
+        }
+        Piece::End => {
+            if pos == text.len() {
+                match_seq(seq, text, pos, idx + 1, steps)
+            } else {
+                None
+            }
+        }
+        _ => match rep {
+            Rep::One => {
+                if piece_matches(piece, text, pos) {
+                    match_seq(seq, text, pos + 1, idx + 1, steps)
+                } else {
+                    None
+                }
+            }
+            Rep::Opt => {
+                if piece_matches(piece, text, pos) {
+                    if let Some(end) = match_seq(seq, text, pos + 1, idx + 1, steps) {
+                        return Some(end);
+                    }
+                }
+                match_seq(seq, text, pos, idx + 1, steps)
+            }
+            Rep::Star | Rep::Plus => {
+                let min = if *rep == Rep::Plus { 1 } else { 0 };
+                // Greedy: consume as much as possible, then backtrack.
+                let mut count = 0;
+                while piece_matches(piece, text, pos + count) {
+                    count += 1;
+                    *steps += 1;
+                }
+                while count + 1 > min {
+                    if let Some(end) = match_seq(seq, text, pos + count, idx + 1, steps) {
+                        return Some(end);
+                    }
+                    if count == 0 {
+                        break;
+                    }
+                    count -= 1;
+                }
+                if min == 0 {
+                    match_seq(seq, text, pos, idx + 1, steps)
+                } else {
+                    None
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_match(pat: &str, text: &str) -> bool {
+        let r = Regex::compile(pat).expect("compile");
+        r.search(text.as_bytes()).0.is_some()
+    }
+
+    #[test]
+    fn literals_and_any() {
+        assert!(is_match("abc", "xxabcxx"));
+        assert!(!is_match("abc", "ab"));
+        assert!(is_match("a.c", "azc"));
+        assert!(!is_match("a.c", "ac"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(is_match("[abc]+", "bcbcb"));
+        assert!(!is_match("[abc]", "xyz"));
+        assert!(is_match("[a-f]+", "deadbeef"));
+        assert!(is_match("[^0-9]", "a1"));
+        assert!(!is_match("[^0-9]+$", "123"));
+        assert!(is_match("\\d+", "x42"));
+        assert!(is_match("\\w+", "hello_1"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(is_match("ab*c", "ac"));
+        assert!(is_match("ab*c", "abbbc"));
+        assert!(is_match("ab+c", "abc"));
+        assert!(!is_match("ab+c", "ac"));
+        assert!(is_match("ab?c", "ac"));
+        assert!(is_match("ab?c", "abc"));
+    }
+
+    #[test]
+    fn anchors_and_alternation() {
+        assert!(is_match("^abc", "abcdef"));
+        assert!(!is_match("^abc", "xabc"));
+        assert!(is_match("def$", "abcdef"));
+        assert!(!is_match("def$", "defabc"));
+        assert!(is_match("cat|dog", "hotdog"));
+        assert!(!is_match("cat|dog", "bird"));
+    }
+
+    #[test]
+    fn match_at_returns_end() {
+        let r = Regex::compile("ab+").expect("compile");
+        let (end, _) = r.match_at(b"abbbz", 0);
+        assert_eq!(end, Some(4));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::compile("*a").is_err());
+        assert!(Regex::compile("[abc").is_err());
+        assert!(Regex::compile("a\\").is_err());
+    }
+}

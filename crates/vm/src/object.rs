@@ -1,0 +1,294 @@
+//! The guest object model.
+//!
+//! Every guest value is a heap object identified by an [`ObjRef`] into the
+//! VM's object table (slab). This mirrors CPython, where even integers are
+//! boxed `PyObject`s — the *boxing/unboxing* and *object allocation*
+//! overheads of Table II exist precisely because of this representation.
+//! The slab index doubles as the [`qoa_heap::ObjId`] under which the
+//! object's simulated address is tracked, so the cache hierarchy sees every
+//! object the guest program touches.
+
+use qoa_frontend::CodeObject;
+use std::rc::Rc;
+
+use crate::dict::DictObj;
+
+/// Reference to a guest object (index into the VM slab).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub u32);
+
+impl ObjRef {
+    /// Dense index of the object.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The heap identity of the object.
+    pub fn obj_id(self) -> qoa_heap::ObjId {
+        qoa_heap::ObjId(self.0)
+    }
+}
+
+/// Identifier of a native ("C extension") function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NativeId(pub u16);
+
+/// A guest function object.
+#[derive(Debug, Clone)]
+pub struct FuncObj {
+    /// The compiled body.
+    pub code: Rc<CodeObject>,
+    /// Default values for trailing parameters.
+    pub defaults: Vec<ObjRef>,
+}
+
+/// A guest class object.
+#[derive(Debug, Clone)]
+pub struct ClassObj {
+    /// Class name.
+    pub name: Rc<str>,
+    /// Namespace dict object (methods and class attributes).
+    pub dict: ObjRef,
+    /// Optional base class.
+    pub base: Option<ObjRef>,
+}
+
+/// Iterator state for the `for` protocol.
+#[derive(Debug, Clone)]
+pub enum IterState {
+    /// Iterating a list or tuple by index.
+    Seq {
+        /// The sequence object.
+        seq: ObjRef,
+        /// Next index.
+        index: usize,
+    },
+    /// Iterating an arithmetic range.
+    Range {
+        /// Next value.
+        next: i64,
+        /// Exclusive stop.
+        stop: i64,
+        /// Step (non-zero).
+        step: i64,
+    },
+    /// Iterating the characters of a string.
+    Str {
+        /// The string object.
+        s: ObjRef,
+        /// Next character index.
+        index: usize,
+    },
+    /// Iterating a snapshot of a dict's keys.
+    Keys {
+        /// Snapshotted keys.
+        keys: Rc<[ObjRef]>,
+        /// Next index.
+        index: usize,
+    },
+}
+
+/// The kind and payload of a guest object.
+#[derive(Debug, Clone)]
+pub enum ObjKind {
+    /// `None`.
+    None,
+    /// Boolean.
+    Bool(bool),
+    /// Machine integer (the guest's `int`; overflow is checked).
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Mutable list.
+    List(Vec<ObjRef>),
+    /// Immutable tuple.
+    Tuple(Rc<[ObjRef]>),
+    /// Hash map.
+    Dict(DictObj),
+    /// `range(start, stop, step)` object.
+    Range {
+        /// Inclusive start.
+        start: i64,
+        /// Exclusive stop.
+        stop: i64,
+        /// Non-zero step.
+        step: i64,
+    },
+    /// Slice object built by `BUILD_SLICE`.
+    Slice {
+        /// Lower bound (`None` object when open).
+        lo: ObjRef,
+        /// Upper bound (`None` object when open).
+        hi: ObjRef,
+    },
+    /// Guest function.
+    Func(FuncObj),
+    /// Native library function.
+    Native(NativeId),
+    /// Method bound to a receiver.
+    BoundMethod {
+        /// The underlying function (guest or native).
+        func: ObjRef,
+        /// The receiver (`self`).
+        recv: ObjRef,
+    },
+    /// Class object.
+    Class(ClassObj),
+    /// Class instance: its attribute dict.
+    Instance {
+        /// The instance's class.
+        class: ObjRef,
+        /// Attribute dict object.
+        dict: ObjRef,
+    },
+    /// Iterator.
+    Iter(IterState),
+    /// Hidden backing buffer for a list/dict (cache-visible capacity).
+    Buffer {
+        /// Capacity in bytes.
+        bytes: u64,
+    },
+    /// A code object constant (operand of `MAKE_FUNCTION`).
+    Code(Rc<CodeObject>),
+}
+
+impl ObjKind {
+    /// The guest-visible type name (used in error messages and guards).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ObjKind::None => "NoneType",
+            ObjKind::Bool(_) => "bool",
+            ObjKind::Int(_) => "int",
+            ObjKind::Float(_) => "float",
+            ObjKind::Str(_) => "str",
+            ObjKind::List(_) => "list",
+            ObjKind::Tuple(_) => "tuple",
+            ObjKind::Dict(_) => "dict",
+            ObjKind::Range { .. } => "range",
+            ObjKind::Slice { .. } => "slice",
+            ObjKind::Func(_) => "function",
+            ObjKind::Native(_) => "builtin_function",
+            ObjKind::BoundMethod { .. } => "bound_method",
+            ObjKind::Class(_) => "type",
+            ObjKind::Instance { .. } => "instance",
+            ObjKind::Iter(_) => "iterator",
+            ObjKind::Buffer { .. } => "buffer",
+            ObjKind::Code(_) => "code",
+        }
+    }
+
+    /// Nominal heap size of an object of this kind (header + inline
+    /// payload), used for simulated allocation. Variable-size payloads
+    /// (list/dict storage, string bytes) live in separate buffers.
+    pub fn heap_size(&self) -> u64 {
+        match self {
+            ObjKind::None | ObjKind::Bool(_) => 16,
+            ObjKind::Int(_) => 24,
+            ObjKind::Float(_) => 24,
+            ObjKind::Str(s) => 48 + s.len() as u64,
+            ObjKind::List(_) => 56,
+            ObjKind::Tuple(items) => 40 + 8 * items.len() as u64,
+            ObjKind::Dict(_) => 64,
+            ObjKind::Range { .. } => 48,
+            ObjKind::Slice { .. } => 40,
+            ObjKind::Func(f) => 96 + 8 * f.defaults.len() as u64,
+            ObjKind::Native(_) => 56,
+            ObjKind::BoundMethod { .. } => 40,
+            ObjKind::Class(_) => 112,
+            ObjKind::Instance { .. } => 40,
+            ObjKind::Iter(_) => 48,
+            ObjKind::Buffer { bytes } => *bytes,
+            ObjKind::Code(_) => 128,
+        }
+    }
+
+    /// Guest truthiness.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            ObjKind::None => false,
+            ObjKind::Bool(b) => *b,
+            ObjKind::Int(v) => *v != 0,
+            ObjKind::Float(v) => *v != 0.0,
+            ObjKind::Str(s) => !s.is_empty(),
+            ObjKind::List(v) => !v.is_empty(),
+            ObjKind::Tuple(v) => !v.is_empty(),
+            ObjKind::Dict(d) => d.len() > 0,
+            ObjKind::Range { start, stop, step } => {
+                if *step > 0 {
+                    start < stop
+                } else {
+                    start > stop
+                }
+            }
+            _ => true,
+        }
+    }
+}
+
+/// A slab entry: the object plus run-time bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Obj {
+    /// Payload.
+    pub kind: ObjKind,
+    /// CPython-mode reference count (unused under the generational GC).
+    pub refcount: u32,
+    /// Immortal objects (singletons, interned ints/strings) are never
+    /// collected and live at static addresses.
+    pub immortal: bool,
+    /// Static address for immortal objects.
+    pub static_addr: u64,
+    /// Under the tracing JIT, numeric temporaries can be *virtual*: not yet
+    /// allocated in the simulated heap (the trace keeps them in registers).
+    pub virtual_unboxed: bool,
+    /// Hidden companion buffer (list/dict storage), if any.
+    pub buffer: Option<ObjRef>,
+}
+
+impl Obj {
+    /// Creates a plain (mortal, non-virtual) object.
+    pub fn new(kind: ObjKind) -> Self {
+        Obj {
+            kind,
+            refcount: 1,
+            immortal: false,
+            static_addr: 0,
+            virtual_unboxed: false,
+            buffer: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_python() {
+        assert!(!ObjKind::None.is_truthy());
+        assert!(!ObjKind::Bool(false).is_truthy());
+        assert!(ObjKind::Bool(true).is_truthy());
+        assert!(!ObjKind::Int(0).is_truthy());
+        assert!(ObjKind::Int(-1).is_truthy());
+        assert!(!ObjKind::Str(Rc::from("")).is_truthy());
+        assert!(ObjKind::Str(Rc::from("x")).is_truthy());
+        assert!(!ObjKind::List(vec![]).is_truthy());
+        assert!(ObjKind::Range { start: 0, stop: 5, step: 1 }.is_truthy());
+        assert!(!ObjKind::Range { start: 5, stop: 5, step: 1 }.is_truthy());
+    }
+
+    #[test]
+    fn heap_sizes_scale_with_payload() {
+        assert!(ObjKind::Str(Rc::from("0123456789")).heap_size() > ObjKind::Str(Rc::from("")).heap_size());
+        let small = ObjKind::Tuple(Rc::from(vec![].into_boxed_slice()));
+        let big = ObjKind::Tuple(Rc::from(vec![ObjRef(0); 8].into_boxed_slice()));
+        assert!(big.heap_size() > small.heap_size());
+    }
+
+    #[test]
+    fn type_names_are_stable() {
+        assert_eq!(ObjKind::Int(1).type_name(), "int");
+        assert_eq!(ObjKind::Dict(DictObj::new()).type_name(), "dict");
+    }
+}

@@ -1,0 +1,113 @@
+//! Object-graph child enumeration, shared by the refcount cascade and the
+//! garbage collector's tracer.
+
+use crate::object::{IterState, Obj, ObjKind, ObjRef};
+
+/// Calls `f` for every guest reference held by `obj` (including its hidden
+/// backing buffer, which must live exactly as long as its owner).
+pub fn for_each_child(obj: &Obj, mut f: impl FnMut(ObjRef)) {
+    if let Some(buf) = obj.buffer {
+        f(buf);
+    }
+    match &obj.kind {
+        ObjKind::List(items) => {
+            for &r in items {
+                f(r);
+            }
+        }
+        ObjKind::Tuple(items) => {
+            for &r in items.iter() {
+                f(r);
+            }
+        }
+        ObjKind::Dict(d) => {
+            for (k, v) in d.iter() {
+                f(k);
+                f(v);
+            }
+        }
+        ObjKind::Slice { lo, hi } => {
+            f(*lo);
+            f(*hi);
+        }
+        ObjKind::Func(func) => {
+            for &d in &func.defaults {
+                f(d);
+            }
+        }
+        ObjKind::BoundMethod { func, recv } => {
+            f(*func);
+            f(*recv);
+        }
+        ObjKind::Class(c) => {
+            f(c.dict);
+            if let Some(b) = c.base {
+                f(b);
+            }
+        }
+        ObjKind::Instance { class, dict } => {
+            f(*class);
+            f(*dict);
+        }
+        ObjKind::Iter(state) => match state {
+            IterState::Seq { seq, .. } => f(*seq),
+            IterState::Str { s, .. } => f(*s),
+            IterState::Keys { keys, .. } => {
+                for &k in keys.iter() {
+                    f(k);
+                }
+            }
+            IterState::Range { .. } => {}
+        },
+        ObjKind::None
+        | ObjKind::Bool(_)
+        | ObjKind::Int(_)
+        | ObjKind::Float(_)
+        | ObjKind::Str(_)
+        | ObjKind::Range { .. }
+        | ObjKind::Native(_)
+        | ObjKind::Buffer { .. }
+        | ObjKind::Code(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::DictObj;
+
+    fn children(kind: ObjKind) -> Vec<ObjRef> {
+        let mut out = Vec::new();
+        for_each_child(&Obj::new(kind), |r| out.push(r));
+        out
+    }
+
+    #[test]
+    fn containers_report_elements() {
+        assert_eq!(children(ObjKind::List(vec![ObjRef(1), ObjRef(2)])), vec![ObjRef(1), ObjRef(2)]);
+        assert_eq!(
+            children(ObjKind::Tuple(vec![ObjRef(3)].into())),
+            vec![ObjRef(3)]
+        );
+        assert!(children(ObjKind::Int(5)).is_empty());
+    }
+
+    #[test]
+    fn dict_reports_keys_and_values() {
+        let mut d = DictObj::new();
+        let mut probes = Vec::new();
+        d.insert(crate::dict::Key::Int(1), ObjRef(10), ObjRef(11), &mut probes);
+        let cs = children(ObjKind::Dict(d));
+        assert!(cs.contains(&ObjRef(10)));
+        assert!(cs.contains(&ObjRef(11)));
+    }
+
+    #[test]
+    fn buffer_is_a_child() {
+        let mut o = Obj::new(ObjKind::List(vec![]));
+        o.buffer = Some(ObjRef(99));
+        let mut out = Vec::new();
+        for_each_child(&o, |r| out.push(r));
+        assert_eq!(out, vec![ObjRef(99)]);
+    }
+}

@@ -1,0 +1,862 @@
+//! The virtual machine core: object table, memory management, and the
+//! micro-op emission helpers shared by the interpreter and the native
+//! library.
+//!
+//! The VM executes Pyl bytecode under one of two memory managers —
+//! CPython-style reference counting ([`HeapMode::Rc`]) or the PyPy-style
+//! generational collector ([`HeapMode::Gen`]) — and under one of two *cost
+//! modes*: [`CostMode::Interp`] emits the full interpreter cost model
+//! (dispatch, stack traffic, boxing, C calls, …), while
+//! [`CostMode::Trace`] emits the residual cost of JIT-compiled code
+//! (guards, unboxed arithmetic, real C calls) with straight-line PCs in
+//! the JIT code region. The `qoa-jit` crate flips the cost mode; the
+//! semantics never change.
+
+use crate::dict::{DictObj, Key};
+use crate::native::NativeRegistry;
+use crate::object::{Obj, ObjKind, ObjRef};
+use qoa_frontend::{CodeObject, Const};
+use qoa_heap::{GcConfig, GcStats, GenHeap, ObjId, RcHeap, RcStats, Tracer};
+use qoa_model::{mem, Category, Emitter, MicroOp, OpKind, OpSink, Pc, Phase};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Base PC of the garbage collector / allocator code region.
+pub(crate) const GC_CODE_BASE: u64 = mem::INTERP_CODE_BASE + 0x3C_0000;
+
+/// Memory-management strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapMode {
+    /// CPython-style reference counting with immediate reclamation.
+    Rc,
+    /// PyPy-style generational garbage collection.
+    Gen(GcConfig),
+}
+
+/// VM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Memory manager.
+    pub heap: HeapMode,
+    /// Execution fuel: abort after this many bytecodes (0 = unlimited).
+    pub max_steps: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig { heap: HeapMode::Rc, max_steps: 0 }
+    }
+}
+
+/// Cost model in effect (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostMode {
+    /// Full interpreter cost model.
+    Interp,
+    /// JIT-compiled-trace cost model; PCs advance through the trace's
+    /// code region.
+    Trace,
+}
+
+/// A guest run-time error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    /// Description (e.g. `TypeError: ...`).
+    pub message: String,
+    /// Source line of the faulting bytecode.
+    pub line: u32,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// What one [`Vm::step`] did, from the driver's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Ordinary instruction.
+    Continue,
+    /// A backwards jump was taken (a loop iteration completed) — the
+    /// tracing JIT keys its hot-loop counters on these.
+    Backedge {
+        /// Identity of the code object (see `location`).
+        code: usize,
+        /// Bytecode index of the loop header.
+        target: usize,
+    },
+    /// The program finished.
+    Done,
+}
+
+/// A loop block on the frame's block stack.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// Bytecode index to jump to on `break`.
+    pub end: usize,
+    /// Value-stack depth to restore.
+    pub stack_depth: usize,
+}
+
+/// An activation record.
+#[derive(Debug)]
+pub struct Frame {
+    /// The executing code object.
+    pub code: Rc<CodeObject>,
+    /// Next instruction index.
+    pub pc: usize,
+    /// Fast locals (parameters first).
+    pub locals: Vec<Option<ObjRef>>,
+    /// Value stack.
+    pub stack: Vec<ObjRef>,
+    /// Loop block stack.
+    pub blocks: Vec<Block>,
+    /// Simulated frame object (None for virtualized JIT frames).
+    pub frame_obj: Option<ObjRef>,
+    /// Class-body namespace dict, when executing a class body.
+    pub class_ns: Option<ObjRef>,
+    /// The callee object that created this frame (kept as a GC root).
+    pub callee: Option<ObjRef>,
+    /// For `__init__` frames: the instance to yield instead of the return
+    /// value.
+    pub init_instance: Option<ObjRef>,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct VmStats {
+    /// Bytecodes executed.
+    pub bytecodes: u64,
+    /// Guest objects allocated.
+    pub allocations: u64,
+    /// Guest function calls.
+    pub calls: u64,
+    /// Native ("C extension") calls.
+    pub native_calls: u64,
+    /// Dict probe slots touched (name resolution pressure).
+    pub dict_probes: u64,
+    /// Reference-counting heap statistics (Rc mode).
+    pub rc: RcStats,
+    /// Generational-GC statistics (Gen mode).
+    pub gc: GcStats,
+}
+
+pub(crate) enum HeapImpl {
+    Rc(RcHeap),
+    Gen(GenHeap),
+}
+
+/// The virtual machine.
+///
+/// Generic over the micro-op sink `S`, so the same execution can be counted
+/// ([`qoa_model::CountingSink`]), captured ([`qoa_uarch::TraceBuffer`]
+/// replays) or simulated cycle-by-cycle.
+pub struct Vm<S: OpSink> {
+    pub(crate) sink: S,
+    pub(crate) cfg: VmConfig,
+    pub(crate) phase: Phase,
+    pub(crate) cost: CostMode,
+    /// Base PC of the current opcode handler (interp mode).
+    pub(crate) handler_base: u64,
+    /// Cursor through the JIT code region (trace mode).
+    pub(crate) trace_pc: u64,
+    pub(crate) slab: Vec<Obj>,
+    pub(crate) free_slots: Vec<u32>,
+    pub(crate) heap: HeapImpl,
+    pub(crate) frames: Vec<Frame>,
+    /// GC-visible temporaries (mid-instruction).
+    pub(crate) scratch: Vec<ObjRef>,
+    pub(crate) globals: ObjRef,
+    pub(crate) builtins: ObjRef,
+    none_ref: ObjRef,
+    true_ref: ObjRef,
+    false_ref: ObjRef,
+    small_ints: Vec<ObjRef>,
+    pub(crate) interned_strs: HashMap<Rc<str>, ObjRef>,
+    pub(crate) natives: NativeRegistry,
+    /// Per-code-object constant object tables and simulated co_code
+    /// addresses, keyed by code identity.
+    pub(crate) code_meta: HashMap<usize, CodeMeta>,
+    next_code_addr: u64,
+    static_bump: u64,
+    pub(crate) probes: Vec<u32>,
+    pub(crate) stats: VmStats,
+    pub(crate) steps: u64,
+    /// Modeled C-call nesting depth (for C-stack addresses).
+    pub(crate) c_depth: u32,
+    /// Captured `print` output.
+    pub(crate) output: Vec<String>,
+    /// Final value returned by the module frame.
+    pub(crate) result: Option<ObjRef>,
+    /// Category native-body emissions carry (CLibrary vs Execute).
+    pub(crate) lib_cat: Category,
+}
+
+/// Registered metadata for one code object.
+pub(crate) struct CodeMeta {
+    /// Constants realized as (immortal) guest objects.
+    pub consts: Vec<ObjRef>,
+    /// Simulated address of `co_code`.
+    pub code_addr: u64,
+    /// Simulated address of `co_consts` pointer table.
+    pub consts_addr: u64,
+}
+
+/// Identity key of a code object (Rc pointer address).
+pub(crate) fn code_key(code: &Rc<CodeObject>) -> usize {
+    Rc::as_ptr(code) as usize
+}
+
+const SMALL_INT_MIN: i64 = -5;
+const SMALL_INT_MAX: i64 = 256;
+
+impl<S: OpSink> Vm<S> {
+    /// Creates a VM with the given configuration and sink.
+    pub fn new(cfg: VmConfig, sink: S) -> Self {
+        let heap = match cfg.heap {
+            HeapMode::Rc => HeapImpl::Rc(RcHeap::new()),
+            HeapMode::Gen(gc) => HeapImpl::Gen(GenHeap::new(gc)),
+        };
+        let mut vm = Vm {
+            sink,
+            cfg,
+            phase: Phase::Interpreter,
+            cost: CostMode::Interp,
+            handler_base: mem::INTERP_CODE_BASE,
+            trace_pc: mem::JIT_CODE_BASE,
+            slab: Vec::with_capacity(1024),
+            free_slots: Vec::new(),
+            heap,
+            frames: Vec::new(),
+            scratch: Vec::new(),
+            globals: ObjRef(0),
+            builtins: ObjRef(0),
+            none_ref: ObjRef(0),
+            true_ref: ObjRef(0),
+            false_ref: ObjRef(0),
+            small_ints: Vec::new(),
+            interned_strs: HashMap::new(),
+            natives: NativeRegistry::new(),
+            code_meta: HashMap::new(),
+            next_code_addr: mem::STATIC_DATA_BASE + 0x10_0000,
+            static_bump: mem::STATIC_DATA_BASE + 0x40_0000,
+            probes: Vec::new(),
+            stats: VmStats::default(),
+            steps: 0,
+            c_depth: 0,
+            output: Vec::new(),
+            result: None,
+            lib_cat: Category::CLibrary,
+        };
+        vm.none_ref = vm.alloc_immortal(ObjKind::None);
+        vm.true_ref = vm.alloc_immortal(ObjKind::Bool(true));
+        vm.false_ref = vm.alloc_immortal(ObjKind::Bool(false));
+        vm.small_ints = (SMALL_INT_MIN..=SMALL_INT_MAX)
+            .map(|v| vm.alloc_immortal(ObjKind::Int(v)))
+            .collect();
+        vm.globals = vm.alloc_immortal(ObjKind::Dict(DictObj::new()));
+        vm.builtins = vm.alloc_immortal(ObjKind::Dict(DictObj::new()));
+        vm.install_builtins();
+        vm
+    }
+
+    /// Consumes the VM and returns the sink plus statistics.
+    pub fn finish(mut self) -> (S, VmStats) {
+        self.refresh_stats();
+        (self.sink, self.stats)
+    }
+
+    /// Current statistics (heap counters refreshed).
+    pub fn stats(&mut self) -> VmStats {
+        self.refresh_stats();
+        self.stats.clone()
+    }
+
+    fn refresh_stats(&mut self) {
+        match &self.heap {
+            HeapImpl::Rc(h) => self.stats.rc = h.stats(),
+            HeapImpl::Gen(h) => self.stats.gc = h.stats(),
+        }
+    }
+
+    /// Lines captured from the guest's `print`.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// The globals dict object.
+    pub fn globals_ref(&self) -> ObjRef {
+        self.globals
+    }
+
+    /// The `None` singleton.
+    pub fn none(&self) -> ObjRef {
+        self.none_ref
+    }
+
+    /// The `True`/`False` singletons.
+    pub fn bool_ref(&self, b: bool) -> ObjRef {
+        if b {
+            self.true_ref
+        } else {
+            self.false_ref
+        }
+    }
+
+    /// Read access to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is stale (freed slab slot).
+    pub fn obj(&self, r: ObjRef) -> &Obj {
+        &self.slab[r.index()]
+    }
+
+    /// Mutable access to an object.
+    pub fn obj_mut(&mut self, r: ObjRef) -> &mut Obj {
+        &mut self.slab[r.index()]
+    }
+
+    /// The kind of an object.
+    pub fn kind(&self, r: ObjRef) -> &ObjKind {
+        &self.slab[r.index()].kind
+    }
+
+    /// Current cost mode.
+    pub fn cost_mode(&self) -> CostMode {
+        self.cost
+    }
+
+    /// Switches the cost model (used by the tracing JIT).
+    pub fn set_cost_mode(&mut self, cost: CostMode) {
+        self.cost = cost;
+        self.phase = match cost {
+            CostMode::Interp => Phase::Interpreter,
+            CostMode::Trace => Phase::JitCode,
+        };
+        self.sink.phase_change(self.phase);
+    }
+
+    /// Sets the JIT-code PC cursor (start of a trace's code region).
+    pub fn set_trace_pc(&mut self, pc: u64) {
+        self.trace_pc = pc;
+    }
+
+    /// Emits the work of compiling a recorded trace: the optimizer reads
+    /// the trace IR and writes machine code into the JIT code region
+    /// ([`Phase::JitCompile`]). Returns nothing; cost only.
+    pub fn emit_jit_compile(&mut self, trace_steps: usize, code_base: u64, code_len: u64) {
+        let saved = self.phase;
+        self.phase = Phase::JitCompile;
+        self.sink.phase_change(Phase::JitCompile);
+        let ir_base = mem::STATIC_DATA_BASE + 0x80_0000;
+        // Several optimizer passes over the IR, then code emission.
+        for pass in 0..3u64 {
+            for i in 0..trace_steps as u64 {
+                self.eload(960, Category::Execute, ir_base + (i * 3 + pass) % 4096 * 16);
+                self.ealu(961, Category::Execute, 6);
+            }
+        }
+        let words = (code_len / 8).min(1 << 16);
+        for i in 0..words {
+            self.estore(964, Category::Execute, code_base + i * 8);
+            self.ealu(965, Category::Execute, 2);
+        }
+        self.phase = saved;
+        self.sink.phase_change(saved);
+    }
+
+    /// Emits a deoptimization: reconstructing the interpreter state from
+    /// the failed trace (writing back live values, reallocating virtualized
+    /// frames).
+    pub fn emit_deopt(&mut self) {
+        // Materialize any virtual frames so the interpreter can resume.
+        let missing: Vec<usize> = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.frame_obj.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        for idx in missing {
+            let nlocals = self.frames[idx].locals.len() as u64;
+            let bytes = 96 + 8 * (nlocals + 24);
+            let fo = self.alloc_obj(ObjKind::Buffer { bytes });
+            let addr = self.obj_addr(fo);
+            self.frames[idx].frame_obj = Some(fo);
+            // Write back the frame's live values.
+            for i in 0..(nlocals + 4) {
+                self.estore(970, Category::FunctionSetup, addr + 96 + i * 8);
+            }
+        }
+        // Also materialize any virtual numeric values that now live on.
+        let live: Vec<crate::object::ObjRef> = self
+            .frames
+            .iter()
+            .flat_map(|f| {
+                f.locals
+                    .iter()
+                    .flatten()
+                    .chain(f.stack.iter())
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for r in live {
+            if self.obj(r).virtual_unboxed {
+                self.materialize(r);
+            }
+        }
+        self.ealu(974, Category::RichControlFlow, 8);
+    }
+
+    // ---- emission -----------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn pc_for(&mut self, site: u32) -> Pc {
+        match self.cost {
+            CostMode::Interp => Pc(self.handler_base + (site as u64) * 4),
+            CostMode::Trace => {
+                let p = self.trace_pc;
+                self.trace_pc += 4;
+                Pc(p)
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn emit(&mut self, site: u32, kind: OpKind, category: Category) {
+        let pc = self.pc_for(site);
+        self.sink.op(MicroOp { pc, kind, category, phase: self.phase });
+    }
+
+    #[inline]
+    pub(crate) fn ealu(&mut self, site: u32, cat: Category, n: u32) {
+        for i in 0..n {
+            self.emit(site + i, OpKind::Alu, cat);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn efp(&mut self, site: u32, cat: Category) {
+        self.emit(site, OpKind::FpAlu, cat);
+    }
+
+    #[inline]
+    pub(crate) fn eload(&mut self, site: u32, cat: Category, addr: u64) {
+        self.emit(site, OpKind::Load { addr, size: 8 }, cat);
+    }
+
+    #[inline]
+    pub(crate) fn estore(&mut self, site: u32, cat: Category, addr: u64) {
+        self.emit(site, OpKind::Store { addr, size: 8 }, cat);
+    }
+
+    #[inline]
+    pub(crate) fn ebranch(&mut self, site: u32, cat: Category, taken: bool) {
+        let target = self.pc_for(site + 8);
+        self.emit(site, OpKind::Branch { taken, target, indirect: false }, cat);
+    }
+
+    /// Emits one modeled C call: call + prologue at the callee, tagged
+    /// [`Category::CFunctionCall`]. Pair with [`Vm::c_return`].
+    pub(crate) fn c_call(&mut self, site: u32, target: u64, indirect: bool) {
+        self.emit(site, OpKind::Call { target: Pc(target), indirect }, Category::CFunctionCall);
+        // Prologue: push rbp, set up frame, spill callee-saved registers.
+        let sp = self.c_stack_ptr();
+        self.estore(site + 1, Category::CFunctionCall, sp);
+        self.estore(site + 2, Category::CFunctionCall, sp - 8);
+        self.estore(site + 3, Category::CFunctionCall, sp - 16);
+        self.ealu(site + 4, Category::CFunctionCall, 2);
+        self.c_depth += 1;
+    }
+
+    /// Emits one modeled C return: epilogue restores + `ret`.
+    pub(crate) fn c_return(&mut self, site: u32) {
+        self.c_depth = self.c_depth.saturating_sub(1);
+        let sp = self.c_stack_ptr();
+        self.eload(site, Category::CFunctionCall, sp - 16);
+        self.eload(site + 1, Category::CFunctionCall, sp - 8);
+        self.eload(site + 2, Category::CFunctionCall, sp);
+        self.emit(site + 3, OpKind::Ret, Category::CFunctionCall);
+    }
+
+    fn c_stack_ptr(&self) -> u64 {
+        mem::C_STACK_TOP - 64 - (self.c_depth as u64) * 48
+    }
+
+    // ---- object lifecycle ----------------------------------------------------
+
+    fn alloc_slot(&mut self, obj: Obj) -> ObjRef {
+        match self.free_slots.pop() {
+            Some(i) => {
+                self.slab[i as usize] = obj;
+                ObjRef(i)
+            }
+            None => {
+                self.slab.push(obj);
+                ObjRef((self.slab.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Allocates an immortal object at a static address (singletons,
+    /// interned constants). Emits nothing.
+    pub(crate) fn alloc_immortal(&mut self, kind: ObjKind) -> ObjRef {
+        let size = kind.heap_size().max(16).div_ceil(16) * 16;
+        let addr = self.static_bump;
+        self.static_bump += size;
+        let mut obj = Obj::new(kind);
+        obj.immortal = true;
+        obj.static_addr = addr;
+        obj.refcount = u32::MAX / 2;
+        self.alloc_slot(obj)
+    }
+
+    /// Allocates a mortal guest object, emitting allocator traffic and —
+    /// under the generational heap — running collections as needed.
+    /// Numeric temporaries under the trace cost model stay *virtual*
+    /// (no simulated allocation) until they escape.
+    pub(crate) fn alloc_obj(&mut self, kind: ObjKind) -> ObjRef {
+        self.stats.allocations += 1;
+        if self.cost == CostMode::Trace
+            && matches!(kind, ObjKind::Int(_) | ObjKind::Float(_) | ObjKind::Bool(_))
+        {
+            let mut obj = Obj::new(kind);
+            obj.virtual_unboxed = true;
+            return self.alloc_slot(obj);
+        }
+        let size = kind.heap_size();
+        let r = self.alloc_slot(Obj::new(kind));
+        self.alloc_backing(r, size);
+        r
+    }
+
+    /// Gives a (possibly virtual) object a simulated allocation.
+    pub(crate) fn alloc_backing(&mut self, r: ObjRef, size: u64) {
+        match self.cfg.heap {
+            HeapMode::Rc => {
+                let Vm { heap, sink, phase, .. } = self;
+                let HeapImpl::Rc(h) = heap else { unreachable!() };
+                let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+                h.alloc(r.obj_id(), size, Category::ObjectAllocation, &mut e);
+            }
+            HeapMode::Gen(_) => {
+                let needs_minor = {
+                    let HeapImpl::Gen(h) = &self.heap else { unreachable!() };
+                    h.needs_minor(size)
+                };
+                if needs_minor {
+                    self.minor_gc();
+                }
+                {
+                    let Vm { heap, sink, phase, .. } = self;
+                    let HeapImpl::Gen(h) = heap else { unreachable!() };
+                    let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+                    h.alloc(r.obj_id(), size, &mut e);
+                }
+                let needs_major = {
+                    let HeapImpl::Gen(h) = &self.heap else { unreachable!() };
+                    h.needs_major()
+                };
+                if needs_major {
+                    self.major_gc();
+                }
+            }
+        }
+    }
+
+    /// Materializes a virtual (trace-register) object into the heap, e.g.
+    /// when it escapes the trace into a container, global, or frame.
+    pub(crate) fn materialize(&mut self, r: ObjRef) {
+        if !self.obj(r).virtual_unboxed {
+            return;
+        }
+        self.obj_mut(r).virtual_unboxed = false;
+        let size = self.obj(r).kind.heap_size();
+        self.alloc_backing(r, size);
+        // Store of the unboxed value + type tag into the fresh object.
+        let addr = self.obj_addr(r);
+        self.estore(900, Category::BoxUnbox, addr + 8);
+        self.estore(901, Category::ObjectAllocation, addr);
+    }
+
+    /// The simulated address of an object (static for immortals, heap
+    /// otherwise; virtual objects report a scratch-register address).
+    pub(crate) fn obj_addr(&self, r: ObjRef) -> u64 {
+        let o = &self.slab[r.index()];
+        if o.immortal {
+            return o.static_addr;
+        }
+        if o.virtual_unboxed {
+            // Virtual values live in (modeled) registers; give them a
+            // stack-scratch address so stray accesses stay harmless.
+            return mem::C_STACK_TOP - 32;
+        }
+        match &self.heap {
+            HeapImpl::Rc(h) => h.addr_of(r.obj_id()).unwrap_or(mem::STATIC_DATA_BASE),
+            HeapImpl::Gen(h) => h.addr_of(r.obj_id()).unwrap_or(mem::STATIC_DATA_BASE),
+        }
+    }
+
+    /// Increments a reference count (emits under Rc mode).
+    pub(crate) fn incref(&mut self, r: ObjRef) {
+        let o = &mut self.slab[r.index()];
+        if o.immortal {
+            // CPython refcounts singletons too; the traffic is real.
+            if matches!(self.heap, HeapImpl::Rc(_)) && self.cost == CostMode::Interp {
+                let addr = o.static_addr;
+                self.estore(912, Category::GarbageCollection, addr);
+                self.stats.rc.increfs += 1;
+            }
+            return;
+        }
+        o.refcount += 1;
+        if matches!(self.heap, HeapImpl::Rc(_)) {
+            let Vm { heap, sink, phase, .. } = self;
+            let HeapImpl::Rc(h) = heap else { unreachable!() };
+            let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+            h.incref(r.obj_id(), &mut e);
+        }
+    }
+
+    /// Decrements a reference count; frees (and cascades) at zero under Rc
+    /// mode, or reclaims virtual temporaries under the generational heap.
+    pub(crate) fn decref(&mut self, r: ObjRef) {
+        let mut worklist = vec![r];
+        while let Some(r) = worklist.pop() {
+            let o = &mut self.slab[r.index()];
+            if o.immortal {
+                if matches!(self.heap, HeapImpl::Rc(_)) && self.cost == CostMode::Interp {
+                    let addr = o.static_addr;
+                    self.estore(917, Category::GarbageCollection, addr);
+                    self.ebranch(918, Category::GarbageCollection, false);
+                    self.stats.rc.decrefs += 1;
+                }
+                continue;
+            }
+            debug_assert!(o.refcount > 0, "decref of dead object");
+            o.refcount -= 1;
+            let now_zero = o.refcount == 0;
+            let is_virtual = o.virtual_unboxed;
+            match self.cfg.heap {
+                HeapMode::Rc => {
+                    {
+                        let Vm { heap, sink, phase, .. } = self;
+                        let HeapImpl::Rc(h) = heap else { unreachable!() };
+                        let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+                        h.decref(r.obj_id(), now_zero, &mut e);
+                    }
+                    if now_zero {
+                        // Children lose a reference; free the object.
+                        crate::trace_refs::for_each_child(&self.slab[r.index()], |c| {
+                            worklist.push(c)
+                        });
+                        {
+                            let Vm { heap, sink, phase, .. } = self;
+                            let HeapImpl::Rc(h) = heap else { unreachable!() };
+                            let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+                            h.free(r.obj_id(), Category::ObjectAllocation, &mut e);
+                        }
+                        self.release_slot(r);
+                    }
+                }
+                HeapMode::Gen(_) => {
+                    // No refcount traffic under the generational heap; only
+                    // virtual temporaries are reclaimed eagerly.
+                    if now_zero && is_virtual {
+                        self.release_slot(r);
+                    }
+                }
+            }
+        }
+    }
+
+    fn release_slot(&mut self, r: ObjRef) {
+        let o = &mut self.slab[r.index()];
+        o.kind = ObjKind::None;
+        o.buffer = None;
+        self.free_slots.push(r.0);
+    }
+
+    // ---- garbage collection ----------------------------------------------------
+
+    /// Runs a minor collection now (normally triggered by allocation).
+    pub fn minor_gc(&mut self) {
+        let Vm { heap, sink, phase, slab, frames, scratch, globals, builtins, interned_strs, .. } =
+            self;
+        let HeapImpl::Gen(h) = heap else { return };
+        let roots = VmRoots {
+            slab,
+            frames,
+            scratch,
+            globals: *globals,
+            builtins: *builtins,
+            interned: interned_strs,
+        };
+        let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+        let dead = h.minor_collect(&roots, &mut e);
+        for id in dead {
+            self.release_slot(ObjRef(id.0));
+        }
+    }
+
+    /// Runs a major collection now.
+    pub fn major_gc(&mut self) {
+        let Vm { heap, sink, phase, slab, frames, scratch, globals, builtins, interned_strs, .. } =
+            self;
+        let HeapImpl::Gen(h) = heap else { return };
+        let roots = VmRoots {
+            slab,
+            frames,
+            scratch,
+            globals: *globals,
+            builtins: *builtins,
+            interned: interned_strs,
+        };
+        let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+        let dead = h.major_collect(&roots, &mut e);
+        for id in dead {
+            self.release_slot(ObjRef(id.0));
+        }
+    }
+
+    /// Emits the generational write barrier for `parent.field = child`.
+    pub(crate) fn write_barrier(&mut self, parent: ObjRef, child: ObjRef) {
+        if let HeapImpl::Gen(_) = self.heap {
+            let Vm { heap, sink, phase, .. } = self;
+            let HeapImpl::Gen(h) = heap else { unreachable!() };
+            let mut e = Emitter::new(sink, *phase, GC_CODE_BASE);
+            h.write_barrier(parent.obj_id(), child.obj_id(), &mut e);
+        }
+    }
+
+    // ---- constants and interning -------------------------------------------------
+
+    /// Returns the guest object for integer `v` (interned when small).
+    pub(crate) fn make_int(&mut self, v: i64) -> ObjRef {
+        if (SMALL_INT_MIN..=SMALL_INT_MAX).contains(&v) {
+            let r = self.small_ints[(v - SMALL_INT_MIN) as usize];
+            self.incref(r);
+            return r;
+        }
+        self.alloc_obj(ObjKind::Int(v))
+    }
+
+    /// Returns the guest object for `v`.
+    pub(crate) fn make_float(&mut self, v: f64) -> ObjRef {
+        self.alloc_obj(ObjKind::Float(v))
+    }
+
+    /// Returns an interned immortal string object (names, const strings).
+    pub(crate) fn intern_str(&mut self, s: &str) -> ObjRef {
+        if let Some(&r) = self.interned_strs.get(s) {
+            return r;
+        }
+        let rc: Rc<str> = Rc::from(s);
+        let r = self.alloc_immortal(ObjKind::Str(Rc::clone(&rc)));
+        self.interned_strs.insert(rc, r);
+        r
+    }
+
+    /// Registers a code object: realizes its constants as immortal guest
+    /// objects and assigns simulated addresses for `co_code`/`co_consts`.
+    pub(crate) fn register_code(&mut self, code: &Rc<CodeObject>) {
+        let key = code_key(code);
+        if self.code_meta.contains_key(&key) {
+            return;
+        }
+        let code_addr = self.next_code_addr;
+        self.next_code_addr += (code.code.len() as u64) * 4 + 64;
+        let consts_addr = self.next_code_addr;
+        self.next_code_addr += (code.consts.len() as u64) * 8 + 64;
+        let consts: Vec<ObjRef> = code
+            .consts
+            .clone()
+            .into_iter()
+            .map(|c| match c {
+                Const::None => self.none_ref,
+                Const::Bool(b) => self.bool_ref(b),
+                Const::Int(v) if (SMALL_INT_MIN..=SMALL_INT_MAX).contains(&v) => {
+                    self.small_ints[(v - SMALL_INT_MIN) as usize]
+                }
+                Const::Int(v) => self.alloc_immortal(ObjKind::Int(v)),
+                Const::Float(v) => self.alloc_immortal(ObjKind::Float(v)),
+                Const::Str(s) => self.intern_str(&s),
+                Const::Code(inner) => {
+                    self.register_code(&inner);
+                    self.alloc_immortal(ObjKind::Code(Rc::clone(&inner)))
+                }
+            })
+            .collect();
+        self.code_meta.insert(key, CodeMeta { consts, code_addr, consts_addr });
+    }
+
+    /// Builds a [`Key`] from a guest object, if it is hashable.
+    pub(crate) fn key_of(&self, r: ObjRef) -> Result<Key, String> {
+        match &self.slab[r.index()].kind {
+            ObjKind::Int(v) => Ok(Key::Int(*v)),
+            ObjKind::Bool(b) => Ok(Key::Int(*b as i64)),
+            ObjKind::None => Ok(Key::None),
+            ObjKind::Str(s) => Ok(Key::Str(Rc::clone(s))),
+            ObjKind::Tuple(items) => {
+                let keys: Result<Vec<Key>, String> =
+                    items.iter().map(|i| self.key_of(*i)).collect();
+                Ok(Key::Tuple(keys?))
+            }
+            other => Err(format!("unhashable type: '{}'", other.type_name())),
+        }
+    }
+}
+
+/// GC root view over the VM's state.
+struct VmRoots<'a> {
+    slab: &'a [Obj],
+    frames: &'a [Frame],
+    scratch: &'a [ObjRef],
+    globals: ObjRef,
+    builtins: ObjRef,
+    interned: &'a HashMap<Rc<str>, ObjRef>,
+}
+
+impl Tracer for VmRoots<'_> {
+    fn roots(&self, visit: &mut dyn FnMut(ObjId)) {
+        visit(self.globals.obj_id());
+        visit(self.builtins.obj_id());
+        for &r in self.scratch {
+            visit(r.obj_id());
+        }
+        for f in self.frames {
+            for r in f.locals.iter().flatten() {
+                visit(r.obj_id());
+            }
+            for r in &f.stack {
+                visit(r.obj_id());
+            }
+            if let Some(ns) = f.class_ns {
+                visit(ns.obj_id());
+            }
+            if let Some(c) = f.callee {
+                visit(c.obj_id());
+            }
+            if let Some(fo) = f.frame_obj {
+                visit(fo.obj_id());
+            }
+            if let Some(i) = f.init_instance {
+                visit(i.obj_id());
+            }
+        }
+        for &r in self.interned.values() {
+            visit(r.obj_id());
+        }
+    }
+
+    fn refs(&self, id: ObjId, visit: &mut dyn FnMut(ObjId)) {
+        if let Some(o) = self.slab.get(id.0 as usize) {
+            crate::trace_refs::for_each_child(o, |c| visit(c.obj_id()));
+        }
+    }
+}

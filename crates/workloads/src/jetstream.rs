@@ -1,0 +1,922 @@
+//! The 37 JetStream-analog workload programs (the paper's V8 suite), in
+//! the Fig. 6 order.
+
+use crate::{Kind, Suite, Workload};
+
+macro_rules! w {
+    ($name:literal, $kind:ident, $base:literal, $f:ident) => {
+        Workload {
+            name: $name,
+            suite: Suite::JetStream,
+            kind: Kind::$kind,
+            base: $base,
+            source_fn: $f,
+        }
+    };
+}
+
+/// The suite, in the paper's presentation order.
+pub static SUITE: &[Workload] = &[
+    w!("3d-cube", Numeric, 20, js_3d_cube),
+    w!("3d-raytrace", Numeric, 5, js_3d_raytrace),
+    w!("base64", Strings, 20, js_base64),
+    w!("bigfib.cpp", Numeric, 60, js_bigfib),
+    w!("box2d", Numeric, 25, js_box2d),
+    w!("cdjs", ObjectOriented, 20, js_cdjs),
+    w!("code-first-load", Parsing, 25, js_code_first_load),
+    w!("code-multi-load", Parsing, 25, js_code_multi_load),
+    w!("container.cpp", DataStructures, 200, js_container),
+    w!("crypto", NativeHeavy, 40, js_crypto),
+    w!("crypto-aes", Numeric, 8, js_crypto_aes),
+    w!("crypto-md5", NativeHeavy, 60, js_crypto_md5),
+    w!("crypto-sha1", NativeHeavy, 60, js_crypto_sha1),
+    w!("date-format-tofte", Strings, 80, js_date_format_tofte),
+    w!("date-format-xparb", Strings, 80, js_date_format_xparb),
+    w!("delta-blue", ObjectOriented, 25, js_delta_blue),
+    w!("dry.c", Numeric, 150, js_dry),
+    w!("earley-boyer", DataStructures, 25, js_earley_boyer),
+    w!("float-mm.c", Numeric, 6, js_float_mm),
+    w!("gbemu", DataStructures, 15, js_gbemu),
+    w!("gcc-loops.cpp", Numeric, 40, js_gcc_loops),
+    w!("hash-map", DataStructures, 60, js_hash_map),
+    w!("mandreel", Numeric, 50, js_mandreel),
+    w!("n-body", Numeric, 35, js_n_body),
+    w!("n-body.c", Numeric, 35, js_n_body_c),
+    w!("navier-stokes", Numeric, 8, js_navier_stokes),
+    w!("pdfjs", Parsing, 20, js_pdfjs),
+    w!("proto-raytracer", Numeric, 5, js_proto_raytracer),
+    w!("quicksort.c", DataStructures, 25, js_quicksort),
+    w!("regex-dna", NativeHeavy, 8, js_regex_dna),
+    w!("regexp-2010", NativeHeavy, 40, js_regexp_2010),
+    w!("richards", ObjectOriented, 12, js_richards),
+    w!("splay", ObjectOriented, 25, js_splay),
+    w!("tagcloud", NativeHeavy, 25, js_tagcloud),
+    w!("towers.c", DataStructures, 10, js_towers),
+    w!("typescript", Parsing, 20, js_typescript),
+    w!("zlib", NativeHeavy, 30, js_zlib),
+];
+
+fn js_3d_cube(n: u32) -> String {
+    format!(
+        "
+# 3d-cube: rotate a unit cube through 3-D rotation matrices.
+verts = []
+for x in [-1.0, 1.0]:
+    for y in [-1.0, 1.0]:
+        for z in [-1.0, 1.0]:
+            verts.append([x, y, z])
+
+total = 0.0
+for frame in range({n} * 10):
+    ang = frame * 0.05
+    ca = cos(ang)
+    sa = sin(ang)
+    for v in verts:
+        x = v[0] * ca - v[1] * sa
+        y = v[0] * sa + v[1] * ca
+        z = v[2] * ca - x * sa * 0.1
+        v[0] = x
+        v[1] = y
+        v[2] = z
+    total = total + verts[0][0] + verts[7][2]
+result = total
+"
+    )
+}
+
+fn js_3d_raytrace(n: u32) -> String {
+    // The same ray-sphere kernel the Python suite uses, with a denser scene.
+    crate::python_suite::SUITE
+        .iter()
+        .find(|w| w.name == "raytrace")
+        .expect("raytrace exists")
+        .source_with_n(n)
+}
+
+fn js_base64(n: u32) -> String {
+    format!(
+        "
+# base64: pure-guest encode/decode round trip.
+ALPHA = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/'
+
+def encode(data):
+    out = []
+    i = 0
+    while i + 2 < len(data):
+        a = data[i]
+        b = data[i + 1]
+        c = data[i + 2]
+        out.append(ALPHA[a >> 2])
+        out.append(ALPHA[((a & 3) << 4) | (b >> 4)])
+        out.append(ALPHA[((b & 15) << 2) | (c >> 6)])
+        out.append(ALPHA[c & 63])
+        i = i + 3
+    return ''.join(out)
+
+data = []
+for i in range(90):
+    data.append((i * 37 + 11) % 256)
+size = 0
+for round in range({n}):
+    s = encode(data)
+    size = size + len(s)
+result = size
+"
+    )
+}
+
+fn js_bigfib(n: u32) -> String {
+    format!(
+        "
+# bigfib.cpp: iterative Fibonacci modulo a large prime (bignum stand-in).
+total = 0
+for round in range({n}):
+    a = 0
+    b = 1
+    for i in range(500):
+        a, b = b, (a + b) % 1000000007
+    total = (total + a) % 1000000007
+result = total
+"
+    )
+}
+
+fn js_box2d(n: u32) -> String {
+    format!(
+        "
+# box2d: bouncing-ball physics integration with wall collisions.
+class Body:
+    def __init__(self, x, y, vx, vy):
+        self.x = x
+        self.y = y
+        self.vx = vx
+        self.vy = vy
+
+bodies = []
+for i in range(12):
+    bodies.append(Body(float(i), float(i % 5), 0.3 + i * 0.01, 0.7 - i * 0.02))
+
+bounces = 0
+for step in range({n} * 20):
+    for b in bodies:
+        b.vy = b.vy - 0.01
+        b.x = b.x + b.vx
+        b.y = b.y + b.vy
+        if b.y < 0.0:
+            b.y = 0.0 - b.y
+            b.vy = 0.0 - b.vy * 0.9
+            bounces = bounces + 1
+        if b.x < 0.0 or b.x > 20.0:
+            b.vx = 0.0 - b.vx
+            bounces = bounces + 1
+result = bounces
+"
+    )
+}
+
+fn js_cdjs(n: u32) -> String {
+    format!(
+        "
+# cdjs: collision detection — sort aircraft by position, check pairs.
+rand_seed(5)
+planes = []
+for i in range(30):
+    planes.append((randint(0, 1000), randint(0, 1000), i))
+
+collisions = 0
+for frame in range({n} * 2):
+    moved = []
+    for p in planes:
+        moved.append(((p[0] + frame * 7) % 1000, (p[1] + frame * 3) % 1000, p[2]))
+    moved.sort()
+    for i in range(len(moved) - 1):
+        a = moved[i]
+        b = moved[i + 1]
+        dx = a[0] - b[0]
+        dy = a[1] - b[1]
+        if dx * dx + dy * dy < 400:
+            collisions = collisions + 1
+    planes = moved
+result = collisions
+"
+    )
+}
+
+fn js_code_first_load(n: u32) -> String {
+    format!(
+        "
+# code-first-load: tokenize many distinct source snippets once each.
+def lex(src):
+    toks = 0
+    i = 0
+    while i < len(src):
+        c = src[i]
+        if c == ' ':
+            i = i + 1
+        elif (c >= 'a' and c <= 'z') or c == '_':
+            while i < len(src) and ((src[i] >= 'a' and src[i] <= 'z') or src[i] == '_'):
+                i = i + 1
+            toks = toks + 1
+        elif c >= '0' and c <= '9':
+            while i < len(src) and src[i] >= '0' and src[i] <= '9':
+                i = i + 1
+            toks = toks + 1
+        else:
+            i = i + 1
+            toks = toks + 1
+    return toks
+
+total = 0
+for i in range({n} * 4):
+    src = 'function f_%d (a, b) return a * %d + b end' % (i, i)
+    total = total + lex(src)
+result = total
+"
+    )
+}
+
+fn js_code_multi_load(n: u32) -> String {
+    format!(
+        "
+# code-multi-load: tokenize the same sources repeatedly (warm load).
+def lex(src):
+    toks = 0
+    i = 0
+    while i < len(src):
+        c = src[i]
+        if c == ' ':
+            i = i + 1
+        elif (c >= 'a' and c <= 'z') or c == '_':
+            while i < len(src) and ((src[i] >= 'a' and src[i] <= 'z') or src[i] == '_'):
+                i = i + 1
+            toks = toks + 1
+        elif c >= '0' and c <= '9':
+            while i < len(src) and src[i] >= '0' and src[i] <= '9':
+                i = i + 1
+            toks = toks + 1
+        else:
+            i = i + 1
+            toks = toks + 1
+    return toks
+
+sources = []
+for i in range(10):
+    sources.append('function f_%d (a, b) return a * %d + b end' % (i, i))
+total = 0
+for round in range({n}):
+    for src in sources:
+        total = total + lex(src)
+result = total
+"
+    )
+}
+
+fn js_container(n: u32) -> String {
+    format!(
+        "
+# container.cpp: vector/map churn (push, erase, lookup).
+total = 0
+for round in range({n}):
+    v = []
+    for i in range(30):
+        v.append(i * 2)
+    m = {{}}
+    for i in range(30):
+        m[i] = v[i] + 1
+    for i in range(0, 30, 3):
+        v.remove(i * 2)
+        del m[i]
+    for k in m:
+        total = total + m[k]
+    total = total + len(v)
+result = total
+"
+    )
+}
+
+fn js_crypto(n: u32) -> String {
+    format!(
+        "
+# crypto: mixed checksum workload over message strings.
+total = 0
+for i in range({n} * 2):
+    msg = 'message payload number %d with some entropy %d' % (i, i * 31)
+    total = (total + crc32(msg) + md5(msg)) % 1000000007
+result = total
+"
+    )
+}
+
+fn js_crypto_aes(n: u32) -> String {
+    crate::python_suite::SUITE
+        .iter()
+        .find(|w| w.name == "crypto_pyaes")
+        .expect("crypto_pyaes exists")
+        .source_with_n(n)
+}
+
+fn js_crypto_md5(n: u32) -> String {
+    format!(
+        "
+# crypto-md5: hash a growing message repeatedly.
+msg = 'The quick brown fox jumps over the lazy dog. ' * 4
+total = 0
+for i in range({n} * 4):
+    total = (total + md5(msg)) % 1000000007
+    if i % 64 == 0:
+        msg = msg + 'x'
+result = total
+"
+    )
+}
+
+fn js_crypto_sha1(n: u32) -> String {
+    format!(
+        "
+# crypto-sha1: hash chaining (output feeds the next message).
+h = 12345
+total = 0
+for i in range({n} * 4):
+    msg = 'block-%d-%d' % (i, h % 100000)
+    h = md5(msg)
+    total = (total + h) % 1000000007
+result = total
+"
+    )
+}
+
+fn js_date_format_tofte(n: u32) -> String {
+    format!(
+        "
+# date-format-tofte: render timestamps through format strings.
+MONTHS = ['Jan', 'Feb', 'Mar', 'Apr', 'May', 'Jun', 'Jul', 'Aug', 'Sep', 'Oct', 'Nov', 'Dec']
+size = 0
+for t in range({n} * 4):
+    days = t % 28 + 1
+    month = MONTHS[t % 12]
+    year = 2000 + t % 30
+    h = t % 24
+    m = (t * 7) % 60
+    s = '%s %d, %d %d:%d' % (month, days, year, h, m)
+    size = size + len(s)
+result = size
+"
+    )
+}
+
+fn js_date_format_xparb(n: u32) -> String {
+    format!(
+        "
+# date-format-xparb: render dates via concatenation and padding.
+def pad(v):
+    if v < 10:
+        return '0' + str(v)
+    return str(v)
+
+size = 0
+for t in range({n} * 4):
+    y = 2000 + t % 30
+    mo = t % 12 + 1
+    d = t % 28 + 1
+    s = str(y) + '-' + pad(mo) + '-' + pad(d) + 'T' + pad(t % 24) + ':' + pad((t * 3) % 60)
+    size = size + len(s)
+result = size
+"
+    )
+}
+
+fn js_delta_blue(n: u32) -> String {
+    crate::python_suite::SUITE
+        .iter()
+        .find(|w| w.name == "deltablue")
+        .expect("deltablue exists")
+        .source_with_n(n)
+}
+
+fn js_dry(n: u32) -> String {
+    format!(
+        "
+# dry.c: Dhrystone-like integer record shuffling.
+rec1 = [0, 0, 0]
+rec2 = [0, 0, 0]
+total = 0
+for i in range({n} * 20):
+    rec1[0] = i
+    rec1[1] = i % 7
+    rec1[2] = rec1[0] + rec1[1]
+    rec2[0] = rec1[2]
+    rec2[1] = rec2[0] * 2
+    rec2[2] = rec2[1] - rec1[0]
+    if rec2[2] > rec1[2]:
+        total = total + 1
+    else:
+        total = total + rec2[2] % 3
+result = total
+"
+    )
+}
+
+fn js_earley_boyer(n: u32) -> String {
+    format!(
+        "
+# earley-boyer: term rewriting over nested list structures.
+def rewrite(term, depth):
+    if depth > 6:
+        return term
+    if len(term) == 3 and term[0] == 'plus':
+        l = rewrite(term[1], depth + 1)
+        r = rewrite(term[2], depth + 1)
+        if len(l) == 1 and len(r) == 1:
+            return [l[0] + r[0]]
+        return ['plus', l, r]
+    if len(term) == 3 and term[0] == 'times':
+        l = rewrite(term[1], depth + 1)
+        r = rewrite(term[2], depth + 1)
+        if len(l) == 1 and len(r) == 1:
+            return [l[0] * r[0]]
+        return ['times', l, r]
+    return term
+
+total = 0
+for i in range({n} * 8):
+    t = ['plus', ['times', [i % 5], [3]], ['plus', [2], [i % 7]]]
+    res = rewrite(t, 0)
+    total = total + res[0]
+result = total
+"
+    )
+}
+
+fn js_float_mm(n: u32) -> String {
+    format!(
+        "
+# float-mm.c: dense float matrix multiply.
+SIZE = 10
+a = []
+b = []
+for i in range(SIZE):
+    ra = []
+    rb = []
+    for j in range(SIZE):
+        ra.append(float(i + j) * 0.5)
+        rb.append(float(i - j) * 0.25)
+    a.append(ra)
+    b.append(rb)
+acc = 0.0
+for round in range({n}):
+    c = []
+    for i in range(SIZE):
+        row = []
+        for j in range(SIZE):
+            total = 0.0
+            for k in range(SIZE):
+                total = total + a[i][k] * b[k][j]
+            row.append(total)
+        c.append(row)
+    acc = acc + c[SIZE - 1][SIZE - 1]
+result = acc
+"
+    )
+}
+
+fn js_gbemu(n: u32) -> String {
+    format!(
+        "
+# gbemu: emulator core — fetch/decode over byte memory with a dispatch dict.
+mem = []
+for i in range(256):
+    mem.append((i * 67 + 13) % 256)
+
+regs = {{'a': 0, 'b': 0, 'pc': 0}}
+executed = 0
+for cycle in range({n} * 40):
+    op = mem[regs['pc'] % 256]
+    regs['pc'] = regs['pc'] + 1
+    kind = op % 5
+    if kind == 0:
+        regs['a'] = (regs['a'] + op) % 256
+    elif kind == 1:
+        regs['b'] = regs['a'] ^ op
+    elif kind == 2:
+        regs['a'] = (regs['a'] + regs['b']) % 256
+    elif kind == 3:
+        regs['pc'] = (regs['pc'] + op % 7) % 256
+    else:
+        mem[op % 256] = regs['a']
+    executed = executed + 1
+result = executed + regs['a'] + regs['b']
+"
+    )
+}
+
+fn js_gcc_loops(n: u32) -> String {
+    format!(
+        "
+# gcc-loops.cpp: a battery of small vectorizable loops.
+N = 60
+x = []
+y = []
+for i in range(N):
+    x.append(i * 3 % 17)
+    y.append(i * 5 % 13)
+total = 0
+for round in range({n} * 4):
+    for i in range(N):
+        x[i] = x[i] + y[i]
+    for i in range(N):
+        y[i] = y[i] ^ (x[i] & 15)
+    s = 0
+    for i in range(N):
+        s = s + x[i] * y[i]
+    total = (total + s) % 1000000007
+result = total
+"
+    )
+}
+
+fn js_hash_map(n: u32) -> String {
+    format!(
+        "
+# hash-map: dict insert/lookup/delete stress.
+total = 0
+for round in range({n}):
+    m = {{}}
+    for i in range(120):
+        m['k%d' % i] = i
+    for i in range(120):
+        total = total + m['k%d' % i]
+    for i in range(0, 120, 2):
+        del m['k%d' % i]
+    total = total + len(m)
+result = total
+"
+    )
+}
+
+fn js_mandreel(n: u32) -> String {
+    format!(
+        "
+# mandreel: Mandelbrot escape iteration over a coarse grid.
+count = 0
+for round in range({n}):
+    for py in range(12):
+        for px in range(12):
+            cr = px / 6.0 - 1.5
+            ci = py / 6.0 - 1.0
+            zr = 0.0
+            zi = 0.0
+            it = 0
+            while it < 20 and zr * zr + zi * zi < 4.0:
+                t = zr * zr - zi * zi + cr
+                zi = 2.0 * zr * zi + ci
+                zr = t
+                it = it + 1
+            count = count + it
+result = count
+"
+    )
+}
+
+fn js_n_body(n: u32) -> String {
+    crate::python_suite::SUITE
+        .iter()
+        .find(|w| w.name == "nbody")
+        .expect("nbody exists")
+        .source_with_n(n)
+}
+
+fn js_n_body_c(n: u32) -> String {
+    format!(
+        "
+# n-body.c: the same simulation with flat parallel arrays and no helper
+# structure (the C-port style).
+px = [0.0, 4.84, 8.34]
+py = [0.0, -1.16, 4.12]
+vx = [0.0, 0.606, -1.010]
+vy = [0.0, 2.811, 1.825]
+ms = [39.47, 0.037, 0.011]
+for step in range({n} * 20):
+    for i in range(3):
+        for j in range(3):
+            if i != j:
+                dx = px[i] - px[j]
+                dy = py[i] - py[j]
+                d2 = dx * dx + dy * dy + 0.01
+                f = 0.001 * ms[j] / (d2 * sqrt(d2))
+                vx[i] = vx[i] - dx * f
+                vy[i] = vy[i] - dy * f
+    for i in range(3):
+        px[i] = px[i] + vx[i] * 0.01
+        py[i] = py[i] + vy[i] * 0.01
+result = px[1] + py[2]
+"
+    )
+}
+
+fn js_navier_stokes(n: u32) -> String {
+    format!(
+        "
+# navier-stokes: diffusion + advection passes over a velocity grid.
+G = 14
+u = []
+for i in range(G):
+    row = []
+    for j in range(G):
+        row.append(sin(float(i * j)) * 0.1)
+    u.append(row)
+for step in range({n} * 3):
+    for i in range(1, G - 1):
+        for j in range(1, G - 1):
+            u[i][j] = (u[i][j] + 0.2 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1])) / 1.8
+total = 0.0
+for i in range(G):
+    for j in range(G):
+        total = total + u[i][j]
+result = total
+"
+    )
+}
+
+fn js_pdfjs(n: u32) -> String {
+    format!(
+        "
+# pdfjs: tokenize a PDF-ish object stream.
+doc = ''
+for i in range(12):
+    doc = doc + '%d 0 obj << /Type /Page /Count %d >> endobj ' % (i, i * 2)
+
+def scan(src):
+    objs = 0
+    nums = 0
+    names = 0
+    i = 0
+    while i < len(src):
+        c = src[i]
+        if c == '/':
+            names = names + 1
+            i = i + 1
+        elif c >= '0' and c <= '9':
+            while i < len(src) and src[i] >= '0' and src[i] <= '9':
+                i = i + 1
+            nums = nums + 1
+        elif c == 'o' and i + 2 < len(src) and src[i + 1] == 'b' and src[i + 2] == 'j':
+            objs = objs + 1
+            i = i + 3
+        else:
+            i = i + 1
+    return objs * 100 + nums + names
+
+total = 0
+for round in range({n} * 2):
+    total = total + scan(doc)
+result = total
+"
+    )
+}
+
+fn js_proto_raytracer(n: u32) -> String {
+    format!(
+        "
+# proto-raytracer: ray-plane checkerboard rendering.
+hits = 0
+for frame in range({n} * 2):
+    for py in range(16):
+        for px in range(16):
+            dx = px / 8.0 - 1.0
+            dy = py / 8.0 - 1.0
+            dz = 1.0
+            if dy < -0.05:
+                t = -1.0 / dy
+                wx = dx * t
+                wz = dz * t
+                cell = int(wx + 100.0) + int(wz + 100.0)
+                if cell % 2 == 0:
+                    hits = hits + 1
+result = hits
+"
+    )
+}
+
+fn js_quicksort(n: u32) -> String {
+    format!(
+        "
+# quicksort.c: in-guest quicksort with explicit stack.
+rand_seed(3)
+total = 0
+for round in range({n}):
+    xs = []
+    for i in range(80):
+        xs.append(randint(0, 10000))
+    stack = [(0, len(xs) - 1)]
+    while len(stack) > 0:
+        lo, hi = stack.pop()
+        if lo >= hi:
+            continue
+        pivot = xs[(lo + hi) // 2]
+        i = lo
+        j = hi
+        while i <= j:
+            while xs[i] < pivot:
+                i = i + 1
+            while xs[j] > pivot:
+                j = j - 1
+            if i <= j:
+                xs[i], xs[j] = xs[j], xs[i]
+                i = i + 1
+                j = j - 1
+        stack.append((lo, j))
+        stack.append((i, hi))
+    total = total + xs[0] + xs[79]
+result = total
+"
+    )
+}
+
+fn js_regex_dna(n: u32) -> String {
+    crate::python_suite::SUITE
+        .iter()
+        .find(|w| w.name == "regex_dna")
+        .expect("regex_dna exists")
+        .source_with_n(n)
+}
+
+fn js_regexp_2010(n: u32) -> String {
+    format!(
+        "
+# regexp-2010: the browser regex mix — URLs, tags, numbers.
+text = ''
+for i in range(10):
+    text = text + '<a href=\"http://site%d.example/path%d\">link %d</a> ' % (i, i * 3, i)
+count = 0
+for round in range({n}):
+    count = count + len(re_findall('http://[a-z0-9.]+/[a-z0-9]+', text))
+    count = count + len(re_findall('<a [^>]*>', text))
+    count = count + len(re_findall('[0-9]+', text))
+result = count
+"
+    )
+}
+
+fn js_richards(n: u32) -> String {
+    crate::python_suite::SUITE
+        .iter()
+        .find(|w| w.name == "richards")
+        .expect("richards exists")
+        .source_with_n(n)
+}
+
+fn js_splay(n: u32) -> String {
+    format!(
+        "
+# splay: binary search tree with root-insertion (splay-like) updates.
+class Node:
+    def __init__(self, key):
+        self.key = key
+        self.left = None
+        self.right = None
+
+def insert(root, key):
+    if root == None:
+        return Node(key)
+    cur = root
+    while True:
+        if key < cur.key:
+            if cur.left == None:
+                cur.left = Node(key)
+                break
+            cur = cur.left
+        elif key > cur.key:
+            if cur.right == None:
+                cur.right = Node(key)
+                break
+            cur = cur.right
+        else:
+            break
+    return root
+
+def count(root):
+    if root == None:
+        return 0
+    return 1 + count(root.left) + count(root.right)
+
+rand_seed(11)
+total = 0
+for round in range({n}):
+    root = None
+    for i in range(60):
+        root = insert(root, randint(0, 1000))
+    total = total + count(root)
+result = total
+"
+    )
+}
+
+fn js_tagcloud(n: u32) -> String {
+    format!(
+        "
+# tagcloud: JSON parse + weight computation + markup generation.
+tags = []
+for i in range(20):
+    tags.append({{'tag': 'word%d' % i, 'popularity': (i * 7) % 19 + 1}})
+payload = json_dumps(tags)
+size = 0
+for round in range({n}):
+    data = json_loads(payload)
+    parts = []
+    for t in data:
+        w = 8 + t['popularity'] * 2
+        parts.append('<span style=\"font-size:%dpx\">%s</span>' % (w, t['tag']))
+    size = size + len(''.join(parts))
+result = size
+"
+    )
+}
+
+fn js_towers(n: u32) -> String {
+    format!(
+        "
+# towers.c: Towers of Hanoi with explicit move counting.
+def hanoi(k, src, dst, via, counter):
+    if k == 0:
+        return
+    hanoi(k - 1, src, via, dst, counter)
+    counter[0] = counter[0] + 1
+    hanoi(k - 1, via, dst, src, counter)
+
+total = 0
+for round in range({n}):
+    counter = [0]
+    hanoi(10, 0, 2, 1, counter)
+    total = total + counter[0]
+result = total
+"
+    )
+}
+
+fn js_typescript(n: u32) -> String {
+    format!(
+        "
+# typescript: scanner over a typed source snippet (keywords vs idents).
+KEYWORDS = {{'var': 1, 'function': 1, 'return': 1, 'if': 1, 'else': 1, 'number': 1, 'string': 1}}
+
+def scan(src):
+    kw = 0
+    ident = 0
+    i = 0
+    while i < len(src):
+        c = src[i]
+        if (c >= 'a' and c <= 'z') or (c >= 'A' and c <= 'Z'):
+            word = ''
+            while i < len(src) and ((src[i] >= 'a' and src[i] <= 'z') or (src[i] >= 'A' and src[i] <= 'Z')):
+                word = word + src[i]
+                i = i + 1
+            if word in KEYWORDS:
+                kw = kw + 1
+            else:
+                ident = ident + 1
+        else:
+            i = i + 1
+    return kw * 10 + ident
+
+src = 'function add (a number, b number) number if a else return a var x'
+total = 0
+for round in range({n} * 6):
+    total = total + scan(src)
+result = total
+"
+    )
+}
+
+fn js_zlib(n: u32) -> String {
+    format!(
+        "
+# zlib: native compression over a text corpus.
+corpus = ''
+for i in range(12):
+    corpus = corpus + 'the quick brown fox %d jumps over the lazy dog ' % i
+size = 0
+for round in range({n} * 2):
+    size = size + len(compress(corpus))
+result = size
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn suite_has_37_entries() {
+        assert_eq!(SUITE.len(), 37);
+    }
+
+    #[test]
+    fn all_sources_have_results() {
+        for w in SUITE {
+            let src = w.source(Scale::Tiny);
+            assert!(src.contains("result"), "{} lacks a result", w.name);
+        }
+    }
+}

@@ -1,0 +1,1581 @@
+//! The 48 Python-suite workload programs, in the paper's Fig. 4 order.
+//!
+//! Each generator returns a complete Pyl program parameterized by a size
+//! knob `n`. Programs end by assigning a `result` global so harnesses can
+//! verify that a run computed something real.
+
+use crate::{Kind, Suite, Workload};
+
+macro_rules! w {
+    ($name:literal, $kind:ident, $base:literal, $f:ident) => {
+        Workload {
+            name: $name,
+            suite: Suite::Python,
+            kind: Kind::$kind,
+            base: $base,
+            source_fn: $f,
+        }
+    };
+}
+
+/// The suite, in the paper's presentation order.
+pub static SUITE: &[Workload] = &[
+    w!("go", ObjectOriented, 2, py_go),
+    w!("float", Numeric, 300, py_float),
+    w!("mako", Strings, 30, py_mako),
+    w!("telco", Numeric, 400, py_telco),
+    w!("chaos", Numeric, 400, py_chaos),
+    w!("nbody", Numeric, 40, py_nbody),
+    w!("pickle", NativeHeavy, 60, py_pickle),
+    w!("eparse", Parsing, 40, py_eparse),
+    w!("hexiom", DataStructures, 6, py_hexiom),
+    w!("pidigits", Numeric, 60, py_pidigits),
+    w!("pyflate", NativeHeavy, 30, py_pyflate),
+    w!("rietveld", Strings, 30, py_rietveld),
+    w!("spitfire", Strings, 30, py_spitfire),
+    w!("html5lib", Parsing, 20, py_html5lib),
+    w!("raytrace", Numeric, 6, py_raytrace),
+    w!("richards", ObjectOriented, 12, py_richards),
+    w!("sym_str", ObjectOriented, 40, py_sym_str),
+    w!("unpickle", NativeHeavy, 60, py_unpickle),
+    w!("nqueens", DataStructures, 6, py_nqueens),
+    w!("tuple_gc", DataStructures, 1500, py_tuple_gc),
+    w!("deltablue", ObjectOriented, 30, py_deltablue),
+    w!("fannkuch", DataStructures, 7, py_fannkuch),
+    w!("pickle_list", NativeHeavy, 40, py_pickle_list),
+    w!("regex_v8", NativeHeavy, 25, py_regex_v8),
+    w!("sym_sum", ObjectOriented, 40, py_sym_sum),
+    w!("pickle_dict", NativeHeavy, 30, py_pickle_dict),
+    w!("regex_dna", NativeHeavy, 8, py_regex_dna),
+    w!("chameleon", Strings, 25, py_chameleon),
+    w!("json_loads", NativeHeavy, 50, py_json_loads),
+    w!("pyxl_bench", Strings, 25, py_pyxl_bench),
+    w!("scimark_fft", Numeric, 6, py_scimark_fft),
+    w!("scimark_lu", Numeric, 8, py_scimark_lu),
+    w!("dulwich_log", Strings, 25, py_dulwich_log),
+    w!("unpack_seq", DataStructures, 1500, py_unpack_seq),
+    w!("json_dumps", NativeHeavy, 50, py_json_dumps),
+    w!("regex_effbot", NativeHeavy, 10, py_regex_effbot),
+    w!("scimark_sor", Numeric, 10, py_scimark_sor),
+    w!("sym_expand", ObjectOriented, 30, py_sym_expand),
+    w!("unpickle_list", NativeHeavy, 40, py_unpickle_list),
+    w!("crypto_pyaes", Numeric, 10, py_crypto_pyaes),
+    w!("regex_compile", NativeHeavy, 60, py_regex_compile),
+    w!("spectral_norm", Numeric, 10, py_spectral_norm),
+    w!("sym_integrate", ObjectOriented, 25, py_sym_integrate),
+    w!("logging_format", Strings, 300, py_logging_format),
+    w!("meteor_contest", DataStructures, 5, py_meteor_contest),
+    w!("scimark_monte", Numeric, 800, py_scimark_monte),
+    w!("scimark_sparse", Numeric, 25, py_scimark_sparse),
+    w!("spitfire_cstringio", Strings, 30, py_spitfire_cstringio),
+];
+
+// ---- object-oriented simulations -------------------------------------------------
+
+fn py_go(n: u32) -> String {
+    format!(
+        "
+# Simplified Go: stone placement with liberty counting on a small board.
+SIZE = 9
+board = []
+for i in range(SIZE * SIZE):
+    board.append(0)
+
+def neighbors(pos):
+    out = []
+    r = pos // SIZE
+    c = pos % SIZE
+    if r > 0:
+        out.append(pos - SIZE)
+    if r < SIZE - 1:
+        out.append(pos + SIZE)
+    if c > 0:
+        out.append(pos - 1)
+    if c < SIZE - 1:
+        out.append(pos + 1)
+    return out
+
+def liberties(pos, color):
+    seen = {{}}
+    work = [pos]
+    libs = 0
+    while len(work) > 0:
+        p = work.pop()
+        if p in seen:
+            continue
+        seen[p] = 1
+        for q in neighbors(p):
+            v = board[q]
+            if v == 0:
+                libs = libs + 1
+            elif v == color:
+                work.append(q)
+    return libs
+
+rand_seed(7)
+score = 0
+for game in range({n}):
+    for i in range(SIZE * SIZE):
+        board[i] = 0
+    color = 1
+    for move in range(60):
+        pos = randint(0, SIZE * SIZE - 1)
+        if board[pos] == 0:
+            board[pos] = color
+            l = liberties(pos, color)
+            if l == 0:
+                board[pos] = 0
+            else:
+                score = score + l
+        color = 3 - color
+result = score
+"
+    )
+}
+
+fn py_float(n: u32) -> String {
+    format!(
+        "
+# pyperformance float: points with float attributes, normalized repeatedly.
+class Point:
+    def __init__(self, i):
+        self.x = sin(float(i)) * 2.0 + 1.0
+        self.y = cos(float(i)) * 3.0
+        self.z = float(i) / 7.0
+    def normalize(self):
+        norm = sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+        if norm > 0.0:
+            self.x = self.x / norm
+            self.y = self.y / norm
+            self.z = self.z / norm
+    def maximize(self, other):
+        if other.x > self.x:
+            self.x = other.x
+        if other.y > self.y:
+            self.y = other.y
+        if other.z > self.z:
+            self.z = other.z
+
+acc = 0.0
+for rounds in range({n} // 100 + 1):
+    points = []
+    for i in range(100):
+        points.append(Point(i))
+    for p in points:
+        p.normalize()
+    top = points[0]
+    for p in points:
+        top.maximize(p)
+    acc = acc + top.x + top.y + top.z
+result = acc
+"
+    )
+}
+
+fn py_telco(n: u32) -> String {
+    format!(
+        "
+# telco: telephone call billing with banker's-rounding-ish arithmetic.
+rand_seed(42)
+total_cents = 0
+basic_tax = 0
+dist_tax = 0
+ledger = []
+WIN = 1200
+for i in range({n}):
+    duration = randint(1, 7200)
+    rate = 9
+    if i % 2 == 1:
+        rate = 14
+    price = duration * rate // 100
+    btax = price * 9 // 100
+    total_cents = total_cents + price + btax
+    basic_tax = basic_tax + btax
+    if i % 2 == 1:
+        dtax = price * 62 // 1000
+        total_cents = total_cents + dtax
+        dist_tax = dist_tax + dtax
+    record = (i, duration, price + 1000000)
+    if len(ledger) < WIN:
+        ledger.append(record)
+    else:
+        ledger[i % WIN] = record
+result = total_cents + basic_tax + dist_tax + len(ledger)
+"
+    )
+}
+
+fn py_chaos(n: u32) -> String {
+    format!(
+        "
+# chaos: the chaosgame fractal — random midpoint jumps toward triangle corners.
+corners = [(0.0, 0.0), (1.0, 0.0), (0.5, 0.866)]
+rand_seed(1234)
+x = 0.3
+y = 0.3
+hits = {{}}
+for i in range({n} * 10):
+    k = randint(0, 2)
+    c = corners[k]
+    x = (x + c[0]) / 2.0
+    y = (y + c[1]) / 2.0
+    cell = (int(x * 32.0), int(y * 32.0))
+    if cell in hits:
+        hits[cell] = hits[cell] + 1
+    else:
+        hits[cell] = 1
+total = 0
+for cell in hits:
+    total = total + hits[cell]
+result = total
+"
+    )
+}
+
+fn py_nbody(n: u32) -> String {
+    format!(
+        "
+# nbody: the classic planetary simulation over parallel float lists.
+xs = [0.0, 4.84, 8.34, 12.89, 15.37]
+ys = [0.0, -1.16, 4.12, -15.11, -25.91]
+zs = [0.0, -0.10, -0.40, -0.22, 0.17]
+vxs = [0.0, 0.606, -1.010, 0.109, 0.979]
+vys = [0.0, 2.811, 1.825, 1.056, 0.594]
+vzs = [0.0, -0.025, 0.008, -0.034, -0.034]
+ms = [39.47, 0.037, 0.011, 0.0017, 0.0002]
+NB = 5
+dt = 0.01
+for step in range({n} * 8):
+    i = 0
+    while i < NB:
+        j = i + 1
+        while j < NB:
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            dz = zs[i] - zs[j]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt / (d2 * sqrt(d2))
+            vxs[i] = vxs[i] - dx * ms[j] * mag
+            vys[i] = vys[i] - dy * ms[j] * mag
+            vzs[i] = vzs[i] - dz * ms[j] * mag
+            vxs[j] = vxs[j] + dx * ms[i] * mag
+            vys[j] = vys[j] + dy * ms[i] * mag
+            vzs[j] = vzs[j] + dz * ms[i] * mag
+            j = j + 1
+        i = i + 1
+    for k in range(NB):
+        xs[k] = xs[k] + dt * vxs[k]
+        ys[k] = ys[k] + dt * vys[k]
+        zs[k] = zs[k] + dt * vzs[k]
+energy = 0.0
+for k in range(NB):
+    energy = energy + 0.5 * ms[k] * (vxs[k] * vxs[k] + vys[k] * vys[k] + vzs[k] * vzs[k])
+result = energy
+"
+    )
+}
+
+fn py_hexiom(n: u32) -> String {
+    format!(
+        "
+# hexiom: constraint puzzle solving by backtracking on a small hex board.
+def solve(cells, constraints, idx, budget):
+    if budget[0] <= 0:
+        return 0
+    budget[0] = budget[0] - 1
+    if idx == len(cells):
+        for c in constraints:
+            total = 0
+            for ci in c[0]:
+                total = total + cells[ci]
+            if total != c[1]:
+                return 0
+        return 1
+    found = 0
+    for v in [0, 1]:
+        cells[idx] = v
+        found = found + solve(cells, constraints, idx + 1, budget)
+    cells[idx] = 0
+    return found
+
+solutions = 0
+for round in range({n}):
+    cells = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+    constraints = [([0, 1, 2], 2), ([3, 4, 5], 1), ([6, 7, 8], 2), ([9, 10, 11], 1), ([0, 3, 6, 9], 2)]
+    budget = [20000]
+    solutions = solutions + solve(cells, constraints, 0, budget)
+result = solutions
+"
+    )
+}
+
+fn py_richards(n: u32) -> String {
+    format!(
+        "
+# richards: the classic OS task-scheduler simulation (simplified port).
+IDLE = 0
+WORKER = 1
+HANDLER = 2
+
+class Packet:
+    def __init__(self, kind, datum):
+        self.kind = kind
+        self.datum = datum
+
+class Task:
+    def __init__(self, kind, priority):
+        self.kind = kind
+        self.priority = priority
+        self.queue = []
+        self.holds = 0
+        self.work_done = 0
+    def run(self, scheduler):
+        if len(self.queue) > 0:
+            p = self.queue.pop(0)
+            self.work_done = self.work_done + p.datum
+            if self.kind == WORKER:
+                scheduler.dispatch(HANDLER, Packet(HANDLER, p.datum % 7))
+            elif self.kind == HANDLER:
+                scheduler.dispatch(IDLE, Packet(IDLE, 1))
+        else:
+            self.holds = self.holds + 1
+
+class Scheduler:
+    def __init__(self):
+        self.tasks = [Task(IDLE, 0), Task(WORKER, 1), Task(HANDLER, 2)]
+        self.dispatched = 0
+    def dispatch(self, kind, packet):
+        self.tasks[kind].queue.append(packet)
+        self.dispatched = self.dispatched + 1
+    def schedule(self, rounds):
+        i = 0
+        while i < rounds:
+            best = self.tasks[0]
+            for t in self.tasks:
+                if len(t.queue) > len(best.queue):
+                    best = t
+            best.run(self)
+            i = i + 1
+
+sched = Scheduler()
+for i in range({n} * 12):
+    sched.dispatch(WORKER, Packet(WORKER, i % 11 + 1))
+sched.schedule({n} * 40)
+total = 0
+for t in sched.tasks:
+    total = total + t.work_done + t.holds
+result = total + sched.dispatched
+"
+    )
+}
+
+fn py_deltablue(n: u32) -> String {
+    format!(
+        "
+# deltablue: one-way constraint propagation (simplified solver).
+class Variable:
+    def __init__(self, value):
+        self.value = value
+        self.stay = 0
+
+class EqualScale:
+    def __init__(self, src, dst, scale, offset):
+        self.src = src
+        self.dst = dst
+        self.scale = scale
+        self.offset = offset
+    def execute(self):
+        self.dst.value = self.src.value * self.scale + self.offset
+
+chain = []
+first = Variable(1)
+prev = first
+constraints = []
+for i in range(20):
+    v = Variable(0)
+    constraints.append(EqualScale(prev, v, 1, 1))
+    chain.append(v)
+    prev = v
+
+total = 0
+for round in range({n} * 10):
+    first.value = round % 100
+    for c in constraints:
+        c.execute()
+    total = total + chain[len(chain) - 1].value
+result = total
+"
+    )
+}
+
+// ---- numeric kernels ---------------------------------------------------------------
+
+fn py_pidigits(n: u32) -> String {
+    format!(
+        "
+# pidigits: Rabinowitz–Wagon spigot over an array of small ints (no bignums).
+DIGITS = {n}
+LEN = DIGITS * 10 // 3 + 2
+a = []
+for i in range(LEN):
+    a.append(2)
+digit_sum = 0
+produced = 0
+predigit = 0
+nines = 0
+while produced < DIGITS:
+    q = 0
+    i = LEN - 1
+    while i >= 0:
+        x = 10 * a[i] + q * (i + 1)
+        a[i] = x % (2 * i + 1)
+        q = x // (2 * i + 1)
+        i = i - 1
+    a[0] = q % 10
+    q = q // 10
+    if q == 9:
+        nines = nines + 1
+    elif q == 10:
+        digit_sum = digit_sum + predigit + 1
+        produced = produced + 1
+        for k in range(nines):
+            digit_sum = digit_sum + 0
+            produced = produced + 1
+        predigit = 0
+        nines = 0
+    else:
+        digit_sum = digit_sum + predigit
+        produced = produced + 1
+        predigit = q
+        for k in range(nines):
+            digit_sum = digit_sum + 9
+            produced = produced + 1
+        nines = 0
+result = digit_sum
+"
+    )
+}
+
+fn py_raytrace(n: u32) -> String {
+    format!(
+        "
+# raytrace: sphere intersection with a vector class (allocation heavy).
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+    def sub(self, o):
+        return Vec(self.x - o.x, self.y - o.y, self.z - o.z)
+    def scale(self, k):
+        return Vec(self.x * k, self.y * k, self.z * k)
+
+spheres = [(Vec(0.0, 0.0, 10.0), 3.0), (Vec(2.0, 1.0, 6.0), 1.0), (Vec(-2.0, -1.0, 8.0), 1.5)]
+W = 24
+hits = 0
+shade = 0.0
+for frame in range({n}):
+    for py in range(W):
+        for px in range(W):
+            dx = (px - W // 2) / 12.0
+            dy = (py - W // 2) / 12.0
+            d = Vec(dx, dy, 1.0)
+            norm = sqrt(d.dot(d))
+            d = d.scale(1.0 / norm)
+            o = Vec(0.0, 0.0, 0.0)
+            best = 1000000.0
+            for s in spheres:
+                oc = o.sub(s[0])
+                b = 2.0 * oc.dot(d)
+                c = oc.dot(oc) - s[1] * s[1]
+                disc = b * b - 4.0 * c
+                if disc > 0.0:
+                    t = (0.0 - b - sqrt(disc)) / 2.0
+                    if t > 0.0 and t < best:
+                        best = t
+            if best < 1000000.0:
+                hits = hits + 1
+                shade = shade + 1.0 / best
+result = shade + hits
+"
+    )
+}
+
+fn py_scimark_fft(n: u32) -> String {
+    format!(
+        "
+# scimark_fft: iterative radix-2 FFT over parallel real/imag lists.
+N = 64
+re = []
+im = []
+for i in range(N):
+    re.append(sin(float(i)))
+    im.append(0.0)
+
+def bit_reverse(re, im, N):
+    j = 0
+    for i in range(N - 1):
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+        k = N // 2
+        while k <= j:
+            j = j - k
+            k = k // 2
+        j = j + k
+
+acc = 0.0
+for round in range({n}):
+    bit_reverse(re, im, N)
+    size = 2
+    while size <= N:
+        half = size // 2
+        ang = -6.283185307179586 / size
+        for start in range(0, N, size):
+            for k in range(half):
+                wr = cos(ang * k)
+                wi = sin(ang * k)
+                i1 = start + k
+                i2 = start + k + half
+                tr = wr * re[i2] - wi * im[i2]
+                ti = wr * im[i2] + wi * re[i2]
+                re[i2] = re[i1] - tr
+                im[i2] = im[i1] - ti
+                re[i1] = re[i1] + tr
+                im[i1] = im[i1] + ti
+        size = size * 2
+    acc = acc + re[1] + im[1]
+result = acc
+"
+    )
+}
+
+fn py_scimark_lu(n: u32) -> String {
+    format!(
+        "
+# scimark_lu: LU factorization with partial pivoting on a dense matrix.
+SIZE = 12
+acc = 0.0
+for round in range({n}):
+    a = []
+    for i in range(SIZE):
+        row = []
+        for j in range(SIZE):
+            row.append(float((i * 7 + j * 13) % 17) + 1.0)
+        a.append(row)
+    for col in range(SIZE - 1):
+        piv = col
+        for r in range(col + 1, SIZE):
+            if abs(a[r][col]) > abs(a[piv][col]):
+                piv = r
+        if piv != col:
+            a[col], a[piv] = a[piv], a[col]
+        if a[col][col] != 0.0:
+            for r in range(col + 1, SIZE):
+                f = a[r][col] / a[col][col]
+                for c in range(col, SIZE):
+                    a[r][c] = a[r][c] - f * a[col][c]
+    for i in range(SIZE):
+        acc = acc + a[i][i]
+result = acc
+"
+    )
+}
+
+fn py_scimark_sor(n: u32) -> String {
+    format!(
+        "
+# scimark_sor: successive over-relaxation on a 2-D grid.
+G = 16
+grid = []
+for i in range(G):
+    row = []
+    for j in range(G):
+        row.append(float((i * j) % 5))
+    grid.append(row)
+omega = 1.25
+for sweep in range({n} * 4):
+    for i in range(1, G - 1):
+        row = grid[i]
+        up = grid[i - 1]
+        down = grid[i + 1]
+        for j in range(1, G - 1):
+            row[j] = omega * 0.25 * (up[j] + down[j] + row[j - 1] + row[j + 1]) + (1.0 - omega) * row[j]
+total = 0.0
+for i in range(G):
+    for j in range(G):
+        total = total + grid[i][j]
+result = total
+"
+    )
+}
+
+fn py_scimark_monte(n: u32) -> String {
+    format!(
+        "
+# scimark_monte: Monte Carlo pi estimation.
+rand_seed(17)
+inside = 0
+for i in range({n} * 10):
+    x = rand()
+    y = rand()
+    if x * x + y * y <= 1.0:
+        inside = inside + 1
+result = 4.0 * inside / ({n} * 10)
+"
+    )
+}
+
+fn py_scimark_sparse(n: u32) -> String {
+    format!(
+        "
+# scimark_sparse: sparse matrix-vector multiply in CSR-like form.
+N = 100
+NZ = 5
+vals = []
+cols = []
+for i in range(N * NZ):
+    vals.append(float(i % 7) + 0.5)
+    cols.append((i * 31) % N)
+x = []
+for i in range(N):
+    x.append(1.0 + float(i) / N)
+acc = 0.0
+for round in range({n} * 4):
+    y = []
+    for r in range(N):
+        total = 0.0
+        base = r * NZ
+        for k in range(NZ):
+            total = total + vals[base + k] * x[cols[base + k]]
+        y.append(total)
+    acc = acc + y[N - 1]
+result = acc
+"
+    )
+}
+
+fn py_spectral_norm(n: u32) -> String {
+    format!(
+        "
+# spectral_norm: power iteration on the infinite matrix A[i][j].
+def a(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+def mult_av(v, out, N):
+    for i in range(N):
+        total = 0.0
+        for j in range(N):
+            total = total + a(i, j) * v[j]
+        out[i] = total
+
+def mult_atv(v, out, N):
+    for i in range(N):
+        total = 0.0
+        for j in range(N):
+            total = total + a(j, i) * v[j]
+        out[i] = total
+
+N = 24
+u = []
+v = []
+tmp = []
+for i in range(N):
+    u.append(1.0)
+    v.append(0.0)
+    tmp.append(0.0)
+for round in range({n}):
+    mult_av(u, tmp, N)
+    mult_atv(tmp, v, N)
+    mult_av(v, tmp, N)
+    mult_atv(tmp, u, N)
+vbv = 0.0
+vv = 0.0
+for i in range(N):
+    vbv = vbv + u[i] * v[i]
+    vv = vv + v[i] * v[i]
+result = sqrt(vbv / vv)
+"
+    )
+}
+
+fn py_crypto_pyaes(n: u32) -> String {
+    format!(
+        "
+# crypto_pyaes: byte-level substitution/permutation rounds over int lists.
+sbox = []
+for i in range(256):
+    sbox.append((i * 7 + 99) % 256)
+state = []
+for i in range(16):
+    state.append(i * 11 % 256)
+key = []
+for i in range(16):
+    key.append((i * 31 + 5) % 256)
+checksum = 0
+for block in range({n} * 20):
+    for r in range(10):
+        for i in range(16):
+            state[i] = sbox[state[i] ^ key[i]]
+        t = state[0]
+        for i in range(15):
+            state[i] = state[i + 1]
+        state[15] = t
+        for i in range(0, 16, 4):
+            a = state[i]
+            b = state[i + 1]
+            c = state[i + 2]
+            d = state[i + 3]
+            state[i] = a ^ b
+            state[i + 1] = b ^ c
+            state[i + 2] = c ^ d
+            state[i + 3] = d ^ a
+    checksum = (checksum + state[block % 16]) % 1000000007
+result = checksum
+"
+    )
+}
+
+// ---- container churn --------------------------------------------------------------------
+
+fn py_nqueens(n: u32) -> String {
+    format!(
+        "
+# nqueens: the classic backtracking solver.
+def solve(row, cols, diag1, diag2, N):
+    if row == N:
+        return 1
+    count = 0
+    for c in range(N):
+        d1 = row - c + N
+        d2 = row + c
+        if cols[c] == 0 and diag1[d1] == 0 and diag2[d2] == 0:
+            cols[c] = 1
+            diag1[d1] = 1
+            diag2[d2] = 1
+            count = count + solve(row + 1, cols, diag1, diag2, N)
+            cols[c] = 0
+            diag1[d1] = 0
+            diag2[d2] = 0
+    return count
+
+total = 0
+for round in range({n}):
+    N = 7
+    cols = [0] * N
+    diag1 = [0] * (2 * N + 1)
+    diag2 = [0] * (2 * N + 1)
+    total = total + solve(0, cols, diag1, diag2, N)
+result = total
+"
+    )
+}
+
+fn py_tuple_gc(n: u32) -> String {
+    format!(
+        "
+# tuple_gc: allocate short-lived tuples as fast as possible (GC stress).
+total = 0
+for i in range({n} * 10):
+    t = (i, i + 1, i + 2)
+    u = (t[2], t[0])
+    total = total + u[0] - u[1]
+result = total
+"
+    )
+}
+
+fn py_fannkuch(n: u32) -> String {
+    format!(
+        "
+# fannkuch: pancake flipping over permutations.
+def fannkuch(N):
+    perm1 = []
+    for i in range(N):
+        perm1.append(i)
+    count = [0] * N
+    max_flips = 0
+    checksum = 0
+    r = N
+    sign = 1
+    while True:
+        if r != 1:
+            for i in range(1, r):
+                count[i] = i
+            r = 1
+        perm = perm1[:]
+        flips = 0
+        k = perm[0]
+        while k != 0:
+            i = 0
+            j = k
+            while i < j:
+                perm[i], perm[j] = perm[j], perm[i]
+                i = i + 1
+                j = j - 1
+            flips = flips + 1
+            k = perm[0]
+        if flips > max_flips:
+            max_flips = flips
+        checksum = checksum + sign * flips
+        sign = 0 - sign
+        while True:
+            if r == N:
+                return checksum * 1000 + max_flips
+            first = perm1[0]
+            for i in range(r):
+                perm1[i] = perm1[i + 1]
+            perm1[r] = first
+            count[r] = count[r] - 1
+            if count[r] > 0:
+                break
+            r = r + 1
+
+acc = 0
+for round in range({n} // 6 + 1):
+    acc = acc + fannkuch(6)
+result = acc
+"
+    )
+}
+
+fn py_unpack_seq(n: u32) -> String {
+    format!(
+        "
+# unpack_seq: tuple packing/unpacking in a tight loop.
+total = 0
+for i in range({n} * 20):
+    a, b, c, d = (i, i + 1, i + 2, i + 3)
+    x, y = (b, a)
+    total = total + a + d - x + y
+result = total
+"
+    )
+}
+
+fn py_meteor_contest(n: u32) -> String {
+    format!(
+        "
+# meteor_contest: bitmask puzzle packing (pieces onto a small board).
+def place(board, pieces, idx, budget):
+    if budget[0] <= 0:
+        return 0
+    budget[0] = budget[0] - 1
+    if idx == len(pieces):
+        return 1
+    count = 0
+    p = pieces[idx]
+    for shift in range(12):
+        mask = p << shift
+        if mask < 65536 and (board & mask) == 0:
+            count = count + place(board | mask, pieces, idx + 1, budget)
+    return count
+
+total = 0
+for round in range({n}):
+    pieces = [3, 5, 9, 6, 12]
+    budget = [40000]
+    total = total + place(0, pieces, 0, budget)
+result = total
+"
+    )
+}
+
+// ---- strings and templates ------------------------------------------------------------------
+
+fn py_mako(n: u32) -> String {
+    format!(
+        "
+# mako: template rendering — substitution into page fragments.
+def render_row(name, value):
+    return '<tr><td>' + name + '</td><td>' + str(value) + '</td></tr>'
+
+pages = 0
+size = 0
+for p in range({n}):
+    rows = []
+    for i in range(40):
+        rows.append(render_row('item_' + str(i), i * p))
+    header = '<html><head><title>page %d</title></head><body>' % p
+    body = '<table>' + ''.join(rows) + '</table>'
+    page = header + body + '</body></html>'
+    pages = pages + 1
+    size = size + len(page)
+result = size
+"
+    )
+}
+
+fn py_rietveld(n: u32) -> String {
+    format!(
+        "
+# rietveld: code-review page assembly — diffs, comments, templating.
+def format_diff_line(kind, text):
+    if kind == 0:
+        return '  ' + text
+    elif kind == 1:
+        return '+ ' + text
+    else:
+        return '- ' + text
+
+issues = []
+for i in range({n}):
+    issue = {{'id': i, 'title': 'Issue %d' % i, 'comments': []}}
+    for c in range(6):
+        issue['comments'].append({{'author': 'user%d' % (c % 3), 'text': 'comment body %d' % c}})
+    issues.append(issue)
+
+rendered = 0
+for issue in issues:
+    lines = []
+    for k in range(30):
+        lines.append(format_diff_line(k % 3, 'line of code number %d' % k))
+    page = issue['title'] + '\\n' + '\\n'.join(lines)
+    for c in issue['comments']:
+        page = page + '\\n' + c['author'] + ': ' + c['text']
+    rendered = rendered + len(page)
+result = rendered
+"
+    )
+}
+
+fn py_spitfire(n: u32) -> String {
+    format!(
+        "
+# spitfire: table template rendering via string concatenation; recently
+# rendered pages stay referenced, as in a response cache.
+size = 0
+cache = []
+WIN = 140
+idx = 0
+for page in range({n}):
+    out = '<table>'
+    for r in range(25):
+        row = '<tr>'
+        for c in range(8):
+            row = row + '<td>' + str(r * c) + '</td>'
+        out = out + row + '</tr>'
+    out = out + '</table>'
+    size = size + len(out)
+    if len(cache) < WIN:
+        cache.append(out)
+    else:
+        cache[idx % WIN] = out
+    idx = idx + 1
+result = size + len(cache)
+"
+    )
+}
+
+fn py_spitfire_cstringio(n: u32) -> String {
+    format!(
+        "
+# spitfire_cstringio: the same template but buffered through a list + join.
+size = 0
+for page in range({n}):
+    buf = []
+    buf.append('<table>')
+    for r in range(25):
+        buf.append('<tr>')
+        for c in range(8):
+            buf.append('<td>')
+            buf.append(str(r * c))
+            buf.append('</td>')
+        buf.append('</tr>')
+    buf.append('</table>')
+    out = ''.join(buf)
+    size = size + len(out)
+result = size
+"
+    )
+}
+
+fn py_chameleon(n: u32) -> String {
+    format!(
+        "
+# chameleon: attribute-escaped template rendering.
+def escape(s):
+    s = s.replace('&', '&amp;')
+    s = s.replace('<', '&lt;')
+    return s.replace('>', '&gt;')
+
+size = 0
+for page in range({n}):
+    rows = []
+    for i in range(30):
+        cell = escape('<val & %d>' % i)
+        rows.append('<td class=\"c%d\">%s</td>' % (i % 4, cell))
+    size = size + len('<tr>' + ''.join(rows) + '</tr>')
+result = size
+"
+    )
+}
+
+fn py_pyxl_bench(n: u32) -> String {
+    format!(
+        "
+# pyxl_bench: HTML components as objects rendered to strings.
+class Element:
+    def __init__(self, tag):
+        self.tag = tag
+        self.children = []
+        self.attrs = {{}}
+    def append(self, child):
+        self.children.append(child)
+        return self
+    def attr(self, k, v):
+        self.attrs[k] = v
+        return self
+    def render(self):
+        parts = ['<' + self.tag]
+        for k in self.attrs:
+            parts.append(' ' + k + '=\"' + self.attrs[k] + '\"')
+        parts.append('>')
+        for c in self.children:
+            parts.append(c.render())
+        parts.append('</' + self.tag + '>')
+        return ''.join(parts)
+
+class Text:
+    def __init__(self, s):
+        self.s = s
+    def render(self):
+        return self.s
+
+size = 0
+mounted = []
+WIN = 160
+idx = 0
+for page in range({n}):
+    root = Element('div').attr('class', 'page')
+    for i in range(12):
+        item = Element('span').attr('id', 'item%d' % i)
+        item.append(Text('value ' + str(i * page)))
+        root.append(item)
+    size = size + len(root.render())
+    if len(mounted) < WIN:
+        mounted.append(root)
+    else:
+        mounted[idx % WIN] = root
+    idx = idx + 1
+result = size + len(mounted)
+"
+    )
+}
+
+fn py_dulwich_log(n: u32) -> String {
+    format!(
+        "
+# dulwich_log: walking a synthetic commit graph and formatting the log.
+commits = []
+parent = 0
+for i in range({n} * 4):
+    h = md5('commit-%d' % i) % 100000
+    commits.append({{'id': h, 'parent': parent, 'author': 'dev%d' % (i % 5), 'msg': 'change number %d' % i}})
+    parent = h
+
+log_size = 0
+for c in commits:
+    entry = 'commit %d\\nAuthor: %s\\n\\n    %s\\n' % (c['id'], c['author'], c['msg'])
+    log_size = log_size + len(entry)
+result = log_size
+"
+    )
+}
+
+fn py_logging_format(n: u32) -> String {
+    format!(
+        "
+# logging_format: building log records with %-formatting (discarded).
+emitted = 0
+ring = []
+WIN = 2200
+for i in range({n} * 4):
+    level = 'INFO'
+    if i % 10 == 0:
+        level = 'WARNING'
+    record = '%s:%s:%d: payload=%d size=%d' % (level, 'module.sub', i, i * 3, i % 77)
+    if len(ring) < WIN:
+        ring.append(record)
+    else:
+        ring[i % WIN] = record
+    if i % 50 == 0:
+        emitted = emitted + len(record)
+result = emitted + len(ring)
+"
+    )
+}
+
+// ---- parsers -----------------------------------------------------------------------------------
+
+fn py_eparse(n: u32) -> String {
+    format!(
+        "
+# eparse: a pure-guest tokenizer + recursive-descent expression evaluator.
+def tokenize(s):
+    toks = []
+    i = 0
+    while i < len(s):
+        c = s[i]
+        if c == ' ':
+            i = i + 1
+        elif c >= '0' and c <= '9':
+            v = 0
+            while i < len(s) and s[i] >= '0' and s[i] <= '9':
+                v = v * 10 + ord(s[i]) - 48
+                i = i + 1
+            toks.append(('num', v))
+        else:
+            toks.append(('op', c))
+            i = i + 1
+    return toks
+
+def parse_expr(toks, pos):
+    v, pos = parse_term(toks, pos)
+    while pos < len(toks) and toks[pos][0] == 'op' and (toks[pos][1] == '+' or toks[pos][1] == '-'):
+        op = toks[pos][1]
+        rhs, pos = parse_term(toks, pos + 1)
+        if op == '+':
+            v = v + rhs
+        else:
+            v = v - rhs
+    return (v, pos)
+
+def parse_term(toks, pos):
+    v, pos = parse_atom(toks, pos)
+    while pos < len(toks) and toks[pos][0] == 'op' and toks[pos][1] == '*':
+        rhs, pos = parse_atom(toks, pos + 1)
+        v = v * rhs
+    return (v, pos)
+
+def parse_atom(toks, pos):
+    t = toks[pos]
+    if t[0] == 'num':
+        return (t[1], pos + 1)
+    if t[1] == '(':
+        v, pos = parse_expr(toks, pos + 1)
+        return (v, pos + 1)
+    return (0, pos + 1)
+
+total = 0
+tok_cache = []
+WIN = 220
+idx = 0
+for i in range({n} * 4):
+    src = '%d + %d * (%d - %d) + %d' % (i, i % 7, i % 13, i % 5, i % 3)
+    toks = tokenize(src)
+    v, pos = parse_expr(toks, 0)
+    total = total + v
+    if len(tok_cache) < WIN:
+        tok_cache.append(toks)
+    else:
+        tok_cache[idx % WIN] = toks
+    idx = idx + 1
+result = total + len(tok_cache)
+"
+    )
+}
+
+fn py_html5lib(n: u32) -> String {
+    format!(
+        "
+# html5lib: a tag/text/attribute state machine over HTML-ish input.
+def parse_html(s):
+    tags = {{}}
+    texts = 0
+    i = 0
+    while i < len(s):
+        if s[i] == '<':
+            j = i + 1
+            name = ''
+            while j < len(s) and s[j] != '>' and s[j] != ' ':
+                name = name + s[j]
+                j = j + 1
+            while j < len(s) and s[j] != '>':
+                j = j + 1
+            if name in tags:
+                tags[name] = tags[name] + 1
+            else:
+                tags[name] = 1
+            i = j + 1
+        else:
+            texts = texts + 1
+            i = i + 1
+    total = texts
+    for t in tags:
+        total = total + tags[t]
+    return total
+
+doc = '<html><body>'
+for i in range(20):
+    doc = doc + '<div class=\"row\"><span>cell %d</span><a href=\"#\">link</a></div>' % i
+doc = doc + '</body></html>'
+
+total = 0
+for round in range({n}):
+    total = total + parse_html(doc)
+result = total
+"
+    )
+}
+
+// ---- symbolic (sympy-analog) ----------------------------------------------------------------------
+
+const SYM_PRELUDE: &str = "
+# Tiny symbolic-expression engine shared by the sym_* benchmarks.
+class Sym:
+    def __init__(self, op, left, right, name, val):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.name = name
+        self.val = val
+
+def sym_var(name):
+    return Sym('var', None, None, name, 0)
+
+def sym_num(v):
+    return Sym('num', None, None, '', v)
+
+def sym_add(a, b):
+    return Sym('+', a, b, '', 0)
+
+def sym_mul(a, b):
+    return Sym('*', a, b, '', 0)
+
+def sym_eval(e, env):
+    if e.op == 'num':
+        return e.val
+    if e.op == 'var':
+        return env[e.name]
+    l = sym_eval(e.left, env)
+    r = sym_eval(e.right, env)
+    if e.op == '+':
+        return l + r
+    return l * r
+
+def sym_to_str(e):
+    if e.op == 'num':
+        return str(e.val)
+    if e.op == 'var':
+        return e.name
+    return '(' + sym_to_str(e.left) + ' ' + e.op + ' ' + sym_to_str(e.right) + ')'
+
+def sym_expand(e):
+    if e.op == '*' and e.left.op == '+':
+        return sym_add(sym_expand(sym_mul(e.left.left, e.right)), sym_expand(sym_mul(e.left.right, e.right)))
+    if e.op == '*' and e.right.op == '+':
+        return sym_add(sym_expand(sym_mul(e.left, e.right.left)), sym_expand(sym_mul(e.left, e.right.right)))
+    if e.op == '+' or e.op == '*':
+        return Sym(e.op, sym_expand(e.left), sym_expand(e.right), '', 0)
+    return e
+";
+
+fn py_sym_str(n: u32) -> String {
+    format!(
+        "{SYM_PRELUDE}
+size = 0
+for i in range({n} * 2):
+    x = sym_var('x')
+    e = sym_add(sym_mul(sym_num(i % 9), x), sym_mul(x, sym_add(x, sym_num(3))))
+    for k in range(3):
+        e = sym_add(e, sym_mul(sym_num(k), x))
+    size = size + len(sym_to_str(e))
+result = size
+"
+    )
+}
+
+fn py_sym_sum(n: u32) -> String {
+    format!(
+        "{SYM_PRELUDE}
+total = 0
+for i in range({n} * 2):
+    x = sym_var('x')
+    e = sym_num(0)
+    for k in range(8):
+        e = sym_add(e, sym_mul(sym_num(k), x))
+    env = {{'x': i % 11}}
+    total = total + sym_eval(e, env)
+result = total
+"
+    )
+}
+
+fn py_sym_expand(n: u32) -> String {
+    format!(
+        "{SYM_PRELUDE}
+total = 0
+for i in range({n} * 2):
+    x = sym_var('x')
+    y = sym_var('y')
+    e = sym_mul(sym_add(x, sym_num(i % 5)), sym_add(y, sym_num(3)))
+    e = sym_mul(e, sym_add(x, y))
+    ex = sym_expand(e)
+    env = {{'x': 2, 'y': i % 7}}
+    total = total + sym_eval(ex, env)
+result = total
+"
+    )
+}
+
+fn py_sym_integrate(n: u32) -> String {
+    format!(
+        "{SYM_PRELUDE}
+def sym_diff(e, name):
+    if e.op == 'num':
+        return sym_num(0)
+    if e.op == 'var':
+        if e.name == name:
+            return sym_num(1)
+        return sym_num(0)
+    if e.op == '+':
+        return sym_add(sym_diff(e.left, name), sym_diff(e.right, name))
+    return sym_add(sym_mul(sym_diff(e.left, name), e.right), sym_mul(e.left, sym_diff(e.right, name)))
+
+# 'Integrate' by trapezoid evaluation of the expression.
+total = 0.0
+for i in range({n}):
+    x = sym_var('x')
+    e = sym_add(sym_mul(x, x), sym_mul(sym_num(i % 4), x))
+    de = sym_diff(e, 'x')
+    area = 0.0
+    for step in range(20):
+        env = {{'x': step}}
+        area = area + sym_eval(e, env) + sym_eval(de, env) * 0.5
+    total = total + area
+result = total
+"
+    )
+}
+
+// ---- native-library-dominated ("C library") -------------------------------------------------------
+
+fn py_pickle(n: u32) -> String {
+    format!(
+        "
+# pickle: serialize a nested structure over and over (C library heavy).
+obj = {{'strs': ['alpha', 'beta', 'gamma'], 'nested': {{'a': (1, 2), 'b': [3.5, 4.5]}}, 'flag': True}}
+ints = []
+for i in range(120):
+    ints.append(i * 7)
+obj['ints'] = ints
+size = 0
+for i in range({n}):
+    s = pickle_dumps(obj)
+    size = size + len(s)
+result = size
+"
+    )
+}
+
+fn py_unpickle(n: u32) -> String {
+    format!(
+        "
+# unpickle: deserialize the same payload repeatedly.
+obj = {{'strs': ['alpha', 'beta', 'gamma'], 'nested': {{'a': (1, 2), 'b': [3.5, 4.5]}}, 'flag': True}}
+ints = []
+for i in range(120):
+    ints.append(i * 7)
+obj['ints'] = ints
+payload = pickle_dumps(obj)
+total = 0
+for i in range({n}):
+    back = pickle_loads(payload)
+    total = total + len(back['ints'])
+result = total
+"
+    )
+}
+
+fn py_pickle_list(n: u32) -> String {
+    format!(
+        "
+# pickle_list: serialize a large flat list.
+data = []
+for i in range(800):
+    data.append(i * 3)
+size = 0
+for round in range({n} // 2 + 1):
+    size = size + len(pickle_dumps(data))
+result = size
+"
+    )
+}
+
+fn py_pickle_dict(n: u32) -> String {
+    format!(
+        "
+# pickle_dict: serialize a string-keyed dict.
+data = {{}}
+for i in range(300):
+    data['key_%d' % i] = i * i
+size = 0
+for round in range({n} // 2 + 1):
+    size = size + len(pickle_dumps(data))
+result = size
+"
+    )
+}
+
+fn py_unpickle_list(n: u32) -> String {
+    format!(
+        "
+# unpickle_list: deserialize a large flat list repeatedly.
+data = []
+for i in range(800):
+    data.append(i * 3)
+payload = pickle_dumps(data)
+total = 0
+for round in range({n} // 2 + 1):
+    back = pickle_loads(payload)
+    total = total + back[799]
+result = total
+"
+    )
+}
+
+fn py_json_dumps(n: u32) -> String {
+    format!(
+        "
+# json_dumps: serialize an API-response-shaped object.
+resp = {{'status': 'ok', 'items': [], 'meta': {{'page': 1, 'total': 42}}}}
+for i in range(25):
+    resp['items'].append({{'id': i, 'name': 'obj%d' % i, 'score': i * 1.5, 'tags': ['a', 'b']}})
+size = 0
+for round in range({n} * 2):
+    size = size + len(json_dumps(resp))
+result = size
+"
+    )
+}
+
+fn py_json_loads(n: u32) -> String {
+    format!(
+        "
+# json_loads: parse an API-response-shaped document.
+resp = {{'status': 'ok', 'items': [], 'meta': {{'page': 1, 'total': 42}}}}
+for i in range(25):
+    resp['items'].append({{'id': i, 'name': 'obj%d' % i, 'score': i * 1.5, 'tags': ['a', 'b']}})
+payload = json_dumps(resp)
+total = 0
+for round in range({n} * 2):
+    back = json_loads(payload)
+    total = total + back['meta']['total']
+result = total
+"
+    )
+}
+
+fn py_regex_v8(n: u32) -> String {
+    format!(
+        "
+# regex_v8: a mix of patterns over web-page-like text.
+text = ''
+for i in range(15):
+    text = text + 'var x%d = call%d(arg); // comment %d\\n' % (i, i, i)
+patterns = ['var [a-z0-9]+', 'call[0-9]+', '//.*', '[a-z]+[0-9]+']
+matches = 0
+for round in range({n}):
+    for p in patterns:
+        found = re_findall(p, text)
+        matches = matches + len(found)
+result = matches
+"
+    )
+}
+
+fn py_regex_dna(n: u32) -> String {
+    format!(
+        "
+# regex_dna: nucleotide patterns over a synthetic genome.
+rand_seed(99)
+chunks = ['acgta', 'ggtac', 'aatcg', 'tacgg', 'gtaaa', 'ccagt', 'tttac', 'agggt']
+parts = []
+for i in range(400):
+    parts.append(chunks[randint(0, 7)])
+genome = ''.join(parts)
+patterns = ['agggtaaa|tttaccct', '[cgt]gggtaaa', 'a[act]ggtaaa', 'ag[act]gtaaa', 'agg[act]taaa']
+count = 0
+for round in range({n} * 2):
+    for p in patterns:
+        count = count + len(re_findall(p, genome))
+result = count
+"
+    )
+}
+
+fn py_regex_effbot(n: u32) -> String {
+    format!(
+        "
+# regex_effbot: many small matches over structured text.
+lines = []
+for i in range(160):
+    lines.append('field%d=value%d;' % (i, i * 7))
+text = ''.join(lines)
+patterns = ['field15[0-9]=', 'value10[0-9][0-9];', 'f[a-z]+99=', 'x+y', 'va[kl]ue1111;']
+hits = 0
+for round in range({n} * 2):
+    for p in patterns:
+        if re_search(p, text):
+            hits = hits + 1
+result = hits
+"
+    )
+}
+
+fn py_regex_compile(n: u32) -> String {
+    format!(
+        "
+# regex_compile: pattern compilation dominates (fresh pattern per call).
+hay_parts = []
+for i in range(60):
+    hay_parts.append('x%dq%dy%d ' % (i % 10, i * 13, i % 7))
+hay = ''.join(hay_parts)
+hits = 0
+for i in range({n}):
+    p = 'x%d[0-9]+y%d' % (i % 10, i % 7)
+    if re_search(p, hay):
+        hits = hits + 1
+result = hits
+"
+    )
+}
+
+fn py_pyflate(n: u32) -> String {
+    format!(
+        "
+# pyflate: compression over repetitive text (zlib-analog native).
+chunk = ''
+for i in range(20):
+    chunk = chunk + 'abcabcabc%d' % i + 'x' * 10
+size = 0
+for round in range({n} * 2):
+    z = compress(chunk)
+    size = size + len(z)
+result = size
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn suite_has_48_entries() {
+        assert_eq!(SUITE.len(), 48);
+    }
+
+    #[test]
+    fn all_sources_are_nonempty_and_scaled() {
+        for w in SUITE {
+            let src = w.source(Scale::Tiny);
+            assert!(src.contains("result"), "{} lacks a result", w.name);
+            assert!(src.len() > 80, "{} suspiciously small", w.name);
+        }
+    }
+}

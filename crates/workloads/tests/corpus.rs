@@ -1,0 +1,140 @@
+//! Structural checks over the whole workload corpus: every program
+//! compiles to well-formed bytecode at every scale and actually exercises
+//! the language features its behavioural class promises.
+
+use qoa_frontend::{CodeKind, Opcode};
+use qoa_workloads::{jetstream_suite, python_suite, Kind, Scale, Workload};
+
+fn all_workloads() -> impl Iterator<Item = &'static Workload> {
+    python_suite().iter().chain(jetstream_suite().iter())
+}
+
+#[test]
+fn every_workload_compiles_at_every_scale() {
+    for w in all_workloads() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Full] {
+            let code = qoa_frontend::compile(&w.source(scale))
+                .unwrap_or_else(|e| panic!("{} @ {scale:?}: {e}", w.name));
+            for c in code.iter_all() {
+                c.validate()
+                    .unwrap_or_else(|e| panic!("{} @ {scale:?}: {e}", w.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn scale_changes_only_the_size_knob() {
+    for w in all_workloads() {
+        let tiny = w.source(Scale::Tiny);
+        let full = w.source(Scale::Full);
+        // The program text differs only in embedded numbers; its structure
+        // (statement count) must be identical.
+        assert_eq!(
+            tiny.lines().count(),
+            full.lines().count(),
+            "{}: scales change program structure",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn every_workload_contains_a_loop() {
+    for w in all_workloads() {
+        let code = qoa_frontend::compile(&w.source(Scale::Tiny)).expect("compiles");
+        let has_loop = code
+            .iter_all()
+            .iter()
+            .any(|c| c.code.iter().any(|i| i.op == Opcode::SetupLoop));
+        assert!(has_loop, "{} has no loop — nothing to measure", w.name);
+    }
+}
+
+#[test]
+fn object_oriented_workloads_define_classes() {
+    for w in all_workloads().filter(|w| w.kind == Kind::ObjectOriented) {
+        let code = qoa_frontend::compile(&w.source(Scale::Tiny)).expect("compiles");
+        let parts = code.iter_all();
+        let has_class = parts.iter().any(|c| c.kind == CodeKind::ClassBody)
+            // Some OO solvers use recursive functions over structures
+            // instead of classes (hexiom-style); accept attribute traffic
+            // or recursive function decomposition.
+            || parts
+                .iter()
+                .any(|c| c.code.iter().any(|i| i.op == Opcode::LoadAttr))
+            || parts.len() > 2;
+        assert!(has_class, "{} has no OO structure", w.name);
+    }
+}
+
+#[test]
+fn native_heavy_workloads_call_the_library() {
+    // The C-library group must reference at least one extension-module
+    // builtin by name.
+    let lib_names = [
+        "pickle_dumps",
+        "pickle_loads",
+        "json_dumps",
+        "json_loads",
+        "re_search",
+        "re_match",
+        "re_findall",
+        "crc32",
+        "md5",
+        "compress",
+    ];
+    for w in all_workloads().filter(|w| w.kind == Kind::NativeHeavy) {
+        let src = w.source(Scale::Tiny);
+        assert!(
+            lib_names.iter().any(|n| src.contains(n)),
+            "{} marked NativeHeavy but calls no extension module",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn numeric_workloads_use_numeric_operations() {
+    for w in all_workloads().filter(|w| w.kind == Kind::Numeric) {
+        let code = qoa_frontend::compile(&w.source(Scale::Tiny)).expect("compiles");
+        let numeric_ops = code
+            .iter_all()
+            .iter()
+            .flat_map(|c| c.code.clone())
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Opcode::BinaryAdd
+                        | Opcode::BinarySubtract
+                        | Opcode::BinaryMultiply
+                        | Opcode::BinaryDivide
+                        | Opcode::BinaryFloorDivide
+                        | Opcode::BinaryModulo
+                        | Opcode::BinaryXor
+                        | Opcode::BinaryAnd
+                )
+            })
+            .count();
+        assert!(numeric_ops >= 4, "{}: only {numeric_ops} numeric ops", w.name);
+    }
+}
+
+#[test]
+fn suites_cover_all_behavioural_classes() {
+    for suite in [python_suite(), jetstream_suite()] {
+        for kind in [
+            Kind::Numeric,
+            Kind::ObjectOriented,
+            Kind::Strings,
+            Kind::Parsing,
+            Kind::DataStructures,
+            Kind::NativeHeavy,
+        ] {
+            assert!(
+                suite.iter().any(|w| w.kind == kind),
+                "suite missing class {kind:?}"
+            );
+        }
+    }
+}

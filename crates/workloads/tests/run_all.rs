@@ -1,0 +1,93 @@
+//! Executes every workload of both suites under all three run-time
+//! configurations and cross-checks the computed results.
+
+use qoa_jit::{JitConfig, PyPyVm};
+use qoa_model::CountingSink;
+use qoa_vm::{HeapMode, Vm, VmConfig};
+use qoa_workloads::{jetstream_suite, python_suite, Scale, Workload};
+
+const FUEL: u64 = 200_000_000;
+
+fn run_cpython(src: &str) -> (Option<String>, u64) {
+    let cfg = VmConfig { heap: HeapMode::Rc, max_steps: FUEL };
+    let code = qoa_frontend::compile(src).expect("compiles");
+    let mut vm = Vm::new(cfg, CountingSink::new());
+    vm.load_program(&code);
+    vm.run().unwrap_or_else(|e| panic!("cpython run failed: {e}"));
+    let result = vm.global_display("result");
+    let (sink, _) = vm.finish();
+    (result, sink.total())
+}
+
+fn run_pypy(src: &str, jit: bool) -> (Option<String>, u64) {
+    let cfg = if jit {
+        JitConfig { max_steps: FUEL, ..JitConfig::default() }
+    } else {
+        JitConfig { max_steps: FUEL, ..JitConfig::interpreter_only() }
+    };
+    let code = qoa_frontend::compile(src).expect("compiles");
+    let mut vm = PyPyVm::new(cfg, CountingSink::new());
+    vm.load_program(&code);
+    vm.run().unwrap_or_else(|e| panic!("pypy(jit={jit}) run failed: {e}"));
+    let result = vm.vm.global_display("result");
+    let bytecodes = vm.vm.stats().bytecodes;
+    (result, bytecodes)
+}
+
+fn check_workload(w: &Workload) {
+    eprintln!("running {}", w.name);
+    let src = w.source(Scale::Tiny);
+    let (r_c, micro_ops) = run_cpython(&src);
+    let (r_i, _) = run_pypy(&src, false);
+    let (r_j, _) = run_pypy(&src, true);
+    assert!(
+        r_c.is_some(),
+        "{}: no `result` global after the run",
+        w.name
+    );
+    assert_eq!(r_c, r_i, "{}: CPython vs PyPy-no-JIT disagree", w.name);
+    assert_eq!(r_c, r_j, "{}: CPython vs PyPy-JIT disagree", w.name);
+    assert!(
+        micro_ops > 50_000,
+        "{}: only {micro_ops} micro-ops at Tiny scale — too trivial to measure",
+        w.name
+    );
+}
+
+#[test]
+fn python_suite_runs_identically_everywhere() {
+    for w in python_suite() {
+        check_workload(w);
+    }
+}
+
+#[test]
+fn jetstream_suite_runs_identically_everywhere() {
+    for w in jetstream_suite() {
+        check_workload(w);
+    }
+}
+
+#[test]
+fn jit_actually_compiles_most_python_workloads() {
+    let mut compiled = 0;
+    let mut total = 0;
+    for w in python_suite() {
+        let src = w.source(Scale::Tiny);
+        let code = qoa_frontend::compile(&src).expect("compiles");
+        let mut vm = PyPyVm::new(
+            JitConfig { max_steps: FUEL, ..JitConfig::default() },
+            CountingSink::new(),
+        );
+        vm.load_program(&code);
+        vm.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        total += 1;
+        if vm.jit_stats().traces_compiled > 0 {
+            compiled += 1;
+        }
+    }
+    assert!(
+        compiled * 10 >= total * 7,
+        "only {compiled}/{total} workloads triggered the JIT"
+    );
+}

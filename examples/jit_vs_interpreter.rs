@@ -1,0 +1,68 @@
+//! Run-time comparison: one workload under all four modeled run-times,
+//! with CPI, phase breakdown and JIT pipeline statistics — the paper's
+//! CPython / PyPy w/o JIT / PyPy / V8 comparison in miniature.
+//!
+//! ```text
+//! cargo run --release --example jit_vs_interpreter [workload-name]
+//! ```
+
+use qoa_core::report::{f2, pct, Table};
+use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_model::{Phase, RuntimeKind};
+use qoa_uarch::UarchConfig;
+use qoa_workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "richards".to_string());
+    let Some(workload) = by_name(&name) else {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(1);
+    };
+    let uarch = UarchConfig::skylake();
+    let mut t = Table::new(
+        format!("Run-time comparison: {name}"),
+        &[
+            "runtime",
+            "instructions",
+            "cycles",
+            "CPI",
+            "interp%",
+            "jit-code%",
+            "gc%",
+            "traces",
+            "bridges",
+        ],
+    );
+    let mut cpython_cycles = None;
+    for kind in RuntimeKind::ALL {
+        // The V8 preset runs the JetStream suite in the paper; it still
+        // executes Python-suite programs fine for comparison purposes.
+        let rt = RuntimeConfig::new(kind).with_nursery(512 << 10);
+        let run = capture(&workload.source(Scale::Small), &rt).expect("runs");
+        let stats = run.trace.simulate_ooo(&uarch);
+        let share = |p: Phase| stats.cycles_by_phase[p] as f64 / stats.cycles.max(1) as f64;
+        if kind == RuntimeKind::CPython {
+            cpython_cycles = Some(stats.cycles);
+        }
+        t.row(vec![
+            kind.label().to_string(),
+            stats.instructions.to_string(),
+            stats.cycles.to_string(),
+            f2(stats.cpi()),
+            pct(share(Phase::Interpreter)),
+            pct(share(Phase::JitCode)),
+            pct(stats.gc_share()),
+            run.jit.traces_compiled.to_string(),
+            run.jit.bridges_compiled.to_string(),
+        ]);
+        if kind == RuntimeKind::PyPyJit {
+            if let Some(base) = cpython_cycles {
+                println!(
+                    "PyPy w/ JIT speedup over CPython: {}x",
+                    f2(base as f64 / stats.cycles.max(1) as f64)
+                );
+            }
+        }
+    }
+    println!("{}", t.render());
+}

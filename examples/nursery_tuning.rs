@@ -1,0 +1,57 @@
+//! Nursery tuning: the paper's §V-B insight as a practical tool.
+//!
+//! Sweeps the generational nursery for one workload on the PyPy-model
+//! run-time, prints the GC-frequency / cache-residency trade-off, and
+//! recommends an application-specific nursery size — the paper's Fig. 17
+//! takeaway ("nursery sizing should be done considering cache performance,
+//! run-time configuration, and application characteristics").
+//!
+//! ```text
+//! cargo run --release --example nursery_tuning [workload-name]
+//! ```
+
+use qoa_core::report::{f2, pct, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{best_nursery, format_bytes, nursery_sweep, NURSERY_SIZES_SCALED};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "spitfire".to_string());
+    let Some(workload) = by_name(&name) else {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(1);
+    };
+    let uarch = UarchConfig::skylake();
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
+    eprintln!("sweeping {} nursery sizes for '{name}'...", NURSERY_SIZES_SCALED.len());
+    let points = nursery_sweep(workload, Scale::Small, &rt, &uarch, &NURSERY_SIZES_SCALED)
+        .expect("workload runs");
+
+    let mut t = Table::new(
+        format!("Nursery sweep: {name} (PyPy model w/ JIT, 2MB LLC)"),
+        &["nursery", "cycles", "gc-share", "llc-miss", "minor-GCs"],
+    );
+    for p in &points {
+        t.row(vec![
+            format_bytes(p.nursery),
+            p.cycles.to_string(),
+            pct(p.gc_share()),
+            pct(p.llc_miss_rate),
+            p.minor_collections.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let best = best_nursery(&points);
+    let baseline = points
+        .iter()
+        .find(|p| p.nursery == (1 << 20))
+        .expect("1MB point present");
+    println!(
+        "recommended nursery: {} ({}x vs the static 1MB policy)",
+        format_bytes(best.nursery),
+        f2(baseline.cycles as f64 / best.cycles as f64),
+    );
+}

@@ -1,0 +1,57 @@
+//! Overhead matrix: every Table II category × every modeled run-time for
+//! one workload — how each run-time design pays (or avoids) each cost.
+//!
+//! ```text
+//! cargo run --release --example overhead_matrix [workload-name]
+//! ```
+
+use qoa_core::attribution::attribute_workload;
+use qoa_core::report::{pct, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_model::{Category, RuntimeKind};
+use qoa_uarch::UarchConfig;
+use qoa_workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "deltablue".to_string());
+    let Some(workload) = by_name(&name) else {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(1);
+    };
+    let uarch = UarchConfig::skylake();
+    let breakdowns: Vec<_> = RuntimeKind::ALL
+        .iter()
+        .map(|&kind| {
+            eprintln!("running {name} on {kind}...");
+            (
+                kind,
+                attribute_workload(
+                    workload,
+                    Scale::Small,
+                    &RuntimeConfig::new(kind).with_nursery(512 << 10),
+                    &uarch,
+                )
+                .expect("workload runs"),
+            )
+        })
+        .collect();
+
+    let mut cols: Vec<String> = vec!["category".into()];
+    cols.extend(breakdowns.iter().map(|(k, _)| k.label().to_string()));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(format!("Overhead matrix: {name} (share of cycles)"), &col_refs);
+    for c in Category::ALL {
+        let mut row = vec![c.label().to_string()];
+        row.extend(breakdowns.iter().map(|(_, b)| pct(b.shares[c])));
+        t.row(row);
+    }
+    let mut row = vec!["identified overheads".to_string()];
+    row.extend(breakdowns.iter().map(|(_, b)| pct(b.overhead_share())));
+    t.row(row);
+    println!("{}", t.render());
+
+    println!("cycles:");
+    for (k, b) in &breakdowns {
+        println!("  {:<14} {:>12}", k.label(), b.cycles);
+    }
+}

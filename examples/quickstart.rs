@@ -1,0 +1,54 @@
+//! Quickstart: run one benchmark under the CPython model and print its
+//! Table II overhead breakdown — the paper's §IV methodology in a dozen
+//! lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload-name]
+//! ```
+
+use qoa_core::attribution::attribute_workload;
+use qoa_core::report::{pct, Table};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_model::{Category, RuntimeKind};
+use qoa_uarch::UarchConfig;
+use qoa_workloads::{by_name, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "richards".to_string());
+    let Some(workload) = by_name(&name) else {
+        eprintln!("unknown workload '{name}'; try one of:");
+        for w in qoa_workloads::python_suite() {
+            eprint!("{} ", w.name);
+        }
+        eprintln!();
+        std::process::exit(1);
+    };
+
+    let breakdown = attribute_workload(
+        workload,
+        Scale::Small,
+        &RuntimeConfig::new(RuntimeKind::CPython),
+        &UarchConfig::skylake(),
+    )
+    .expect("workload runs");
+
+    let mut table = Table::new(
+        format!("Overhead breakdown: {name} (CPython model, simple core)"),
+        &["category", "group", "share"],
+    );
+    for c in Category::ALL {
+        table.row(vec![
+            c.label().to_string(),
+            c.group().label().to_string(),
+            pct(breakdown.shares[c]),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "identified overheads: {}   execute+library: {}   ({} cycles, {} instructions)",
+        pct(breakdown.overhead_share()),
+        pct(breakdown.compute_share()),
+        breakdown.cycles,
+        breakdown.instructions
+    );
+}

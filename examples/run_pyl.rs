@@ -1,0 +1,77 @@
+//! Run an arbitrary Pyl source file under any modeled run-time and report
+//! its output, result, and overhead profile — the stack as a profiler for
+//! your own guest programs.
+//!
+//! ```text
+//! cargo run --release --example run_pyl -- path/to/program.pyl [cpython|pypy|pypy-nojit|v8]
+//! ```
+//!
+//! With no arguments, runs a small built-in demo program.
+
+use qoa_core::attribution::Breakdown;
+use qoa_core::report::{pct, Table};
+use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_model::{Category, RuntimeKind};
+use qoa_uarch::UarchConfig;
+
+const DEMO: &str = "
+# Demo: word frequencies with a dict, then a checksum.
+words = 'the quick brown fox jumps over the lazy dog the fox'.split(' ')
+counts = {}
+for w in words:
+    if w in counts:
+        counts[w] = counts[w] + 1
+    else:
+        counts[w] = 1
+top = 0
+for w in counts:
+    if counts[w] > top:
+        top = counts[w]
+print('distinct words:', len(counts), 'max count:', top)
+result = crc32(json_dumps(counts))
+";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let source = match args.next() {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_string(),
+    };
+    let kind = match args.next().as_deref() {
+        None | Some("cpython") => RuntimeKind::CPython,
+        Some("pypy") => RuntimeKind::PyPyJit,
+        Some("pypy-nojit") => RuntimeKind::PyPyNoJit,
+        Some("v8") => RuntimeKind::V8,
+        Some(other) => panic!("unknown runtime '{other}'"),
+    };
+
+    let run = capture(&source, &RuntimeConfig::new(kind)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    for line in &run.output {
+        println!("{line}");
+    }
+    if let Some(result) = &run.result {
+        println!("result = {result}");
+    }
+
+    let stats = run.trace.simulate_simple(&UarchConfig::skylake());
+    let b = Breakdown::from_stats("program", &stats);
+    let mut t = Table::new(
+        format!("Overhead profile ({})", kind.label()),
+        &["category", "share"],
+    );
+    let mut rows: Vec<(Category, f64)> =
+        Category::ALL.iter().map(|&c| (c, b.shares[c])).collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+    for (c, share) in rows.into_iter().filter(|(_, s)| *s > 0.001) {
+        t.row(vec![c.label().to_string(), pct(share)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "{} guest bytecodes, {} simulated instructions, {} cycles",
+        run.vm.bytecodes, stats.instructions, stats.cycles
+    );
+}
