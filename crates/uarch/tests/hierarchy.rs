@@ -103,7 +103,7 @@ fn larger_llc_never_hurts_a_fixed_trace() {
         let cfg = UarchConfig::skylake().with_llc_size(llc);
         let cycles = trace.simulate_ooo(&cfg).cycles;
         assert!(
-            cycles <= last + last / 50,
+            cycles <= last.saturating_add(last / 50),
             "LLC {llc} made things worse: {cycles} vs {last}"
         );
         last = cycles;

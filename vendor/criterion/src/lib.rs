@@ -1,0 +1,202 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim times each benchmark with `std::time::Instant` over a
+//! fixed iteration budget and prints a one-line summary — no statistics,
+//! plots, or baselines, but `cargo bench` compiles and runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup pass, then a fixed measurement budget.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.iters {
+            black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(group: Option<&str>, label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    let qualified = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / per_iter.max(1.0);
+            format!("  ({per_sec:.0} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * 1e9 / per_iter.max(1.0);
+            format!("  ({per_sec:.0} B/s)")
+        }
+        None => String::new(),
+    };
+    println!("bench {qualified:<40} {per_iter:>12.1} ns/iter{rate}");
+}
+
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(None, name, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.label, &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.label, &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(3) * 2));
+        g.bench_with_input(BenchmarkId::new("in", "x"), &5u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,634 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the same surface (`proptest!`, `prop_oneof!`,
+//! `Strategy`, `BoxedStrategy`, regex-subset string strategies, ranges,
+//! tuples, `collection::vec`, `Just`, `any`, `prop_map`, `prop_recursive`,
+//! `ProptestConfig`, `prop_assert*`, `TestCaseError`) with a deterministic
+//! generator and no shrinking: a failing case panics with the generated
+//! inputs' debug output instead of a minimised counterexample.
+
+use std::fmt;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64)
+// ---------------------------------------------------------------------------
+
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and config
+// ---------------------------------------------------------------------------
+
+/// Failure raised by `prop_assert!` / returned from a test-case body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Present for API parity; rejects are treated as failures here.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds a recursive strategy: `f` maps a strategy for depth-`d` values
+    /// to one for depth-`d+1` values. `_desired_size` and `_expected_branch`
+    /// are accepted for API parity but unused (no shrinking/sizing here).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            cur = f(cur.clone()).boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union used by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.options[0].1.generate(rng)
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- any::<T>() ------------------------------------------------------------
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// --- regex-subset string strategy ------------------------------------------
+
+/// `&'static str` strategies are interpreted as a small regex subset:
+/// literal chars, character classes `[...]` (ranges, escapes `\n \t \\ \- \]`),
+/// and quantifiers `{m}`, `{m,n}`, `*`, `+`, `?` (starred forms capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut items: Vec<(char, char)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        items.push((lo, hi));
+                    } else {
+                        items.push((lo, lo));
+                    }
+                }
+                i += 1; // closing ']'
+                Atom::Class(items)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Lit(c)
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // optional quantifier
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    i += 1;
+                    let mut lo = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        lo = lo * 10 + chars[i] as usize - '0' as usize;
+                        i += 1;
+                    }
+                    let hi = if chars[i] == ',' {
+                        i += 1;
+                        let mut hi = 0usize;
+                        while chars[i].is_ascii_digit() {
+                            hi = hi * 10 + chars[i] as usize - '0' as usize;
+                            i += 1;
+                        }
+                        hi
+                    } else {
+                        lo
+                    };
+                    i += 1; // closing '}'
+                    (lo, hi)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+fn gen_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_pattern(pat);
+    let mut s = String::new();
+    for (atom, lo, hi) in &atoms {
+        let n = *lo + rng.below((*hi - *lo + 1) as u64) as usize;
+        for _ in 0..n {
+            match atom {
+                Atom::Lit(c) => s.push(*c),
+                Atom::Class(items) => {
+                    let total: u64 = items
+                        .iter()
+                        .map(|(a, b)| (*b as u64).saturating_sub(*a as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1));
+                    for (a, b) in items {
+                        let span = (*b as u64).saturating_sub(*a as u64) + 1;
+                        if pick < span {
+                            s.push(char::from_u32(*a as u32 + pick as u32).unwrap_or(*a));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+// --- collections -----------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// The main entry point. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases as u64 {
+                let mut rng = $crate::TestRng::new(
+                    case.wrapping_mul(0x0123_4567_89AB_CDEF).wrapping_add(0xDEAD_BEEF)
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let snapshot = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {} of {} failed: {}\ninputs:\n{}",
+                        case + 1, cfg.cases, e, snapshot
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+    pub use crate as proptest;
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn string_pattern_respected(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len was {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_vec(v in proptest::collection::vec(prop_oneof![1 => Just(1u8), 2 => Just(2u8)], 1..9)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf).boxed();
+        let strat = leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                2 => inner.clone(),
+                1 => (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = super::TestRng::new(7);
+        for _ in 0..64 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+}
