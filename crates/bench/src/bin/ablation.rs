@@ -11,23 +11,27 @@
 //! 3. **Nursery policy** — static half-of-LLC vs. maximum vs. best-per-app
 //!    (the Fig. 17 policy comparison as a single table).
 
-use qoa_bench::{cli, emit};
+use qoa_bench::{cli, emit, harness, Cli, NA};
+use qoa_core::harness::{best_nursery_cell, nursery_cells, Harness};
+use qoa_core::journal::{CellKey, CellMetrics, Metric};
 use qoa_core::report::{f2, f3, pct, Table};
 use qoa_core::runtime::{capture, RuntimeConfig};
-use qoa_core::sweeps::{best_nursery, format_bytes, nursery_sweep, NURSERY_SIZES_SCALED};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED};
 use qoa_jit::JitConfig;
-use qoa_model::{Category, CountingSink, OpKind, RuntimeKind};
+use qoa_model::{Category, OpKind, RuntimeKind};
 use qoa_uarch::UarchConfig;
 use qoa_workloads::by_name;
 
 fn main() {
     let cli = cli();
-    jit_stage_ablation(&cli);
-    btb_ablation(&cli);
-    nursery_policy_ablation(&cli);
+    let mut h = harness(&cli, "ablation");
+    jit_stage_ablation(&cli, &mut h);
+    btb_ablation(&cli, &mut h);
+    nursery_policy_ablation(&cli, &mut h);
+    std::process::exit(h.finish());
 }
 
-fn jit_stage_ablation(cli: &qoa_bench::Cli) {
+fn jit_stage_ablation(cli: &Cli, h: &mut Harness) {
     let mut t = Table::new(
         "Ablation 1: JIT pipeline stages (cycles, OOO core)",
         &["benchmark", "interp-only", "traces only", "traces+bridges", "full speedup"],
@@ -36,70 +40,89 @@ fn jit_stage_ablation(cli: &qoa_bench::Cli) {
     for name in ["eparse", "go", "richards", "fannkuch"] {
         let w = by_name(name).expect("workload");
         let src = w.source(cli.scale);
-        let run = |cfg: JitConfig| {
-            let code = qoa_frontend::compile(&src).expect("compiles");
-            let mut vm = qoa_jit::PyPyVm::new(cfg, qoa_uarch::TraceBuffer::new());
-            vm.load_program(&code);
-            vm.run().expect("runs");
-            let (trace, _) = vm.vm.finish();
-            trace.simulate_ooo(&uarch).cycles
+        let mut stage = |tag: &str, cfg: JitConfig| -> Option<u64> {
+            let key = CellKey::new(name, "PyPyJit", "jit-stage", tag);
+            let metrics = h.cell(key, |deadline| {
+                let cfg = JitConfig { deadline, ..cfg };
+                let code = qoa_frontend::compile(&src)?;
+                let mut vm = qoa_jit::PyPyVm::new(cfg, qoa_uarch::TraceBuffer::new());
+                vm.load_program(&code);
+                vm.run()?;
+                let (trace, _) = vm.vm.finish();
+                let cycles = trace.simulate_ooo(&uarch).cycles;
+                let mut m = CellMetrics::new();
+                m.insert("cycles".into(), Metric::Int(cycles as i64));
+                Ok(m)
+            })?;
+            Some(metrics.get("cycles")?.as_i64()? as u64)
         };
         let base = JitConfig { nursery_size: 512 << 10, ..JitConfig::default() };
-        let interp = run(JitConfig { enabled: false, ..base });
-        let no_bridges = run(JitConfig { bridge_threshold: u32::MAX, ..base });
-        let full = run(base);
-        t.row(vec![
-            name.to_string(),
-            interp.to_string(),
-            no_bridges.to_string(),
-            full.to_string(),
-            format!("{}x", f2(interp as f64 / full as f64)),
-        ]);
+        let interp = stage("interp-only", JitConfig { enabled: false, ..base });
+        let no_bridges = stage("no-bridges", JitConfig { bridge_threshold: u32::MAX, ..base });
+        let full = stage("full", base);
+        let cell = |v: Option<u64>| v.map_or(NA.into(), |c| c.to_string());
+        let speedup = match (interp, full) {
+            (Some(i), Some(f)) => format!("{}x", f2(i as f64 / f.max(1) as f64)),
+            _ => NA.into(),
+        };
+        t.row(vec![name.to_string(), cell(interp), cell(no_bridges), cell(full), speedup]);
     }
     emit(cli, &t);
 }
 
-fn btb_ablation(cli: &qoa_bench::Cli) {
+fn btb_ablation(cli: &Cli, h: &mut Harness) {
     let mut t = Table::new(
         "Ablation 2: BTB capacity on the CPython interpreter",
         &["benchmark", "CPI tiny BTB", "CPI baseline", "CPI huge BTB", "indirect share of C-call ops"],
     );
     for name in ["richards", "deltablue", "nbody"] {
         let w = by_name(name).expect("workload");
-        let run = capture(&w.source(cli.scale), &RuntimeConfig::new(RuntimeKind::CPython))
-            .expect("runs");
-        // Instruction-level share: indirect call/branch ops within the
-        // C-function-call category (paper: 11.9% average).
-        let mut ccall_ops = 0u64;
-        let mut ccall_indirect = 0u64;
-        for op in run.trace.ops() {
-            if op.category == Category::CFunctionCall {
-                ccall_ops += 1;
-                if matches!(op.kind, OpKind::Call { indirect: true, .. } | OpKind::Ret) {
-                    ccall_indirect += 1;
+        let key = CellKey::new(name, "CPython", "btb", "ablation");
+        let metrics = h.cell(key, |deadline| {
+            let rt = RuntimeConfig::new(RuntimeKind::CPython).with_deadline(deadline);
+            let run = capture(&w.source(cli.scale), &rt)?;
+            // Instruction-level share: indirect call/branch ops within the
+            // C-function-call category (paper: 11.9% average).
+            let mut ccall_ops = 0u64;
+            let mut ccall_indirect = 0u64;
+            for op in run.trace.ops() {
+                if op.category == Category::CFunctionCall {
+                    ccall_ops += 1;
+                    if matches!(op.kind, OpKind::Call { indirect: true, .. } | OpKind::Ret) {
+                        ccall_indirect += 1;
+                    }
                 }
             }
-        }
-        let mut cfg_tiny = UarchConfig::skylake();
-        cfg_tiny.branch.btb_entries = 16;
-        let mut cfg_huge = UarchConfig::skylake();
-        cfg_huge.branch.btb_entries = 1 << 16;
-        let tiny = run.trace.simulate_ooo(&cfg_tiny).cpi();
-        let base = run.trace.simulate_ooo(&UarchConfig::skylake()).cpi();
-        let huge = run.trace.simulate_ooo(&cfg_huge).cpi();
+            let mut cfg_tiny = UarchConfig::skylake();
+            cfg_tiny.branch.btb_entries = 16;
+            let mut cfg_huge = UarchConfig::skylake();
+            cfg_huge.branch.btb_entries = 1 << 16;
+            let mut m = CellMetrics::new();
+            m.insert("cpi_tiny".into(), Metric::Num(run.trace.simulate_ooo(&cfg_tiny).cpi()));
+            m.insert(
+                "cpi_base".into(),
+                Metric::Num(run.trace.simulate_ooo(&UarchConfig::skylake()).cpi()),
+            );
+            m.insert("cpi_huge".into(), Metric::Num(run.trace.simulate_ooo(&cfg_huge).cpi()));
+            m.insert(
+                "indirect_share".into(),
+                Metric::Num(ccall_indirect as f64 / ccall_ops.max(1) as f64),
+            );
+            Ok(m)
+        });
+        let get = |n: &str| metrics.as_ref().and_then(|m| m.get(n)?.as_f64());
         t.row(vec![
             name.to_string(),
-            f3(tiny),
-            f3(base),
-            f3(huge),
-            pct(ccall_indirect as f64 / ccall_ops.max(1) as f64),
+            get("cpi_tiny").map_or(NA.into(), f3),
+            get("cpi_base").map_or(NA.into(), f3),
+            get("cpi_huge").map_or(NA.into(), f3),
+            get("indirect_share").map_or(NA.into(), pct),
         ]);
     }
     emit(cli, &t);
-    let _ = CountingSink::new();
 }
 
-fn nursery_policy_ablation(cli: &qoa_bench::Cli) {
+fn nursery_policy_ablation(cli: &Cli, h: &mut Harness) {
     let mut t = Table::new(
         "Ablation 3: nursery policy (cycles normalized to the 1MB static policy)",
         &["benchmark", "half-LLC (1MB)", "maximum", "best-per-app", "best size"],
@@ -108,19 +131,22 @@ fn nursery_policy_ablation(cli: &qoa_bench::Cli) {
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     for name in ["spitfire", "unpack_seq", "html5lib", "telco"] {
         let w = by_name(name).expect("workload");
-        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES_SCALED)
-            .expect("sweeps");
+        let pts = nursery_cells(h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES_SCALED);
         let baseline = pts
             .iter()
+            .flatten()
             .find(|p| p.nursery == (1 << 20))
-            .expect("1MB point")
-            .cycles as f64;
-        let max = pts.last().expect("points").cycles as f64;
-        let best = best_nursery(&pts);
+            .map(|p| p.cycles as f64);
+        let (Some(baseline), Some(max), Some(best)) =
+            (baseline, pts.last().cloned().flatten(), best_nursery_cell(&pts))
+        else {
+            t.row(vec![name.to_string(), NA.into(), NA.into(), NA.into(), NA.into()]);
+            continue;
+        };
         t.row(vec![
             name.to_string(),
             "1.000".into(),
-            f3(max / baseline),
+            f3(max.cycles as f64 / baseline),
             f3(best.cycles as f64 / baseline),
             format_bytes(best.nursery),
         ]);

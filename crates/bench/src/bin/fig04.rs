@@ -4,8 +4,9 @@
 //! interpreter-operation categories, both as % of total execution cycles
 //! on the simple core, plus the AVG row and the paper's headline scalars.
 
-use qoa_bench::{cli, emit};
-use qoa_core::attribution::{attribute_suite, average_shares, Breakdown};
+use qoa_bench::{cli, emit, harness, limit};
+use qoa_core::attribution::{average_shares, Breakdown};
+use qoa_core::harness::breakdown_cell;
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_model::{Category, CategoryMap, RuntimeKind};
@@ -29,17 +30,21 @@ fn panel(title: &str, cats: &[Category], rows: &[Breakdown], avg: &CategoryMap<f
 
 fn main() {
     let cli = cli();
-    let breakdowns = attribute_suite(
-        qoa_workloads::python_suite(),
-        cli.scale,
-        &RuntimeConfig::new(RuntimeKind::CPython),
-        &UarchConfig::skylake(),
-    )
-    .expect("suite runs");
-    let breakdowns: Vec<Breakdown> = breakdowns
-        .into_iter()
-        .take(cli.subset.unwrap_or(usize::MAX))
-        .collect();
+    let mut h = harness(&cli, "fig04");
+    let suite = limit(&cli, qoa_workloads::python_suite());
+    let rt = RuntimeConfig::new(RuntimeKind::CPython);
+    let uarch = UarchConfig::skylake();
+    let mut breakdowns: Vec<Breakdown> = Vec::new();
+    for w in &suite {
+        eprintln!("running {}...", w.name);
+        if let Some(b) = breakdown_cell(&mut h, w, cli.scale, &rt, &uarch) {
+            breakdowns.push(b);
+        }
+    }
+    if breakdowns.is_empty() {
+        eprintln!("no benchmark produced a breakdown");
+        std::process::exit(h.finish().max(1));
+    }
     let avg = average_shares(&breakdowns);
 
     emit(
@@ -60,6 +65,13 @@ fn main() {
             &avg,
         ),
     );
+    if breakdowns.len() < suite.len() {
+        println!(
+            "(averages over the {} of {} benchmarks that ran)",
+            breakdowns.len(),
+            suite.len()
+        );
+    }
 
     // Headline scalars (§IV-C.1).
     let overhead_avg: f64 =
@@ -82,4 +94,5 @@ fn main() {
     );
     println!("  C library avg            {} [7.0%]", pct(clib_avg));
     println!("  >64% C-library group     {heavy:?}");
+    std::process::exit(h.finish());
 }

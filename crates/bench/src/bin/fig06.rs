@@ -1,8 +1,8 @@
 //! Fig. 6: C function call overhead for the V8-preset run-time over the
 //! JetStream-analog suite (paper average: 5.6%).
 
-use qoa_bench::{cli, emit, limit};
-use qoa_core::attribution::attribute_workload;
+use qoa_bench::{cli, emit, harness, limit, NA};
+use qoa_core::harness::breakdown_cell;
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_model::{Category, RuntimeKind};
@@ -10,6 +10,7 @@ use qoa_uarch::UarchConfig;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig06");
     let suite = limit(&cli, qoa_workloads::jetstream_suite());
     let mut t = Table::new(
         "Fig. 6: C function call overhead, V8 preset (% of execution cycles)",
@@ -19,10 +20,20 @@ fn main() {
     let uarch = UarchConfig::skylake();
     let mut shares = Vec::new();
     for w in &suite {
-        let b = attribute_workload(w, cli.scale, &rt, &uarch)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        shares.push(b.shares[Category::CFunctionCall]);
-        t.row(vec![w.name.to_string(), pct(b.shares[Category::CFunctionCall])]);
+        eprintln!("running {}...", w.name);
+        match breakdown_cell(&mut h, w, cli.scale, &rt, &uarch) {
+            Some(b) => {
+                shares.push(b.shares[Category::CFunctionCall]);
+                t.row(vec![w.name.to_string(), pct(b.shares[Category::CFunctionCall])]);
+            }
+            None => {
+                t.row(vec![w.name.to_string(), NA.into()]);
+            }
+        }
+    }
+    if shares.is_empty() {
+        emit(&cli, &t);
+        std::process::exit(h.finish().max(1));
     }
     let geomean = (shares.iter().map(|s| s.max(1e-6).ln()).sum::<f64>()
         / shares.len() as f64)
@@ -31,4 +42,5 @@ fn main() {
     t.row(vec!["GEOMEAN".into(), pct(geomean)]);
     emit(&cli, &t);
     println!("arithmetic mean {} [paper avg: 5.6%]", pct(mean));
+    std::process::exit(h.finish());
 }

@@ -6,82 +6,101 @@
 //! the OOO core at every sweep point. Defaults to the paper's Fig. 8
 //! benchmark subset; pass `--all` for the full 48.
 
-use qoa_bench::{cli, emit, sweep_subset, Cli};
+use qoa_bench::{cli, emit, harness, sweep_subset, Cli, NA};
+use qoa_core::harness::sweep_param_cell;
 use qoa_core::report::{f3, Table};
-use qoa_core::runtime::{capture, RuntimeConfig};
-use qoa_core::sweeps::{sweep_trace, SweepParam, SCALED_DEFAULT_NURSERY};
-use qoa_model::{Phase, RuntimeKind};
-use qoa_uarch::{TraceBuffer, UarchConfig};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{SweepParam, SCALED_DEFAULT_NURSERY};
+use qoa_model::RuntimeKind;
+use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG8_BENCHMARKS;
 
-struct Captured {
-    kind: RuntimeKind,
-    traces: Vec<TraceBuffer>,
+/// Per-(parameter, runtime) accumulated series.
+struct Series {
+    avg: Vec<f64>,
+    interp: Vec<f64>,
+    gc: Vec<f64>,
+    jit: Vec<f64>,
+    count: usize,
+}
+
+impl Series {
+    fn new(len: usize) -> Self {
+        Series {
+            avg: vec![0.0; len],
+            interp: vec![0.0; len],
+            gc: vec![0.0; len],
+            jit: vec![0.0; len],
+            count: 0,
+        }
+    }
 }
 
 fn main() {
     let cli: Cli = cli();
+    let mut h = harness(&cli, "fig07");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG8_BENCHMARKS);
-    eprintln!(
-        "capturing {} benchmarks x 3 runtimes (this is the expensive part)...",
-        suite.len()
-    );
     let runtimes = [RuntimeKind::CPython, RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit];
-    let captured: Vec<Captured> = runtimes
-        .iter()
-        .map(|&kind| {
-            let rt = RuntimeConfig::new(kind).with_nursery(SCALED_DEFAULT_NURSERY);
-            let traces = suite
-                .iter()
-                .map(|w| {
-                    capture(&w.source(cli.scale), &rt)
-                        .unwrap_or_else(|e| panic!("{} on {kind}: {e}", w.name))
-                        .trace
-                })
-                .collect();
-            Captured { kind, traces }
-        })
-        .collect();
-
     let base = UarchConfig::skylake();
-    for param in SweepParam::ALL {
+
+    // series[param][runtime]; the capture for a (benchmark, runtime) pair
+    // is shared across all six parameters via the trace cache.
+    let mut series: Vec<Vec<Series>> = SweepParam::ALL
+        .iter()
+        .map(|p| runtimes.iter().map(|_| Series::new(p.values().len())).collect())
+        .collect();
+    for (ri, &kind) in runtimes.iter().enumerate() {
+        let rt = RuntimeConfig::new(kind).with_nursery(SCALED_DEFAULT_NURSERY);
+        for w in &suite {
+            eprintln!("sweeping {} on {kind}...", w.name);
+            let mut trace_cache = None;
+            for (pi, &param) in SweepParam::ALL.iter().enumerate() {
+                let Some(pts) =
+                    sweep_param_cell(&mut h, w, cli.scale, &rt, &base, param, &mut trace_cache)
+                else {
+                    continue;
+                };
+                let s = &mut series[pi][ri];
+                for (i, p) in pts.iter().enumerate() {
+                    s.avg[i] += p.cpi;
+                    s.interp[i] += p.interp_cpi;
+                    s.gc[i] += p.gc_cpi;
+                    s.jit[i] += p.jit_cpi;
+                }
+                s.count += 1;
+            }
+        }
+    }
+
+    for (pi, &param) in SweepParam::ALL.iter().enumerate() {
         let values = param.values();
         let mut cols: Vec<String> = vec!["series".into()];
         cols.extend(values.iter().map(|&v| param.format_value(v)));
         let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
         let mut t = Table::new(format!("Fig. 7: CPI vs {}", param.label()), &col_refs);
-
-        for c in &captured {
-            // Average CPI across benchmarks at each sweep point.
-            let mut avg = vec![0.0f64; values.len()];
-            let mut phase_interp = vec![0.0f64; values.len()];
-            let mut phase_gc = vec![0.0f64; values.len()];
-            let mut phase_jit = vec![0.0f64; values.len()];
-            for trace in &c.traces {
-                let pts = sweep_trace(trace, param, &base);
-                for (i, p) in pts.iter().enumerate() {
-                    avg[i] += p.cpi;
-                    phase_interp[i] += p.phase_cpi[Phase::Interpreter];
-                    phase_gc[i] += p.phase_cpi[Phase::GcMinor] + p.phase_cpi[Phase::GcMajor];
-                    phase_jit[i] += p.phase_cpi[Phase::JitCode];
-                }
-            }
-            let n = c.traces.len() as f64;
-            let mut row = vec![c.kind.label().to_string()];
-            row.extend(avg.iter().map(|v| f3(v / n)));
+        for (ri, &kind) in runtimes.iter().enumerate() {
+            let s = &series[pi][ri];
+            let render = |sums: &[f64]| -> Vec<String> {
+                sums.iter()
+                    .map(|v| if s.count == 0 { NA.into() } else { f3(v / s.count as f64) })
+                    .collect()
+            };
+            let mut row = vec![kind.label().to_string()];
+            row.extend(render(&s.avg));
             t.row(row);
-            if c.kind == RuntimeKind::PyPyJit {
-                for (label, series) in [
-                    ("  Bytecode Interpreter", &phase_interp),
-                    ("  Garbage Collection", &phase_gc),
-                    ("  JIT Compiled Code", &phase_jit),
+            if kind == RuntimeKind::PyPyJit {
+                for (label, sums) in [
+                    ("  Bytecode Interpreter", &s.interp),
+                    ("  Garbage Collection", &s.gc),
+                    ("  JIT Compiled Code", &s.jit),
                 ] {
                     let mut row = vec![label.to_string()];
-                    row.extend(series.iter().map(|v| f3(v / n)));
+                    row.extend(render(sums));
                     t.row(row);
                 }
             }
         }
         emit(&cli, &t);
     }
+    std::process::exit(h.finish());
 }

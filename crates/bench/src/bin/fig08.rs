@@ -1,33 +1,38 @@
 //! Fig. 8: per-benchmark CPI bars under the microarchitecture sweeps,
 //! for PyPy with JIT on the paper's eight-benchmark subset.
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::{sweep_param_cell, SweepCellPoint};
 use qoa_core::report::{f3, Table};
-use qoa_core::runtime::{capture, RuntimeConfig};
-use qoa_core::sweeps::{sweep_trace, SweepParam, SCALED_DEFAULT_NURSERY};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{SweepParam, SCALED_DEFAULT_NURSERY};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG8_BENCHMARKS;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig08");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG8_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit).with_nursery(SCALED_DEFAULT_NURSERY);
-    eprintln!("capturing {} benchmarks (PyPy w/ JIT)...", suite.len());
-    let traces: Vec<_> = suite
-        .iter()
-        .map(|w| {
-            (
-                w.name,
-                capture(&w.source(cli.scale), &rt)
-                    .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-                    .trace,
-            )
-        })
-        .collect();
-
     let base = UarchConfig::skylake();
-    for param in SweepParam::ALL {
+
+    // swept[workload][param] — the capture for a benchmark is shared
+    // across the six parameters via the trace cache.
+    let mut swept: Vec<(&str, Vec<Option<Vec<SweepCellPoint>>>)> = Vec::new();
+    for w in &suite {
+        eprintln!("sweeping {}...", w.name);
+        let mut trace_cache = None;
+        let per_param = SweepParam::ALL
+            .iter()
+            .map(|&param| {
+                sweep_param_cell(&mut h, w, cli.scale, &rt, &base, param, &mut trace_cache)
+            })
+            .collect();
+        swept.push((w.name, per_param));
+    }
+
+    for (pi, &param) in SweepParam::ALL.iter().enumerate() {
         let values = param.values();
         let mut cols: Vec<String> = vec!["benchmark".into()];
         cols.extend(values.iter().map(|&v| param.format_value(v)));
@@ -36,12 +41,15 @@ fn main() {
             format!("Fig. 8: per-benchmark CPI (PyPy w/ JIT) vs {}", param.label()),
             &col_refs,
         );
-        for (name, trace) in &traces {
-            let pts = sweep_trace(trace, param, &base);
+        for (name, per_param) in &swept {
             let mut row = vec![name.to_string()];
-            row.extend(pts.iter().map(|p| f3(p.cpi)));
+            match &per_param[pi] {
+                Some(pts) => row.extend(pts.iter().map(|p| f3(p.cpi))),
+                None => row.extend(values.iter().map(|_| NA.to_string())),
+            }
             t.row(row);
         }
         emit(&cli, &t);
     }
+    std::process::exit(h.finish());
 }

@@ -1,10 +1,11 @@
 //! Fig. 9: microarchitecture sweeps for the V8 preset over the
 //! JetStream-analog suite (average CPI line per parameter).
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::sweep_param_cell;
 use qoa_core::report::{f3, Table};
-use qoa_core::runtime::{capture, RuntimeConfig};
-use qoa_core::sweeps::{sweep_trace, SweepParam, SCALED_DEFAULT_NURSERY};
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::sweeps::{SweepParam, SCALED_DEFAULT_NURSERY};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 
@@ -22,20 +23,33 @@ const SUBSET: [&str; 8] = [
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig09");
     let suite = sweep_subset(&cli, qoa_workloads::jetstream_suite(), &SUBSET);
     let rt = RuntimeConfig::new(RuntimeKind::V8).with_nursery(SCALED_DEFAULT_NURSERY);
-    eprintln!("capturing {} JetStream benchmarks (V8 preset)...", suite.len());
-    let traces: Vec<_> = suite
-        .iter()
-        .map(|w| {
-            capture(&w.source(cli.scale), &rt)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-                .trace
-        })
-        .collect();
-
     let base = UarchConfig::skylake();
-    for param in SweepParam::ALL {
+
+    // sums[param][point]; each benchmark's capture is shared across the
+    // six parameters via the trace cache.
+    let mut sums: Vec<Vec<f64>> =
+        SweepParam::ALL.iter().map(|p| vec![0.0; p.values().len()]).collect();
+    let mut counts = vec![0usize; SweepParam::ALL.len()];
+    for w in &suite {
+        eprintln!("sweeping {}...", w.name);
+        let mut trace_cache = None;
+        for (pi, &param) in SweepParam::ALL.iter().enumerate() {
+            let Some(pts) =
+                sweep_param_cell(&mut h, w, cli.scale, &rt, &base, param, &mut trace_cache)
+            else {
+                continue;
+            };
+            for (i, p) in pts.iter().enumerate() {
+                sums[pi][i] += p.cpi;
+            }
+            counts[pi] += 1;
+        }
+    }
+
+    for (pi, &param) in SweepParam::ALL.iter().enumerate() {
         let values = param.values();
         let mut cols: Vec<String> = vec!["series".into()];
         cols.extend(values.iter().map(|&v| param.format_value(v)));
@@ -44,17 +58,16 @@ fn main() {
             format!("Fig. 9: V8 average CPI vs {}", param.label()),
             &col_refs,
         );
-        let mut avg = vec![0.0f64; values.len()];
-        for trace in &traces {
-            let pts = sweep_trace(trace, param, &base);
-            for (i, p) in pts.iter().enumerate() {
-                avg[i] += p.cpi;
-            }
-        }
-        let n = traces.len() as f64;
         let mut row = vec!["V8".to_string()];
-        row.extend(avg.iter().map(|v| f3(v / n)));
+        row.extend(sums[pi].iter().map(|v| {
+            if counts[pi] == 0 {
+                NA.into()
+            } else {
+                f3(v / counts[pi] as f64)
+            }
+        }));
         t.row(row);
         emit(&cli, &t);
     }
+    std::process::exit(h.finish());
 }

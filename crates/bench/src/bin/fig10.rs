@@ -2,16 +2,18 @@
 //! 2 MB last-level cache). The paper's cliff: once the nursery outgrows
 //! the cache, the miss rate jumps by roughly 2.4×.
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::nursery_cells;
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG14_BENCHMARKS;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig10");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     let uarch = UarchConfig::skylake(); // 2 MB LLC
@@ -24,28 +26,34 @@ fn main() {
         &col_refs,
     );
 
-    let mut avg = vec![0.0f64; NURSERY_SIZES.len()];
+    let mut sum = vec![0.0f64; NURSERY_SIZES.len()];
+    let mut count = vec![0usize; NURSERY_SIZES.len()];
     for w in &suite {
         eprintln!("sweeping {}...", w.name);
-        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let pts = nursery_cells(&mut h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES);
         for (i, p) in pts.iter().enumerate() {
-            avg[i] += p.llc_miss_rate;
+            if let Some(p) = p {
+                sum[i] += p.llc_miss_rate;
+                count[i] += 1;
+            }
         }
     }
-    let n = suite.len() as f64;
+    let avg = |i: usize| (count[i] > 0).then(|| sum[i] / count[i] as f64);
     let mut row = vec!["LLC miss rate".to_string()];
-    row.extend(avg.iter().map(|v| pct(v / n)));
+    row.extend((0..NURSERY_SIZES.len()).map(|i| avg(i).map_or(NA.into(), pct)));
     t.row(row);
     emit(&cli, &t);
 
     // Compare the best in-cache point against the out-of-cache plateau.
-    let small = avg.iter().take(4).cloned().fold(f64::MAX, f64::min) / n;
-    let large = avg[NURSERY_SIZES.len() - 1] / n;
-    println!(
-        "cliff: {} (nursery fits LLC) -> {} (nursery >> LLC) = {:.2}x increase [paper: ~2.4x]",
-        pct(small),
-        pct(large),
-        large / small.max(1e-9)
-    );
+    let small = (0..4).filter_map(avg).fold(f64::MAX, f64::min);
+    let large = avg(NURSERY_SIZES.len() - 1);
+    if let (true, Some(large)) = (small < f64::MAX, large) {
+        println!(
+            "cliff: {} (nursery fits LLC) -> {} (nursery >> LLC) = {:.2}x increase [paper: ~2.4x]",
+            pct(small),
+            pct(large),
+            large / small.max(1e-9)
+        );
+    }
+    std::process::exit(h.finish());
 }

@@ -2,16 +2,18 @@
 //! nursery sizes, normalized to the half-of-LLC nursery run (1 MB nursery
 //! for the 2 MB cache), averaged over the benchmark subset.
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::nursery_cells;
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG14_BENCHMARKS;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig11");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     let uarch = UarchConfig::skylake();
@@ -24,18 +26,21 @@ fn main() {
     let mut gc = vec![0.0f64; NURSERY_SIZES.len()];
     let mut non_gc = vec![0.0f64; NURSERY_SIZES.len()];
     let mut overall = vec![0.0f64; NURSERY_SIZES.len()];
+    let mut count = vec![0usize; NURSERY_SIZES.len()];
     for w in &suite {
         eprintln!("sweeping {}...", w.name);
-        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let base = pts[baseline_idx].cycles.max(1) as f64;
+        let pts = nursery_cells(&mut h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES);
+        // Normalization needs the workload's own baseline point.
+        let Some(baseline) = &pts[baseline_idx] else { continue };
+        let base = baseline.cycles.max(1) as f64;
         for (i, p) in pts.iter().enumerate() {
+            let Some(p) = p else { continue };
             gc[i] += p.gc_cycles as f64 / base;
             non_gc[i] += p.non_gc_cycles() as f64 / base;
             overall[i] += p.cycles as f64 / base;
+            count[i] += 1;
         }
     }
-    let n = suite.len() as f64;
 
     let mut cols: Vec<String> = vec!["component".into()];
     cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));
@@ -46,8 +51,15 @@ fn main() {
     );
     for (label, series) in [("GC", &gc), ("Non-GC", &non_gc), ("Overall", &overall)] {
         let mut row = vec![label.to_string()];
-        row.extend(series.iter().map(|v| f3(v / n)));
+        row.extend(series.iter().zip(&count).map(|(v, &c)| {
+            if c == 0 {
+                NA.into()
+            } else {
+                f3(v / c as f64)
+            }
+        }));
         t.row(row);
     }
     emit(&cli, &t);
+    std::process::exit(h.finish());
 }

@@ -2,16 +2,18 @@
 //! four configurations — PyPy w/o JIT at a 2 MB LLC, and PyPy w/ JIT at
 //! 2/4/8 MB LLCs — each normalized to its own 1 MB-nursery run.
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::nursery_cells_tagged;
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG14_BENCHMARKS;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig12");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let configs: [(&str, RuntimeKind, u64); 4] = [
         ("w/o JIT 2MB LLC", RuntimeKind::PyPyNoJit, 2 << 20),
@@ -36,19 +38,30 @@ fn main() {
         eprintln!("config {label}...");
         let rt = RuntimeConfig::new(kind);
         let uarch = UarchConfig::skylake().with_llc_size(llc);
+        // The same (workload, runtime, nursery) triple is measured under
+        // several LLC sizes; the tag keeps their journal cells distinct.
+        let tag = format!("@llc={}", format_bytes(llc));
         let mut norm = vec![0.0f64; NURSERY_SIZES.len()];
+        let mut count = vec![0usize; NURSERY_SIZES.len()];
         for w in &suite {
-            let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let base = pts[baseline_idx].cycles.max(1) as f64;
+            let pts = nursery_cells_tagged(&mut h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES, &tag);
+            // Normalization needs the workload's own baseline point.
+            let Some(baseline) = &pts[baseline_idx] else { continue };
+            let base = baseline.cycles.max(1) as f64;
             for (i, p) in pts.iter().enumerate() {
+                let Some(p) = p else { continue };
                 norm[i] += p.cycles as f64 / base;
+                count[i] += 1;
             }
         }
-        let n = suite.len() as f64;
         let mut row = vec![label.to_string()];
-        row.extend(norm.iter().map(|v| f3(v / n)));
+        row.extend(
+            norm.iter()
+                .zip(&count)
+                .map(|(v, &c)| if c == 0 { NA.into() } else { f3(v / c as f64) }),
+        );
         t.row(row);
     }
     emit(&cli, &t);
+    std::process::exit(h.finish());
 }

@@ -2,7 +2,8 @@
 //! per benchmark, PyPy without and with JIT (paper: the average GC share
 //! grows ~4.6x — from 3% to 14% — when the JIT removes mutator work).
 
-use qoa_bench::{cli, emit, limit};
+use qoa_bench::{cli, emit, harness, limit, NA};
+use qoa_core::journal::{CellKey, CellMetrics, Metric};
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::{capture, RuntimeConfig};
 // Fig. 13 uses a smaller scaled nursery so collections are frequent
@@ -13,32 +14,59 @@ use qoa_uarch::UarchConfig;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig13");
     let suite = limit(&cli, qoa_workloads::python_suite());
     let uarch = UarchConfig::skylake();
     let mut t = Table::new(
         "Fig. 13: GC time as % of execution time (PyPy)",
         &["benchmark", "w/o JIT", "w/ JIT"],
     );
-    let mut sum_nojit = 0.0;
-    let mut sum_jit = 0.0;
+    let mut sums = [0.0f64; 2];
+    let mut counts = [0usize; 2];
     for w in &suite {
         eprintln!("running {}...", w.name);
-        let mut shares = [0.0f64; 2];
+        let mut shares: [Option<f64>; 2] = [None, None];
         for (i, kind) in [RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit].iter().enumerate() {
-            let run = capture(&w.source(cli.scale), &RuntimeConfig::new(*kind).with_nursery(FIG13_NURSERY))
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let stats = run.trace.simulate_ooo(&uarch);
-            shares[i] = stats.gc_share();
+            let key = CellKey::new(
+                w.name,
+                format!("{kind:?}"),
+                "nursery",
+                FIG13_NURSERY.to_string(),
+            );
+            let metrics = h.cell(key, |deadline| {
+                let rt = RuntimeConfig::new(*kind)
+                    .with_nursery(FIG13_NURSERY)
+                    .with_deadline(deadline);
+                let run = capture(&w.source(cli.scale), &rt)?;
+                let stats = run.trace.simulate_ooo(&uarch);
+                let mut m = CellMetrics::new();
+                m.insert("gc_share".into(), Metric::Num(stats.gc_share()));
+                Ok(m)
+            });
+            shares[i] = metrics.and_then(|m| m.get("gc_share")?.as_f64());
+            if let Some(s) = shares[i] {
+                sums[i] += s;
+                counts[i] += 1;
+            }
         }
-        sum_nojit += shares[0];
-        sum_jit += shares[1];
-        t.row(vec![w.name.to_string(), pct(shares[0]), pct(shares[1])]);
+        t.row(vec![
+            w.name.to_string(),
+            shares[0].map_or(NA.into(), pct),
+            shares[1].map_or(NA.into(), pct),
+        ]);
     }
-    let n = suite.len() as f64;
-    t.row(vec!["AVG".into(), pct(sum_nojit / n), pct(sum_jit / n)]);
+    let avg = |i: usize| (counts[i] > 0).then(|| sums[i] / counts[i] as f64);
+    t.row(vec![
+        "AVG".into(),
+        avg(0).map_or(NA.into(), pct),
+        avg(1).map_or(NA.into(), pct),
+    ]);
     emit(&cli, &t);
-    println!(
-        "GC share grows {:.1}x with JIT [paper: 4.6x, 3% -> 14%]",
-        (sum_jit / n) / (sum_nojit / n).max(1e-9)
-    );
+    if let (Some(nojit), Some(jit)) = (avg(0), avg(1)) {
+        println!(
+            "GC share grows {:.1}x with JIT [paper: 4.6x, 3% -> 14%]",
+            jit / nojit.max(1e-9)
+        );
+    }
+    std::process::exit(h.finish());
 }

@@ -1,16 +1,18 @@
 //! Fig. 15: per-benchmark normalized execution time across nursery sizes,
 //! PyPy **without** JIT, on the paper's eight-benchmark subset.
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::nursery_cells;
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG14_BENCHMARKS;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig15");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyNoJit);
     let uarch = UarchConfig::skylake();
@@ -28,12 +30,15 @@ fn main() {
     );
     for w in &suite {
         eprintln!("sweeping {}...", w.name);
-        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let base = pts[baseline_idx].cycles.max(1) as f64;
+        let pts = nursery_cells(&mut h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES);
+        let base = pts[baseline_idx].as_ref().map(|p| p.cycles.max(1) as f64);
         let mut row = vec![w.name.to_string()];
-        row.extend(pts.iter().map(|p| f3(p.cycles as f64 / base)));
+        row.extend(pts.iter().map(|p| match (p, base) {
+            (Some(p), Some(base)) => f3(p.cycles as f64 / base),
+            _ => NA.into(),
+        }));
         t.row(row);
     }
     emit(&cli, &t);
+    std::process::exit(h.finish());
 }

@@ -2,10 +2,11 @@
 //! caches, averaged over a JetStream subset and normalized per-config to
 //! the 1 MB nursery run.
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::nursery_cells_tagged;
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::sweeps::{format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 
@@ -13,6 +14,7 @@ const SUBSET: [&str; 6] = ["splay", "hash-map", "richards", "tagcloud", "earley-
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig16");
     let suite = sweep_subset(&cli, qoa_workloads::jetstream_suite(), &SUBSET);
     let rt = RuntimeConfig::new(RuntimeKind::V8);
     let baseline_idx = NURSERY_SIZES
@@ -30,19 +32,29 @@ fn main() {
     for llc in [2u64 << 20, 4 << 20, 8 << 20] {
         eprintln!("LLC {}...", format_bytes(llc));
         let uarch = UarchConfig::skylake().with_llc_size(llc);
+        // Same (workload, runtime, nursery) at three LLC sizes: the tag
+        // keeps their journal cells distinct.
+        let tag = format!("@llc={}", format_bytes(llc));
         let mut norm = vec![0.0f64; NURSERY_SIZES.len()];
+        let mut count = vec![0usize; NURSERY_SIZES.len()];
         for w in &suite {
-            let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let base = pts[baseline_idx].cycles.max(1) as f64;
+            let pts = nursery_cells_tagged(&mut h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES, &tag);
+            let Some(baseline) = &pts[baseline_idx] else { continue };
+            let base = baseline.cycles.max(1) as f64;
             for (i, p) in pts.iter().enumerate() {
+                let Some(p) = p else { continue };
                 norm[i] += p.cycles as f64 / base;
+                count[i] += 1;
             }
         }
-        let n = suite.len() as f64;
         let mut row = vec![format_bytes(llc)];
-        row.extend(norm.iter().map(|v| f3(v / n)));
+        row.extend(
+            norm.iter()
+                .zip(&count)
+                .map(|(v, &c)| if c == 0 { NA.into() } else { f3(v / c as f64) }),
+        );
         t.row(row);
     }
     emit(&cli, &t);
+    std::process::exit(h.finish());
 }

@@ -3,16 +3,18 @@
 //! half-of-cache (1 MB) baseline — plus the paper's two headline
 //! averages: best-per-app (-21.4%) vs max-nursery-for-all (-9.8%).
 
-use qoa_bench::{cli, emit, sweep_subset};
+use qoa_bench::{cli, emit, harness, sweep_subset, NA};
+use qoa_core::harness::{best_nursery_cell, nursery_cells};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::sweeps::{best_nursery, format_bytes, nursery_sweep, NURSERY_SIZES_SCALED as NURSERY_SIZES};
+use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
 use qoa_model::RuntimeKind;
 use qoa_uarch::UarchConfig;
 use qoa_workloads::FIG14_BENCHMARKS;
 
 fn main() {
     let cli = cli();
+    let mut h = harness(&cli, "fig17");
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     let uarch = UarchConfig::skylake();
@@ -27,35 +29,51 @@ fn main() {
         &["benchmark", "best nursery", "best/baseline", "max/baseline"],
     );
     let mut best_sum = 0.0;
+    let mut best_n = 0usize;
     let mut max_sum = 0.0;
+    let mut max_n = 0usize;
     for w in &suite {
         eprintln!("sweeping {}...", w.name);
-        let pts = nursery_sweep(w, cli.scale, &rt, &uarch, &NURSERY_SIZES)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let base = pts[baseline_idx].cycles.max(1) as f64;
-        let best = best_nursery(&pts);
-        let best_norm = best.cycles as f64 / base;
-        let max_norm = pts[max_idx].cycles as f64 / base;
-        best_sum += best_norm;
-        max_sum += max_norm;
+        let pts = nursery_cells(&mut h, w, cli.scale, &rt, &uarch, &NURSERY_SIZES);
+        // Both columns normalize to the workload's own baseline point.
+        let Some(base) = pts[baseline_idx].as_ref().map(|p| p.cycles.max(1) as f64) else {
+            t.row(vec![w.name.to_string(), NA.into(), NA.into(), NA.into()]);
+            continue;
+        };
+        let best = best_nursery_cell(&pts);
+        let best_cell = best.map(|b| {
+            let norm = b.cycles as f64 / base;
+            best_sum += norm;
+            best_n += 1;
+            (format_bytes(b.nursery), f3(norm))
+        });
+        let max_cell = pts[max_idx].as_ref().map(|p| {
+            let norm = p.cycles as f64 / base;
+            max_sum += norm;
+            max_n += 1;
+            f3(norm)
+        });
+        let (best_nursery, best_norm) = best_cell.unwrap_or((NA.into(), NA.into()));
         t.row(vec![
             w.name.to_string(),
-            format_bytes(best.nursery),
-            f3(best_norm),
-            f3(max_norm),
+            best_nursery,
+            best_norm,
+            max_cell.unwrap_or(NA.into()),
         ]);
     }
-    let n = suite.len() as f64;
     t.row(vec![
         "GEOMEAN/AVG".into(),
         "-".into(),
-        f3(best_sum / n),
-        f3(max_sum / n),
+        if best_n == 0 { NA.into() } else { f3(best_sum / best_n as f64) },
+        if max_n == 0 { NA.into() } else { f3(max_sum / max_n as f64) },
     ]);
     emit(&cli, &t);
-    println!(
-        "best-per-app saves {:.1}% [paper: 21.4%]; max-for-all saves {:.1}% [paper: 9.8%]",
-        (1.0 - best_sum / n) * 100.0,
-        (1.0 - max_sum / n) * 100.0
-    );
+    if best_n > 0 && max_n > 0 {
+        println!(
+            "best-per-app saves {:.1}% [paper: 21.4%]; max-for-all saves {:.1}% [paper: 9.8%]",
+            (1.0 - best_sum / best_n as f64) * 100.0,
+            (1.0 - max_sum / max_n as f64) * 100.0
+        );
+    }
+    std::process::exit(h.finish());
 }

@@ -10,9 +10,17 @@
 //!   paper's own per-benchmark subsets).
 //! * `--all` — run the complete suite even for sweep binaries.
 //! * `--csv` — emit CSV instead of aligned text.
+//! * `--fresh` — ignore the run journal and re-measure everything.
+//! * `--deadline-secs N` — wall-clock deadline per measurement cell.
+//! * `--max-failure-rate F` — failure rate (0–1) above which the binary
+//!   exits nonzero (default 0.25).
+//! * `--journal-dir DIR` — where run journals live (default `results/`).
 
 use qoa_core::report::Table;
+use qoa_core::{Harness, HarnessOptions};
 use qoa_workloads::{Scale, Workload};
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -25,13 +33,51 @@ pub struct Cli {
     pub all: bool,
     /// CSV output.
     pub csv: bool,
+    /// Ignore the run journal.
+    pub fresh: bool,
+    /// Per-cell wall-clock deadline in seconds.
+    pub deadline_secs: Option<u64>,
+    /// Failure rate above which the run exits nonzero.
+    pub max_failure_rate: f64,
+    /// Journal directory.
+    pub journal_dir: PathBuf,
 }
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { scale: Scale::Small, subset: None, all: false, csv: false }
+        Cli {
+            scale: Scale::Small,
+            subset: None,
+            all: false,
+            csv: false,
+            fresh: false,
+            deadline_secs: None,
+            max_failure_rate: 0.25,
+            journal_dir: PathBuf::from("results"),
+        }
     }
 }
+
+/// Opens the resumable harness for `figure` under the CLI's options.
+///
+/// The configuration fingerprint covers everything that changes a cell's
+/// *measured values* (currently the workload scale); cell identity covers
+/// the rest, so journals survive subset/ordering changes.
+///
+/// # Panics
+///
+/// Panics when an existing journal cannot be read.
+pub fn harness(cli: &Cli, figure: &str) -> Harness {
+    let mut opts = HarnessOptions::new(figure, format!("scale={:?}", cli.scale));
+    opts.journal_dir = cli.journal_dir.clone();
+    opts.fresh = cli.fresh;
+    opts.deadline = cli.deadline_secs.map(Duration::from_secs);
+    opts.max_failure_rate = cli.max_failure_rate;
+    Harness::open(opts).unwrap_or_else(|e| panic!("cannot open run journal: {e}"))
+}
+
+/// Cell text for a failed measurement in a report.
+pub const NA: &str = "n/a";
 
 /// Parses `std::env::args`.
 ///
@@ -58,8 +104,23 @@ pub fn cli() -> Cli {
             }
             "--all" => out.all = true,
             "--csv" => out.csv = true,
+            "--fresh" => out.fresh = true,
+            "--deadline-secs" => {
+                let v = args.next().unwrap_or_default();
+                out.deadline_secs = Some(v.parse().expect("--deadline-secs takes seconds"));
+            }
+            "--max-failure-rate" => {
+                let v = args.next().unwrap_or_default();
+                out.max_failure_rate = v.parse().expect("--max-failure-rate takes a fraction");
+            }
+            "--journal-dir" => {
+                out.journal_dir = PathBuf::from(args.next().unwrap_or_default());
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --scale tiny|small|full  --subset N  --all  --csv");
+                eprintln!(
+                    "flags: --scale tiny|small|full  --subset N  --all  --csv  --fresh  \
+                     --deadline-secs N  --max-failure-rate F  --journal-dir DIR"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag '{other}' (try --help)"),

@@ -5,6 +5,7 @@
 //! into a per-category share breakdown — the data behind Fig. 4 (CPython),
 //! Fig. 5 (PyPy) and Fig. 6 (V8).
 
+use crate::error::QoaError;
 use crate::runtime::{capture, RuntimeConfig};
 use qoa_model::{Category, CategoryMap, RuntimeKind};
 use qoa_uarch::{ExecutionStats, UarchConfig};
@@ -49,13 +50,13 @@ impl Breakdown {
 ///
 /// # Errors
 ///
-/// Propagates compile/run errors as strings.
+/// Propagates the typed compile/run error.
 pub fn attribute_workload(
     w: &Workload,
     scale: Scale,
     rt: &RuntimeConfig,
     uarch: &UarchConfig,
-) -> Result<Breakdown, String> {
+) -> Result<Breakdown, QoaError> {
     let run = capture(&w.source(scale), rt)?;
     let stats = run.trace.simulate_simple(uarch);
     Ok(Breakdown::from_stats(w.name, &stats))
@@ -65,16 +66,16 @@ pub fn attribute_workload(
 ///
 /// # Errors
 ///
-/// Propagates the first failing workload's error, tagged with its name.
+/// Propagates the first failing workload's error.
 pub fn attribute_suite(
     suite: &[Workload],
     scale: Scale,
     rt: &RuntimeConfig,
     uarch: &UarchConfig,
-) -> Result<Vec<Breakdown>, String> {
+) -> Result<Vec<Breakdown>, QoaError> {
     suite
         .iter()
-        .map(|w| attribute_workload(w, scale, rt, uarch).map_err(|e| format!("{}: {e}", w.name)))
+        .map(|w| attribute_workload(w, scale, rt, uarch))
         .collect()
 }
 
@@ -90,7 +91,7 @@ pub fn average_shares(breakdowns: &[Breakdown]) -> CategoryMap<f64> {
 /// # Errors
 ///
 /// Propagates workload errors.
-pub fn figure4_breakdowns(scale: Scale) -> Result<Vec<Breakdown>, String> {
+pub fn figure4_breakdowns(scale: Scale) -> Result<Vec<Breakdown>, QoaError> {
     attribute_suite(
         qoa_workloads::python_suite(),
         scale,

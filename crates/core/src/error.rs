@@ -1,0 +1,156 @@
+//! The experiment-level error taxonomy.
+//!
+//! Every way a measurement cell can fail is one variant of [`QoaError`],
+//! so harness code can decide *policy* (retry, annotate, abort) from the
+//! error's kind rather than by string matching. Guest-level failures map
+//! from [`qoa_vm::VmError`]; the harness adds the two failure modes the
+//! VM cannot see about itself: a caught panic and journal I/O.
+
+use qoa_vm::VmError;
+
+/// Everything that can go wrong while producing one experiment cell.
+#[derive(Debug)]
+pub enum QoaError {
+    /// The guest program failed to compile.
+    Compile(qoa_frontend::FrontendError),
+    /// A guest run-time error (`TypeError: ...`) at a source line.
+    Guest {
+        /// Description, e.g. `ZeroDivisionError: ...`.
+        message: String,
+        /// Source line of the faulting bytecode.
+        line: u32,
+    },
+    /// The execution fuel budget ran out.
+    FuelExhausted {
+        /// Bytecodes executed when the budget ran out.
+        steps: u64,
+    },
+    /// The wall-clock deadline passed.
+    DeadlineExceeded {
+        /// Bytecodes executed when the deadline fired.
+        steps: u64,
+    },
+    /// Simulated live heap exceeded the configured cap.
+    OutOfMemory {
+        /// Live bytes at the failing allocation.
+        live_bytes: u64,
+        /// The configured cap.
+        limit_bytes: u64,
+    },
+    /// The run panicked and was caught at the isolation boundary.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// Reading or writing the run journal failed.
+    Journal {
+        /// What the journal was doing.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl QoaError {
+    /// Short machine-readable kind tag, used in journal entries and
+    /// failure annotations.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QoaError::Compile(_) => "compile",
+            QoaError::Guest { .. } => "guest",
+            QoaError::FuelExhausted { .. } => "fuel",
+            QoaError::DeadlineExceeded { .. } => "deadline",
+            QoaError::OutOfMemory { .. } => "oom",
+            QoaError::Panic { .. } => "panic",
+            QoaError::Journal { .. } => "journal",
+        }
+    }
+
+    /// True for errors the guest program itself caused; false for
+    /// resource cutoffs and harness-level failures.
+    pub fn is_guest_fault(&self) -> bool {
+        matches!(self, QoaError::Compile(_) | QoaError::Guest { .. })
+    }
+
+    /// Journal I/O failure with context.
+    pub fn journal(context: impl Into<String>, source: std::io::Error) -> Self {
+        QoaError::Journal { context: context.into(), source }
+    }
+}
+
+impl std::fmt::Display for QoaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QoaError::Compile(e) => write!(f, "compile error: {e}"),
+            QoaError::Guest { message, line } => write!(f, "line {line}: {message}"),
+            QoaError::FuelExhausted { steps } => {
+                write!(f, "execution fuel exhausted after {steps} bytecodes")
+            }
+            QoaError::DeadlineExceeded { steps } => {
+                write!(f, "wall-clock deadline exceeded after {steps} bytecodes")
+            }
+            QoaError::OutOfMemory { live_bytes, limit_bytes } => {
+                write!(f, "simulated OOM: {live_bytes} live bytes > {limit_bytes} byte cap")
+            }
+            QoaError::Panic { message } => write!(f, "panicked: {message}"),
+            QoaError::Journal { context, source } => {
+                write!(f, "journal I/O failed while {context}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QoaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QoaError::Compile(e) => Some(e),
+            QoaError::Journal { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for QoaError {
+    fn from(e: VmError) -> Self {
+        match e {
+            VmError::Compile(e) => QoaError::Compile(e),
+            VmError::Runtime { message, line } => QoaError::Guest { message, line },
+            VmError::FuelExhausted { steps } => QoaError::FuelExhausted { steps },
+            VmError::DeadlineExceeded { steps } => QoaError::DeadlineExceeded { steps },
+            VmError::OutOfMemory { live_bytes, limit_bytes } => {
+                QoaError::OutOfMemory { live_bytes, limit_bytes }
+            }
+        }
+    }
+}
+
+impl From<qoa_frontend::FrontendError> for QoaError {
+    fn from(e: qoa_frontend::FrontendError) -> Self {
+        QoaError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_errors_map_variant_for_variant() {
+        let cases: [(VmError, &str); 4] = [
+            (VmError::runtime("TypeError: x", 3), "guest"),
+            (VmError::FuelExhausted { steps: 10 }, "fuel"),
+            (VmError::DeadlineExceeded { steps: 10 }, "deadline"),
+            (VmError::OutOfMemory { live_bytes: 2, limit_bytes: 1 }, "oom"),
+        ];
+        for (vm, kind) in cases {
+            assert_eq!(QoaError::from(vm).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn guest_fault_classification() {
+        assert!(QoaError::Guest { message: "x".into(), line: 1 }.is_guest_fault());
+        assert!(!QoaError::FuelExhausted { steps: 1 }.is_guest_fault());
+        assert!(!QoaError::Panic { message: "x".into() }.is_guest_fault());
+    }
+}

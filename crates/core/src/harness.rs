@@ -1,0 +1,547 @@
+//! The resumable experiment harness.
+//!
+//! A figure binary opens one [`Harness`] and funnels every measurement
+//! through [`Harness::cell`]. Each cell:
+//!
+//! * is **skipped** when the journal already holds its result under the
+//!   current configuration (so a killed sweep resumes where it left off,
+//!   and a finished one re-renders instantly);
+//! * otherwise runs under [`run_isolated`] — a panic, guest error, fuel
+//!   exhaustion, wall-clock deadline or simulated OOM becomes a recorded
+//!   [`RunFailure`](crate::isolate::RunFailure) instead of aborting the
+//!   sweep's sibling cells;
+//! * is journaled (success metrics or failure) atomically.
+//!
+//! [`Harness::finish`] prints the failure annotations under the figure
+//! and returns a process exit code: nonzero only when the failure rate
+//! exceeds the configured threshold.
+
+use crate::error::QoaError;
+use crate::isolate::run_isolated;
+use crate::journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric};
+use crate::runtime::{capture, RuntimeConfig};
+use crate::sweeps::SweepParam;
+use crate::Breakdown;
+use qoa_model::{Category, CategoryMap, Phase};
+use qoa_uarch::{TraceBuffer, UarchConfig};
+use qoa_workloads::{Scale, Workload};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Harness construction options (one per figure binary invocation).
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Figure tag (`fig10`, `table2`, ...): the journal file name.
+    pub figure: String,
+    /// Directory for journals (default `results/`).
+    pub journal_dir: PathBuf,
+    /// Ignore the journal's prior contents.
+    pub fresh: bool,
+    /// Per-cell wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Failure rate above which [`Harness::finish`] exits nonzero.
+    pub max_failure_rate: f64,
+    /// Configuration fingerprint; journal entries recorded under a
+    /// different fingerprint are ignored.
+    pub config: String,
+}
+
+impl HarnessOptions {
+    /// Defaults for `figure` under configuration fingerprint `config`.
+    pub fn new(figure: impl Into<String>, config: impl Into<String>) -> Self {
+        HarnessOptions {
+            figure: figure.into(),
+            journal_dir: PathBuf::from("results"),
+            fresh: false,
+            deadline: None,
+            max_failure_rate: 0.25,
+            config: config.into(),
+        }
+    }
+}
+
+/// One annotated failure, kept for the end-of-run report.
+#[derive(Debug, Clone)]
+pub struct FailureNote {
+    /// Which cell failed.
+    pub key: CellKey,
+    /// [`QoaError::kind`] tag.
+    pub kind: String,
+    /// Rendered error.
+    pub message: String,
+}
+
+/// The journal-backed, fault-isolated measurement driver.
+#[derive(Debug)]
+pub struct Harness {
+    journal: Journal,
+    deadline: Option<Duration>,
+    max_failure_rate: f64,
+    cells_total: usize,
+    cells_skipped: usize,
+    failures: Vec<FailureNote>,
+    journal_error: Option<QoaError>,
+}
+
+impl Harness {
+    /// Opens the journal and builds the harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QoaError::Journal`] when an existing journal cannot be
+    /// read.
+    pub fn open(opts: HarnessOptions) -> Result<Harness, QoaError> {
+        let journal = Journal::open(&opts.journal_dir, &opts.figure, opts.config, opts.fresh)?;
+        Ok(Harness {
+            journal,
+            deadline: opts.deadline,
+            max_failure_rate: opts.max_failure_rate,
+            cells_total: 0,
+            cells_skipped: 0,
+            failures: Vec::new(),
+            journal_error: None,
+        })
+    }
+
+    /// Runs (or skips) one measurement cell.
+    ///
+    /// `f` receives the absolute deadline for this cell (when one is
+    /// configured) and returns the cell's metrics. A `None` return means
+    /// the cell failed — now or in a previous journaled run — and its
+    /// annotation is queued for [`Harness::finish`].
+    pub fn cell(
+        &mut self,
+        key: CellKey,
+        f: impl FnOnce(Option<Instant>) -> Result<CellMetrics, QoaError>,
+    ) -> Option<CellMetrics> {
+        self.cells_total += 1;
+        match self.journal.get(&key) {
+            Some(CellOutcome::Ok(metrics)) => {
+                self.cells_skipped += 1;
+                return Some(metrics.clone());
+            }
+            Some(CellOutcome::Failed { kind, message }) => {
+                self.cells_skipped += 1;
+                self.failures.push(FailureNote {
+                    key,
+                    kind: kind.clone(),
+                    message: message.clone(),
+                });
+                return None;
+            }
+            None => {}
+        }
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        match run_isolated(|| f(deadline)) {
+            Ok(metrics) => {
+                self.record(key, CellOutcome::Ok(metrics.clone()));
+                Some(metrics)
+            }
+            Err(failure) => {
+                let note = FailureNote {
+                    key: key.clone(),
+                    kind: failure.error.kind().to_string(),
+                    message: failure.error.to_string(),
+                };
+                self.record(
+                    key,
+                    CellOutcome::Failed {
+                        kind: note.kind.clone(),
+                        message: note.message.clone(),
+                    },
+                );
+                self.failures.push(note);
+                None
+            }
+        }
+    }
+
+    fn record(&mut self, key: CellKey, outcome: CellOutcome) {
+        if self.journal_error.is_some() {
+            return; // already broken; keep measuring, report at the end
+        }
+        if let Err(e) = self.journal.record(key, outcome) {
+            self.journal_error = Some(e);
+        }
+    }
+
+    /// Cells presented so far (run or skipped).
+    pub fn cells_total(&self) -> usize {
+        self.cells_total
+    }
+
+    /// Cells answered from the journal without re-running.
+    pub fn cells_skipped(&self) -> usize {
+        self.cells_skipped
+    }
+
+    /// Failures observed so far (including journaled ones).
+    pub fn failures(&self) -> &[FailureNote] {
+        &self.failures
+    }
+
+    /// Prints the failure annotations and returns the process exit code:
+    /// `0` when the failure rate is within the threshold, `1` otherwise
+    /// (or when the journal itself could not be written).
+    pub fn finish(self) -> i32 {
+        if let Some(e) = &self.journal_error {
+            eprintln!("warning: journal unusable, results not persisted: {e}");
+        }
+        if !self.failures.is_empty() {
+            println!(
+                "-- {} of {} cells failed (results above exclude them) --",
+                self.failures.len(),
+                self.cells_total
+            );
+            for note in &self.failures {
+                println!("  {}: [{}] {}", note.key, note.kind, note.message);
+            }
+        }
+        let rate = if self.cells_total == 0 {
+            0.0
+        } else {
+            self.failures.len() as f64 / self.cells_total as f64
+        };
+        if self.journal_error.is_some() || rate > self.max_failure_rate {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+// ---- typed cell wrappers ---------------------------------------------------
+
+fn metric_i64(m: &CellMetrics, name: &str) -> Option<i64> {
+    m.get(name)?.as_i64()
+}
+
+fn metric_f64(m: &CellMetrics, name: &str) -> Option<f64> {
+    m.get(name)?.as_f64()
+}
+
+/// One journaled nursery-sweep point: the [`NurseryPoint`]
+/// (crate::sweeps::NurseryPoint) fields the figure binaries consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NurseryCell {
+    /// Nursery size in bytes.
+    pub nursery: u64,
+    /// Total cycles on the OOO core.
+    pub cycles: u64,
+    /// Cycles spent in garbage collection.
+    pub gc_cycles: u64,
+    /// LLC miss rate.
+    pub llc_miss_rate: f64,
+    /// Minor collections run.
+    pub minor_collections: u64,
+}
+
+impl NurseryCell {
+    /// Cycles outside garbage collection.
+    pub fn non_gc_cycles(&self) -> u64 {
+        self.cycles - self.gc_cycles
+    }
+
+    /// GC share of total time.
+    pub fn gc_share(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.gc_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    fn from_metrics(nursery: u64, m: &CellMetrics) -> Option<Self> {
+        Some(NurseryCell {
+            nursery,
+            cycles: metric_i64(m, "cycles")? as u64,
+            gc_cycles: metric_i64(m, "gc_cycles")? as u64,
+            llc_miss_rate: metric_f64(m, "llc_miss_rate")?,
+            minor_collections: metric_i64(m, "minor_collections")? as u64,
+        })
+    }
+}
+
+/// Runs (or resumes) one nursery point of `w` under `rt`.
+///
+/// `tag` disambiguates cells measured under non-default hardware (e.g.
+/// `"@llc=4MB"` when the figure sweeps the LLC size too); pass `""` for
+/// the baseline configuration.
+pub fn nursery_cell(
+    h: &mut Harness,
+    w: &Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+    nursery: u64,
+    tag: &str,
+) -> Option<NurseryCell> {
+    let key = CellKey::new(
+        w.name,
+        format!("{:?}", rt.kind),
+        format!("nursery{tag}"),
+        nursery.to_string(),
+    );
+    let metrics = h.cell(key, |deadline| {
+        let rt = rt.with_nursery(nursery).with_deadline(deadline);
+        let run = capture(&w.source(scale), &rt)?;
+        let stats = run.trace.simulate_ooo(uarch);
+        let mut m = CellMetrics::new();
+        m.insert("cycles".into(), Metric::Int(stats.cycles as i64));
+        m.insert(
+            "gc_cycles".into(),
+            Metric::Int(
+                (stats.cycles_by_phase[Phase::GcMinor] + stats.cycles_by_phase[Phase::GcMajor])
+                    as i64,
+            ),
+        );
+        m.insert("llc_miss_rate".into(), Metric::Num(stats.llc.miss_rate()));
+        m.insert(
+            "minor_collections".into(),
+            Metric::Int(run.vm.gc.minor_collections as i64),
+        );
+        Ok(m)
+    })?;
+    NurseryCell::from_metrics(nursery, &metrics)
+}
+
+/// Runs (or resumes) a whole nursery sweep, one isolated cell per size.
+/// Failed points come back as `None` without aborting their siblings.
+pub fn nursery_cells(
+    h: &mut Harness,
+    w: &Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+    sizes: &[u64],
+) -> Vec<Option<NurseryCell>> {
+    sizes.iter().map(|&n| nursery_cell(h, w, scale, rt, uarch, n, "")).collect()
+}
+
+/// [`nursery_cells`] under non-default hardware, keyed with `tag`.
+pub fn nursery_cells_tagged(
+    h: &mut Harness,
+    w: &Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+    sizes: &[u64],
+    tag: &str,
+) -> Vec<Option<NurseryCell>> {
+    sizes.iter().map(|&n| nursery_cell(h, w, scale, rt, uarch, n, tag)).collect()
+}
+
+/// Picks the lowest-cycle successful point of a fault-isolated sweep.
+pub fn best_nursery_cell(points: &[Option<NurseryCell>]) -> Option<&NurseryCell> {
+    points.iter().flatten().min_by_key(|p| p.cycles)
+}
+
+/// Runs (or resumes) one simple-core attribution cell.
+pub fn breakdown_cell(
+    h: &mut Harness,
+    w: &Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+) -> Option<Breakdown> {
+    let key = CellKey::new(w.name, format!("{:?}", rt.kind), "attribution", "simple-core");
+    let metrics = h.cell(key, |deadline| {
+        let rt = rt.with_deadline(deadline);
+        let run = capture(&w.source(scale), &rt)?;
+        let stats = run.trace.simulate_simple(uarch);
+        let b = Breakdown::from_stats(w.name, &stats);
+        let mut m = CellMetrics::new();
+        m.insert("cycles".into(), Metric::Int(b.cycles as i64));
+        m.insert("instructions".into(), Metric::Int(b.instructions as i64));
+        for c in Category::ALL {
+            m.insert(format!("share.{c:?}"), Metric::Num(b.shares[c]));
+        }
+        Ok(m)
+    })?;
+    let shares = CategoryMap::from_fn(|c| {
+        metric_f64(&metrics, &format!("share.{c:?}")).unwrap_or(0.0)
+    });
+    Some(Breakdown {
+        name: w.name.to_string(),
+        shares,
+        cycles: metric_i64(&metrics, "cycles")? as u64,
+        instructions: metric_i64(&metrics, "instructions")? as u64,
+    })
+}
+
+/// One journaled microarchitecture-sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCellPoint {
+    /// The raw sweep value.
+    pub value: u64,
+    /// Overall CPI.
+    pub cpi: f64,
+    /// Bytecode-interpreter phase CPI contribution.
+    pub interp_cpi: f64,
+    /// GC (minor + major) phase CPI contribution.
+    pub gc_cpi: f64,
+    /// JIT-compiled-code phase CPI contribution.
+    pub jit_cpi: f64,
+}
+
+/// Runs (or resumes) one (workload, runtime, parameter) sweep cell.
+///
+/// The expensive capture is shared across the six parameters of a
+/// figure via `trace_cache`: the first cell that actually needs to run
+/// captures the trace, later cells replay it. Fully-journaled cells
+/// never touch the cache, so a completed figure re-renders without a
+/// single guest execution.
+pub fn sweep_param_cell(
+    h: &mut Harness,
+    w: &Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    base: &UarchConfig,
+    param: SweepParam,
+    trace_cache: &mut Option<Rc<TraceBuffer>>,
+) -> Option<Vec<SweepCellPoint>> {
+    let key = CellKey::new(w.name, format!("{:?}", rt.kind), format!("{param:?}"), "sweep");
+    let metrics = h.cell(key, |deadline| {
+        let trace = match trace_cache {
+            Some(t) => Rc::clone(t),
+            None => {
+                let rt = rt.with_deadline(deadline);
+                let run = capture(&w.source(scale), &rt)?;
+                let t = Rc::new(run.trace);
+                *trace_cache = Some(Rc::clone(&t));
+                t
+            }
+        };
+        let mut m = CellMetrics::new();
+        for p in crate::sweeps::sweep_trace(&trace, param, base) {
+            m.insert(format!("cpi@{}", p.value), Metric::Num(p.cpi));
+            m.insert(
+                format!("interp@{}", p.value),
+                Metric::Num(p.phase_cpi[Phase::Interpreter]),
+            );
+            m.insert(
+                format!("gc@{}", p.value),
+                Metric::Num(p.phase_cpi[Phase::GcMinor] + p.phase_cpi[Phase::GcMajor]),
+            );
+            m.insert(format!("jit@{}", p.value), Metric::Num(p.phase_cpi[Phase::JitCode]));
+        }
+        Ok(m)
+    })?;
+    param
+        .values()
+        .into_iter()
+        .map(|value| {
+            Some(SweepCellPoint {
+                value,
+                cpi: metric_f64(&metrics, &format!("cpi@{value}"))?,
+                interp_cpi: metric_f64(&metrics, &format!("interp@{value}"))?,
+                gc_cpi: metric_f64(&metrics, &format!("gc@{value}"))?,
+                jit_cpi: metric_f64(&metrics, &format!("jit@{value}"))?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_model::RuntimeKind;
+
+    fn tmp_options(tag: &str) -> HarnessOptions {
+        let dir = std::env::temp_dir().join(format!("qoa-harness-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = HarnessOptions::new("figtest", "cfg");
+        opts.journal_dir = dir;
+        opts
+    }
+
+    #[test]
+    fn failed_cells_do_not_abort_siblings() {
+        let opts = tmp_options("siblings");
+        let dir = opts.journal_dir.clone();
+        let mut h = Harness::open(opts).expect("open");
+        let bad = h.cell(CellKey::new("w1", "CPython", "p", "1"), |_| {
+            panic!("cell exploded")
+        });
+        assert!(bad.is_none());
+        let good = h.cell(CellKey::new("w2", "CPython", "p", "1"), |_| {
+            let mut m = CellMetrics::new();
+            m.insert("x".into(), Metric::Int(7));
+            Ok(m)
+        });
+        assert_eq!(metric_i64(&good.expect("runs"), "x"), Some(7));
+        assert_eq!(h.failures().len(), 1);
+        assert_eq!(h.failures()[0].kind, "panic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_cells_are_skipped_on_rerun() {
+        let opts = tmp_options("skip");
+        let dir = opts.journal_dir.clone();
+        let key = CellKey::new("w", "CPython", "p", "1");
+        {
+            let mut h = Harness::open(opts.clone()).expect("open");
+            h.cell(key.clone(), |_| {
+                let mut m = CellMetrics::new();
+                m.insert("x".into(), Metric::Int(1));
+                Ok(m)
+            });
+        }
+        let mut h = Harness::open(opts).expect("reopen");
+        let ran = std::cell::Cell::new(false);
+        let cached = h.cell(key, |_| {
+            ran.set(true);
+            Ok(CellMetrics::new())
+        });
+        assert!(!ran.get(), "journaled cell must not re-run");
+        assert_eq!(metric_i64(&cached.expect("cached"), "x"), Some(1));
+        assert_eq!(h.cells_skipped(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exit_code_reflects_failure_threshold() {
+        let opts = tmp_options("exitcode");
+        let dir = opts.journal_dir.clone();
+        let mut h = Harness::open(opts.clone()).expect("open");
+        for i in 0..4 {
+            h.cell(CellKey::new("w", "CPython", "p", i.to_string()), |_| Ok(CellMetrics::new()));
+        }
+        h.cell(CellKey::new("w", "CPython", "p", "bad"), |_| {
+            Err(QoaError::FuelExhausted { steps: 1 })
+        });
+        // 1/5 = 20% <= 25% threshold.
+        assert_eq!(h.finish(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let opts2 = tmp_options("exitcode2");
+        let dir2 = opts2.journal_dir.clone();
+        let mut h = Harness::open(opts2).expect("open");
+        h.cell(CellKey::new("w", "CPython", "p", "bad"), |_| {
+            Err(QoaError::FuelExhausted { steps: 1 })
+        });
+        assert_eq!(h.finish(), 1, "100% failures must exit nonzero");
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn nursery_cell_round_trips_through_the_journal() {
+        let opts = tmp_options("nursery");
+        let dir = opts.journal_dir.clone();
+        let w = qoa_workloads::by_name("tuple_gc").expect("workload");
+        let rt = RuntimeConfig::new(RuntimeKind::PyPyNoJit);
+        let uarch = UarchConfig::skylake();
+        let first = {
+            let mut h = Harness::open(opts.clone()).expect("open");
+            nursery_cell(&mut h, w, Scale::Tiny, &rt, &uarch, 256 << 10, "").expect("runs")
+        };
+        let mut h = Harness::open(opts).expect("reopen");
+        let resumed =
+            nursery_cell(&mut h, w, Scale::Tiny, &rt, &uarch, 256 << 10, "").expect("cached");
+        assert_eq!(h.cells_skipped(), 1);
+        assert_eq!(first, resumed, "journaled point must reproduce exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fault isolation for experiment cells.
+//!
+//! [`run_isolated`] executes one measurement under `catch_unwind`, so a
+//! panic in any layer of the stack (front end, interpreter, JIT driver,
+//! simulator) becomes a structured [`RunFailure`] instead of aborting the
+//! whole sweep. Wall-clock deadlines and fuel budgets are enforced
+//! *inside* the VM (see [`qoa_vm::VmConfig`]); this layer only converts
+//! their typed errors — plus panics — into one uniform outcome.
+
+use crate::error::QoaError;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// One failed measurement cell: the typed error plus how long the run
+/// held the harness before failing.
+#[derive(Debug)]
+pub struct RunFailure {
+    /// Why the cell failed.
+    pub error: QoaError,
+    /// Wall-clock time spent before the failure surfaced.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {} (after {:.1?})", self.error.kind(), self.error, self.wall)
+    }
+}
+
+/// The outcome of one isolated measurement: the success value, or a
+/// structured failure.
+pub type RunOutcome<T> = Result<T, RunFailure>;
+
+/// Renders a panic payload into a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` under a panic boundary, converting panics and typed errors
+/// into a [`RunFailure`].
+///
+/// The default panic hook is suppressed for the duration of the call so
+/// an isolated failure doesn't spray a backtrace over the report; the
+/// panic message is preserved in [`QoaError::Panic`].
+///
+/// `AssertUnwindSafe` is sound here because the failed run's state (VM,
+/// trace buffer) is discarded wholesale — nothing torn is observed.
+pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, QoaError>) -> RunOutcome<T> {
+    let start = Instant::now();
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    panic::set_hook(prev_hook);
+    match result {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(error)) => Err(RunFailure { error, wall: start.elapsed() }),
+        Err(payload) => Err(RunFailure {
+            error: QoaError::Panic { message: panic_message(payload) },
+            wall: start.elapsed(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_passes_through() {
+        let out = run_isolated(|| Ok::<_, QoaError>(41 + 1));
+        assert_eq!(out.unwrap(), 42);
+    }
+
+    #[test]
+    fn typed_errors_become_failures() {
+        let out = run_isolated(|| Err::<(), _>(QoaError::FuelExhausted { steps: 7 }));
+        let failure = out.unwrap_err();
+        assert_eq!(failure.error.kind(), "fuel");
+    }
+
+    #[test]
+    fn panics_are_caught_with_their_message() {
+        let out: RunOutcome<()> = run_isolated(|| panic!("boom at cell 3"));
+        let failure = out.unwrap_err();
+        assert_eq!(failure.error.kind(), "panic");
+        assert!(failure.error.to_string().contains("boom at cell 3"));
+    }
+
+    #[test]
+    fn a_panicking_cell_does_not_poison_the_next() {
+        let _ = run_isolated(|| -> Result<(), QoaError> { panic!("first") });
+        let ok = run_isolated(|| Ok::<_, QoaError>("second"));
+        assert_eq!(ok.unwrap(), "second");
+    }
+}

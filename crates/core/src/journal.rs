@@ -1,0 +1,546 @@
+//! The JSON-lines run journal.
+//!
+//! Every completed measurement cell — success or failure — is one line
+//! under `results/<figure>.journal.jsonl`, keyed by (figure, workload,
+//! runtime, parameter, value, configuration hash). Rerunning a figure
+//! binary skips cells already journaled under the same configuration, so
+//! a killed sweep resumes where it left off and a finished sweep re-renders
+//! instantly from recorded metrics.
+//!
+//! The file is rewritten atomically (temp file + rename) on every record;
+//! a crash mid-write can never leave a half-line behind. There is no
+//! `serde` in the dependency tree, so the tiny JSON subset used here
+//! (flat objects of strings, integers and floats) is encoded and parsed
+//! by hand. Floats are written with Rust's shortest round-trip `Display`,
+//! which makes a resumed figure byte-identical to an uninterrupted one.
+
+use crate::error::QoaError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One journaled measurement value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// An exact integer (cycle counts, collection counts).
+    Int(i64),
+    /// A float, stored with shortest round-trip formatting.
+    Num(f64),
+    /// A label (e.g. a formatted best-nursery size).
+    Str(String),
+}
+
+impl Metric {
+    /// The value as f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Metric::Int(v) => Some(*v as f64),
+            Metric::Num(v) => Some(*v),
+            Metric::Str(_) => None,
+        }
+    }
+
+    /// The value as i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Metric::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Named metrics of one successful cell, in insertion-stable order.
+pub type CellMetrics = BTreeMap<String, Metric>;
+
+/// The identity of one measurement cell within a figure.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Workload name (the figure x-axis entry).
+    pub workload: String,
+    /// Runtime kind (`CPython`, `PyPyJit`, ...).
+    pub runtime: String,
+    /// Swept parameter name (`nursery`, `IssueWidth`, ...).
+    pub param: String,
+    /// The parameter value, already formatted.
+    pub value: String,
+}
+
+impl CellKey {
+    /// Builds a key from displayable parts.
+    pub fn new(
+        workload: impl Into<String>,
+        runtime: impl Into<String>,
+        param: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        CellKey {
+            workload: workload.into(),
+            runtime: runtime.into(),
+            param: param.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} {}={}", self.workload, self.runtime, self.param, self.value)
+    }
+}
+
+/// What the journal remembers about a completed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell succeeded with these metrics.
+    Ok(CellMetrics),
+    /// The cell failed.
+    Failed {
+        /// [`QoaError::kind`] tag.
+        kind: String,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+/// A figure binary's persistent record of completed cells.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    figure: String,
+    config: String,
+    entries: BTreeMap<CellKey, CellOutcome>,
+}
+
+impl Journal {
+    /// Opens (or starts) the journal for `figure` under `dir`.
+    ///
+    /// Existing entries are honored only when their configuration hash
+    /// matches `config`; `fresh` ignores the journal's prior contents
+    /// entirely (they are overwritten on the first record).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QoaError::Journal`] when the journal file exists but
+    /// cannot be read.
+    pub fn open(
+        dir: &Path,
+        figure: &str,
+        config: impl Into<String>,
+        fresh: bool,
+    ) -> Result<Journal, QoaError> {
+        let config = config.into();
+        let path = dir.join(format!("{figure}.journal.jsonl"));
+        let mut journal = Journal { path, figure: figure.to_string(), config, entries: BTreeMap::new() };
+        if fresh || !journal.path.exists() {
+            return Ok(journal);
+        }
+        let text = std::fs::read_to_string(&journal.path)
+            .map_err(|e| QoaError::journal(format!("reading {}", journal.path.display()), e))?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            // A malformed line (old format, manual edit) is skipped, not
+            // fatal: the cell simply reruns.
+            if let Some((key, outcome)) = journal.parse_line(line) {
+                journal.entries.insert(key, outcome);
+            }
+        }
+        Ok(journal)
+    }
+
+    /// Where the journal lives on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of entries currently honored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no cells are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a completed cell.
+    pub fn get(&self, key: &CellKey) -> Option<&CellOutcome> {
+        self.entries.get(key)
+    }
+
+    /// Records a completed cell and persists the journal atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QoaError::Journal`] when the temp file cannot be written
+    /// or renamed into place.
+    pub fn record(&mut self, key: CellKey, outcome: CellOutcome) -> Result<(), QoaError> {
+        self.entries.insert(key, outcome);
+        self.persist()
+    }
+
+    fn persist(&self) -> Result<(), QoaError> {
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| QoaError::journal(format!("creating {}", dir.display()), e))?;
+        }
+        let mut text = String::new();
+        for (key, outcome) in &self.entries {
+            self.encode_line(&mut text, key, outcome);
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, text)
+            .map_err(|e| QoaError::journal(format!("writing {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| QoaError::journal(format!("renaming into {}", self.path.display()), e))?;
+        Ok(())
+    }
+
+    // ---- encoding --------------------------------------------------------
+
+    fn encode_line(&self, out: &mut String, key: &CellKey, outcome: &CellOutcome) {
+        out.push('{');
+        for (name, value) in [
+            ("figure", self.figure.as_str()),
+            ("config", self.config.as_str()),
+            ("workload", key.workload.as_str()),
+            ("runtime", key.runtime.as_str()),
+            ("param", key.param.as_str()),
+            ("value", key.value.as_str()),
+        ] {
+            encode_str(out, name);
+            out.push(':');
+            encode_str(out, value);
+            out.push(',');
+        }
+        match outcome {
+            CellOutcome::Ok(metrics) => {
+                out.push_str("\"status\":\"ok\",\"metrics\":{");
+                let mut first = true;
+                for (name, metric) in metrics {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    encode_str(out, name);
+                    out.push(':');
+                    match metric {
+                        Metric::Int(v) => {
+                            let _ = write!(out, "{v}");
+                        }
+                        Metric::Num(v) => encode_f64(out, *v),
+                        Metric::Str(s) => encode_str(out, s),
+                    }
+                }
+                out.push('}');
+            }
+            CellOutcome::Failed { kind, message } => {
+                out.push_str("\"status\":\"failed\",\"kind\":");
+                encode_str(out, kind);
+                out.push_str(",\"error\":");
+                encode_str(out, message);
+            }
+        }
+        out.push_str("}\n");
+    }
+
+    // ---- decoding --------------------------------------------------------
+
+    fn parse_line(&self, line: &str) -> Option<(CellKey, CellOutcome)> {
+        let fields = parse_object(line)?;
+        if fields.get("figure")?.str()? != self.figure
+            || fields.get("config")?.str()? != self.config
+        {
+            return None;
+        }
+        let key = CellKey::new(
+            fields.get("workload")?.str()?,
+            fields.get("runtime")?.str()?,
+            fields.get("param")?.str()?,
+            fields.get("value")?.str()?,
+        );
+        let outcome = match fields.get("status")?.str()? {
+            "ok" => {
+                let Json::Object(raw) = fields.get("metrics")? else { return None };
+                let mut metrics = CellMetrics::new();
+                for (name, v) in raw {
+                    let metric = match v {
+                        Json::Int(i) => Metric::Int(*i),
+                        Json::Num(f) => Metric::Num(*f),
+                        Json::Str(s) => Metric::Str(s.clone()),
+                        Json::Object(_) => return None,
+                    };
+                    metrics.insert(name.clone(), metric);
+                }
+                CellOutcome::Ok(metrics)
+            }
+            "failed" => CellOutcome::Failed {
+                kind: fields.get("kind")?.str()?.to_string(),
+                message: fields.get("error")?.str()?.to_string(),
+            },
+            _ => return None,
+        };
+        Some((key, outcome))
+    }
+}
+
+fn encode_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn encode_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest round-trip representation; re-parsing yields the same
+        // bits, which is what makes resumed figures byte-identical.
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            // "1" would re-parse as an Int; keep the float marker.
+            s.push_str(".0");
+        }
+        out.push_str(&s);
+    } else {
+        // NaN/inf can't appear in JSON; preserve them as tagged strings.
+        let _ = write!(out, "\"!f64:{v}\"");
+    }
+}
+
+/// The JSON subset the journal uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Int(i64),
+    Num(f64),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_object(text: &str) -> Option<BTreeMap<String, Json>> {
+    let mut chars = text.trim().char_indices().peekable();
+    let (value, rest) = parse_value(text.trim(), &mut chars)?;
+    if !rest.trim().is_empty() {
+        return None;
+    }
+    match value {
+        Json::Object(map) => Some(map),
+        _ => None,
+    }
+}
+
+type CharIter<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut CharIter) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_value<'a>(text: &'a str, chars: &mut CharIter<'a>) -> Option<(Json, &'a str)> {
+    skip_ws(chars);
+    let &(start, c) = chars.peek()?;
+    match c {
+        '{' => {
+            chars.next();
+            let mut map = BTreeMap::new();
+            skip_ws(chars);
+            if matches!(chars.peek(), Some((_, '}'))) {
+                chars.next();
+            } else {
+                loop {
+                    skip_ws(chars);
+                    let (key, _) = parse_value(text, chars)?;
+                    let key = match key {
+                        Json::Str(s) => s,
+                        _ => return None,
+                    };
+                    skip_ws(chars);
+                    match chars.next() {
+                        Some((_, ':')) => {}
+                        _ => return None,
+                    }
+                    let (value, _) = parse_value(text, chars)?;
+                    map.insert(key, value);
+                    skip_ws(chars);
+                    match chars.next() {
+                        Some((_, ',')) => continue,
+                        Some((_, '}')) => break,
+                        _ => return None,
+                    }
+                }
+            }
+            let rest_at = chars.peek().map_or(text.len(), |&(i, _)| i);
+            Some((Json::Object(map), &text[rest_at..]))
+        }
+        '"' => {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                let (_, c) = chars.next()?;
+                match c {
+                    '"' => break,
+                    '\\' => {
+                        let (_, esc) = chars.next()?;
+                        match esc {
+                            '"' => s.push('"'),
+                            '\\' => s.push('\\'),
+                            'n' => s.push('\n'),
+                            't' => s.push('\t'),
+                            'r' => s.push('\r'),
+                            'u' => {
+                                let mut code = 0u32;
+                                for _ in 0..4 {
+                                    let (_, h) = chars.next()?;
+                                    code = code * 16 + h.to_digit(16)?;
+                                }
+                                s.push(char::from_u32(code)?);
+                            }
+                            _ => return None,
+                        }
+                    }
+                    c => s.push(c),
+                }
+            }
+            let rest_at = chars.peek().map_or(text.len(), |&(i, _)| i);
+            // A tagged non-finite float round-trips back to a number.
+            if let Some(tag) = s.strip_prefix("!f64:") {
+                if let Ok(v) = tag.parse::<f64>() {
+                    return Some((Json::Num(v), &text[rest_at..]));
+                }
+            }
+            Some((Json::Str(s), &text[rest_at..]))
+        }
+        _ => {
+            // Number: consume until a structural delimiter.
+            let mut end = start;
+            while let Some(&(i, c)) = chars.peek() {
+                if c == ',' || c == '}' || c.is_whitespace() {
+                    break;
+                }
+                end = i + c.len_utf8();
+                chars.next();
+            }
+            let token = &text[start..end];
+            if !token.contains(['.', 'e', 'E']) {
+                if let Ok(v) = token.parse::<i64>() {
+                    return Some((Json::Int(v), &text[end..]));
+                }
+            }
+            token.parse::<f64>().ok().map(|v| (Json::Num(v), &text[end..]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qoa-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn sample_metrics() -> CellMetrics {
+        let mut m = CellMetrics::new();
+        m.insert("cycles".into(), Metric::Int(123_456_789));
+        m.insert("miss_rate".into(), Metric::Num(0.017_345_812_234));
+        m.insert("best".into(), Metric::Str("2MB \"quoted\"".into()));
+        m
+    }
+
+    #[test]
+    fn record_and_reload_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let key = CellKey::new("go", "PyPyJit", "nursery", "1048576");
+        {
+            let mut j = Journal::open(&dir, "fig10", "cfg1", false).expect("open");
+            j.record(key.clone(), CellOutcome::Ok(sample_metrics())).expect("record");
+            j.record(
+                CellKey::new("telco", "PyPyJit", "nursery", "1048576"),
+                CellOutcome::Failed { kind: "panic".into(), message: "boom\nline2".into() },
+            )
+            .expect("record");
+        }
+        let j = Journal::open(&dir, "fig10", "cfg1", false).expect("reopen");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get(&key), Some(&CellOutcome::Ok(sample_metrics())));
+        let failed = j.get(&CellKey::new("telco", "PyPyJit", "nursery", "1048576"));
+        assert!(matches!(failed, Some(CellOutcome::Failed { kind, .. }) if kind == "panic"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_mismatch_invalidates_entries() {
+        let dir = tmp_dir("config");
+        let key = CellKey::new("go", "CPython", "nursery", "1");
+        {
+            let mut j = Journal::open(&dir, "fig10", "old", false).expect("open");
+            j.record(key.clone(), CellOutcome::Ok(CellMetrics::new())).expect("record");
+        }
+        let j = Journal::open(&dir, "fig10", "new", false).expect("reopen");
+        assert!(j.get(&key).is_none(), "stale-config entry must not be honored");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_ignores_prior_entries() {
+        let dir = tmp_dir("fresh");
+        let key = CellKey::new("go", "CPython", "nursery", "1");
+        {
+            let mut j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+            j.record(key.clone(), CellOutcome::Ok(CellMetrics::new())).expect("record");
+        }
+        let j = Journal::open(&dir, "fig10", "cfg", true).expect("fresh open");
+        assert!(j.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_for_bit() {
+        for v in [0.1, 1.0, -0.0, 1e-17, 123456.75, f64::NAN, f64::INFINITY] {
+            let mut out = String::new();
+            encode_f64(&mut out, v);
+            let line = format!("{{\"x\":{out}}}");
+            let map = parse_object(&line).expect("parses");
+            let got = match map.get("x").expect("x") {
+                Json::Num(f) => *f,
+                Json::Int(i) => *i as f64,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert!(
+                got.to_bits() == v.to_bits() || (got.is_nan() && v.is_nan()),
+                "{v} -> {line} -> {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let dir = tmp_dir("malformed");
+        let path = dir.join("figX.journal.jsonl");
+        std::fs::write(&path, "this is not json\n{\"figure\":\"figX\"\n").expect("write");
+        let j = Journal::open(&dir, "figX", "cfg", false).expect("open");
+        assert!(j.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

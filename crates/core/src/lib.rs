@@ -35,11 +35,23 @@
 //! ```
 
 pub mod attribution;
+pub mod error;
+pub mod harness;
+pub mod isolate;
+pub mod journal;
 pub mod report;
 pub mod runtime;
 pub mod sweeps;
 
 pub use attribution::{attribute_suite, attribute_workload, average_shares, Breakdown};
+pub use error::QoaError;
+pub use harness::{
+    best_nursery_cell, breakdown_cell, nursery_cell, nursery_cells, nursery_cells_tagged,
+    sweep_param_cell,
+    FailureNote, Harness, HarnessOptions, NurseryCell, SweepCellPoint,
+};
+pub use isolate::{run_isolated, RunFailure, RunOutcome};
+pub use journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric};
 pub use report::Table;
 pub use runtime::{capture, run_with_sink, CapturedRun, RuntimeConfig};
 pub use sweeps::{

@@ -1,5 +1,6 @@
 //! Running guest programs under the paper's four run-time configurations.
 
+use crate::error::QoaError;
 use qoa_jit::{JitConfig, JitStats, PyPyVm};
 use qoa_model::{OpSink, RuntimeKind};
 use qoa_uarch::TraceBuffer;
@@ -18,17 +19,40 @@ pub struct RuntimeConfig {
     pub nursery: Option<u64>,
     /// Execution fuel (0 = unlimited).
     pub max_steps: u64,
+    /// Wall-clock deadline for the run (`None` = unlimited). The VM
+    /// polls this cooperatively every few thousand bytecodes.
+    pub deadline: Option<std::time::Instant>,
+    /// Simulated live-heap cap in bytes (0 = unlimited).
+    pub max_heap_bytes: u64,
 }
 
 impl RuntimeConfig {
     /// Configuration for `kind` with its default nursery.
     pub fn new(kind: RuntimeKind) -> Self {
-        RuntimeConfig { kind, nursery: None, max_steps: DEFAULT_FUEL }
+        RuntimeConfig {
+            kind,
+            nursery: None,
+            max_steps: DEFAULT_FUEL,
+            deadline: None,
+            max_heap_bytes: 0,
+        }
     }
 
     /// Returns a copy with the nursery size set (ignored by CPython).
     pub fn with_nursery(mut self, bytes: u64) -> Self {
         self.nursery = Some(bytes);
+        self
+    }
+
+    /// Returns a copy with the wall-clock deadline set (or cleared).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Returns a copy with the simulated live-heap cap set.
+    pub fn with_heap_cap(mut self, bytes: u64) -> Self {
+        self.max_heap_bytes = bytes;
         self
     }
 
@@ -42,6 +66,8 @@ impl RuntimeConfig {
             enabled,
             nursery_size: self.nursery.unwrap_or(base.nursery_size),
             max_steps: self.max_steps,
+            deadline: self.deadline,
+            max_heap_bytes: self.max_heap_bytes,
             ..base
         }
     }
@@ -67,8 +93,9 @@ pub struct CapturedRun {
 ///
 /// # Errors
 ///
-/// Returns the compile error or guest run-time error as a string.
-pub fn capture(source: &str, rt: &RuntimeConfig) -> Result<CapturedRun, String> {
+/// Returns the typed [`QoaError`]: compile error, guest run-time error,
+/// or resource cutoff (fuel, deadline, simulated OOM).
+pub fn capture(source: &str, rt: &RuntimeConfig) -> Result<CapturedRun, QoaError> {
     run_with_sink(source, rt, TraceBuffer::new()).map(
         |(trace, vm, jit, output, result)| CapturedRun { trace, vm, jit, output, result },
     )
@@ -79,19 +106,29 @@ pub fn capture(source: &str, rt: &RuntimeConfig) -> Result<CapturedRun, String> 
 ///
 /// # Errors
 ///
-/// Returns the compile error or guest run-time error as a string.
+/// Returns the typed [`QoaError`]: compile error, guest run-time error,
+/// or resource cutoff (fuel, deadline, simulated OOM).
+/// Everything a runtime execution yields besides the trace: the sink,
+/// VM and JIT statistics, guest stdout, and the `result` global.
+pub type SinkRun<S> = (S, VmStats, JitStats, Vec<String>, Option<String>);
+
 pub fn run_with_sink<S: OpSink>(
     source: &str,
     rt: &RuntimeConfig,
     sink: S,
-) -> Result<(S, VmStats, JitStats, Vec<String>, Option<String>), String> {
-    let code = qoa_frontend::compile(source).map_err(|e| e.to_string())?;
+) -> Result<SinkRun<S>, QoaError> {
+    let code = qoa_frontend::compile(source)?;
     match rt.kind {
         RuntimeKind::CPython => {
-            let cfg = VmConfig { heap: HeapMode::Rc, max_steps: rt.max_steps };
+            let cfg = VmConfig {
+                heap: HeapMode::Rc,
+                max_steps: rt.max_steps,
+                deadline: rt.deadline,
+                max_heap_bytes: rt.max_heap_bytes,
+            };
             let mut vm = Vm::new(cfg, sink);
             vm.load_program(&code);
-            vm.run().map_err(|e| e.to_string())?;
+            vm.run().map_err(QoaError::from)?;
             let result = vm.global_display("result");
             let output = vm.output().to_vec();
             let stats = vm.stats();
@@ -102,7 +139,7 @@ pub fn run_with_sink<S: OpSink>(
             let enabled = rt.kind != RuntimeKind::PyPyNoJit;
             let mut vm = PyPyVm::new(rt.jit_config(enabled), sink);
             vm.load_program(&code);
-            vm.run().map_err(|e| e.to_string())?;
+            vm.run().map_err(QoaError::from)?;
             let jit = vm.jit_stats();
             let result = vm.vm.global_display("result");
             let output = vm.vm.output().to_vec();

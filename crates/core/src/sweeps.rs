@@ -7,6 +7,7 @@
 //! re-*execute* the program per nursery size, because the nursery changes
 //! GC behaviour itself.
 
+use crate::error::QoaError;
 use crate::runtime::{capture, RuntimeConfig};
 use qoa_model::{Phase, PhaseMap, RuntimeKind};
 use qoa_uarch::{ExecutionStats, TraceBuffer, UarchConfig};
@@ -100,7 +101,7 @@ impl SweepParam {
 
 /// Renders a byte count the way the paper labels its axes.
 pub fn format_bytes(b: u64) -> String {
-    if b >= 1 << 20 && b % (1 << 20) == 0 {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
         format!("{}MB", b >> 20)
     } else if b >= 1 << 10 {
         format!("{}kB", b >> 10)
@@ -222,7 +223,7 @@ pub fn nursery_sweep(
     rt: &RuntimeConfig,
     uarch: &UarchConfig,
     sizes: &[u64],
-) -> Result<Vec<NurseryPoint>, String> {
+) -> Result<Vec<NurseryPoint>, QoaError> {
     sizes
         .iter()
         .map(|&nursery| {
@@ -242,12 +243,10 @@ pub fn nursery_sweep(
 }
 
 /// Picks the nursery size with the lowest total cycles (Fig. 17's
-/// "best nursery per application").
-pub fn best_nursery(points: &[NurseryPoint]) -> &NurseryPoint {
-    points
-        .iter()
-        .min_by_key(|p| p.cycles)
-        .expect("at least one nursery point")
+/// "best nursery per application"), or `None` for an empty sweep —
+/// which happens when every point of a fault-isolated sweep failed.
+pub fn best_nursery(points: &[NurseryPoint]) -> Option<&NurseryPoint> {
+    points.iter().min_by_key(|p| p.cycles)
 }
 
 /// Convenience bundle for Fig. 7's three run-time lines.
@@ -329,7 +328,8 @@ mod tests {
             pts[0].minor_collections,
             pts[1].minor_collections
         );
-        let best = best_nursery(&pts);
+        let best = best_nursery(&pts).expect("non-empty sweep");
         assert!(best.cycles <= pts[0].cycles.min(pts[1].cycles));
+        assert!(best_nursery(&[]).is_none());
     }
 }

@@ -415,14 +415,12 @@ impl Parser {
             Tok::Op(Op::Gt) => CmpOp::Gt,
             Tok::Op(Op::Ge) => CmpOp::Ge,
             Tok::Kw(Kw::In) => CmpOp::In,
-            Tok::Kw(Kw::Not) => {
-                // `not in`
-                if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Kw(Kw::In)) {
-                    self.bump();
-                    CmpOp::NotIn
-                } else {
-                    return None;
-                }
+            // `not in`
+            Tok::Kw(Kw::Not)
+                if self.toks.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Kw(Kw::In)) =>
+            {
+                self.bump();
+                CmpOp::NotIn
             }
             _ => return None,
         };

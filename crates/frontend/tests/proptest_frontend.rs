@@ -10,6 +10,37 @@ proptest! {
         let _ = qoa_frontend::parse(&src);
     }
 
+    /// The full compile pipeline (lex, parse, code generation) never
+    /// panics either: arbitrary input either compiles or reports a typed
+    /// compile error.
+    #[test]
+    fn compile_is_total(src in "[ -~\\n\\t]{0,200}") {
+        let _ = qoa_frontend::compile(&src);
+    }
+
+    /// Statement-shaped fuzz hits the code generator much more often than
+    /// raw character soup; it must be panic-free too.
+    #[test]
+    fn compile_is_total_on_statement_soup(
+        stmts in proptest::collection::vec(
+            prop_oneof![
+                "[a-z]{1,4} = [0-9]{1,4}",
+                "[a-z]{1,4} = [a-z]{1,4} [+*-] [0-9]{1,3}",
+                "if [a-z]{1,4}:",
+                "    [a-z]{1,4} = [0-9]{1,3}",
+                "while [a-z]{1,4}:",
+                "def [a-z]{1,4}\\([a-z]{0,3}\\):",
+                "    return [a-z0-9]{1,4}",
+                "for [a-z]{1,2} in range\\([0-9]{1,3}\\):",
+            ],
+            0..12,
+        ),
+    ) {
+        let mut src = stmts.join("\n");
+        src.push('\n');
+        let _ = qoa_frontend::compile(&src);
+    }
+
     /// Anything that compiles produces structurally valid bytecode, down
     /// through every nested code object.
     #[test]

@@ -204,6 +204,11 @@ impl GenHeap {
         self.cfg.nursery_size - self.nursery_bump
     }
 
+    /// Current live bytes: old space plus the occupied nursery prefix.
+    pub fn live_bytes(&self) -> u64 {
+        self.stats.old_live_bytes + self.nursery_bump
+    }
+
     /// Whether an allocation of `size` would trigger a minor collection.
     pub fn needs_minor(&self, size: u64) -> bool {
         let rounded = Self::round(size);

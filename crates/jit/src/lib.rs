@@ -62,6 +62,10 @@ pub struct JitConfig {
     pub nursery_size: u64,
     /// Execution fuel (0 = unlimited).
     pub max_steps: u64,
+    /// Wall-clock deadline (`None` = unlimited); polled cooperatively.
+    pub deadline: Option<std::time::Instant>,
+    /// Simulated live-heap cap in bytes (0 = unlimited).
+    pub max_heap_bytes: u64,
 }
 
 impl Default for JitConfig {
@@ -75,6 +79,8 @@ impl Default for JitConfig {
             code_bytes_per_step: 32,
             nursery_size: 4 << 20,
             max_steps: 0,
+            deadline: None,
+            max_heap_bytes: 0,
         }
     }
 }
@@ -104,6 +110,8 @@ impl JitConfig {
             code_bytes_per_step: 48,
             nursery_size: 2 << 20,
             max_steps: 0,
+            deadline: None,
+            max_heap_bytes: 0,
         }
     }
 }
@@ -189,6 +197,8 @@ impl<S: OpSink> PyPyVm<S> {
         let vm_cfg = VmConfig {
             heap: HeapMode::Gen(GcConfig::with_nursery(cfg.nursery_size)),
             max_steps: cfg.max_steps,
+            deadline: cfg.deadline,
+            max_heap_bytes: cfg.max_heap_bytes,
         };
         PyPyVm {
             vm: Vm::new(vm_cfg, sink),
@@ -351,7 +361,10 @@ impl<S: OpSink> PyPyVm<S> {
     ) -> Result<bool, VmError> {
         let Some(loc) = self.vm.location() else { return Ok(true) };
         let expected = {
-            let lt = self.loops.get(&header).expect("executing a known loop");
+            let lt = self
+                .loops
+                .get(&header)
+                .ok_or_else(|| VmError::runtime("jit driver: executing an unknown loop", 0))?;
             lt.fragments[frag].steps[idx]
         };
         if loc != expected {
@@ -362,7 +375,10 @@ impl<S: OpSink> PyPyVm<S> {
             self.vm.set_cost_mode(CostMode::Interp);
             return Ok(true);
         }
-        let lt = self.loops.get(&header).expect("loop");
+        let lt = self
+            .loops
+            .get(&header)
+            .ok_or_else(|| VmError::runtime("jit driver: lost the executing loop", 0))?;
         let fragment = &lt.fragments[frag];
         if idx + 1 >= fragment.steps.len() {
             // Fragment complete: both the main trace and bridges jump back
@@ -389,7 +405,9 @@ impl<S: OpSink> PyPyVm<S> {
         self.stats.guard_failures += 1;
         let bridge_threshold = self.cfg.bridge_threshold;
         let max_fragments = self.cfg.max_fragments;
-        let lt = self.loops.get_mut(&header).expect("loop");
+        let Some(lt) = self.loops.get_mut(&header) else {
+            return Err(VmError::runtime("jit driver: guard failure in an unknown loop", 0));
+        };
 
         // A compiled bridge for this exact side exit?
         if let Some(&bridge) = lt.fragments[frag].bridges.get(&(idx, loc)) {
@@ -474,16 +492,16 @@ impl<S: OpSink> PyPyVm<S> {
 ///
 /// # Errors
 ///
-/// Returns the compile error message or the guest run-time error.
+/// Returns the compile error or the guest run-time error.
 pub fn run_source<S: OpSink>(
     source: &str,
     cfg: JitConfig,
     sink: S,
-) -> Result<PyPyVm<S>, String> {
-    let code = qoa_frontend::compile(source).map_err(|e| e.to_string())?;
+) -> Result<PyPyVm<S>, VmError> {
+    let code = qoa_frontend::compile(source)?;
     let mut vm = PyPyVm::new(cfg, sink);
     vm.load_program(&code);
-    vm.run().map_err(|e| e.to_string())?;
+    vm.run()?;
     Ok(vm)
 }
 

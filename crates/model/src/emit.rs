@@ -178,7 +178,7 @@ mod tests {
         e.with_phase(Phase::GcMinor, |e| e.alu(1, Category::GarbageCollection, 2));
         e.alu(2, Category::Execute, 1);
         assert_eq!(e.phase, Phase::Interpreter);
-        drop(e);
+        let _ = e; // release the sink borrow
         assert_eq!(sink.by_phase[Phase::Interpreter], 2);
         assert_eq!(sink.by_phase[Phase::GcMinor], 2);
     }

@@ -336,7 +336,7 @@ mod tests {
                 }
             }
             if pass == 1 {
-                assert!(misses > (span / 64 / 2) as u64, "LLC absorbed too much");
+                assert!(misses > span / 64 / 2, "LLC absorbed too much");
             }
         }
     }

@@ -188,22 +188,17 @@ impl OpSink for OooCore {
                     self.mshr[idx] = start + (acc.penalty << 8);
                 }
             }
-            OpKind::Branch { taken, target, indirect } => {
-                if self.branch.branch(op.pc, taken, target, indirect) {
-                    let resolve = start + (1 << 8);
-                    self.fetch_ready_q8 =
-                        resolve + (self.branch.mispredict_penalty << 8);
-                }
-            }
-            OpKind::Call { target, indirect } => {
-                if self.branch.call(op.pc, target, indirect) {
-                    let resolve = start + (1 << 8);
-                    self.fetch_ready_q8 =
-                        resolve + (self.branch.mispredict_penalty << 8);
-                }
-            }
-            OpKind::Ret => {
-                if self.branch.ret(op.pc) {
+            OpKind::Branch { .. } | OpKind::Call { .. } | OpKind::Ret => {
+                // The predictor is always consulted (and trained); only a
+                // mispredict stalls the front end.
+                let mispredicted = match op.kind {
+                    OpKind::Branch { taken, target, indirect } => {
+                        self.branch.branch(op.pc, taken, target, indirect)
+                    }
+                    OpKind::Call { target, indirect } => self.branch.call(op.pc, target, indirect),
+                    _ => self.branch.ret(op.pc),
+                };
+                if mispredicted {
                     let resolve = start + (1 << 8);
                     self.fetch_ready_q8 =
                         resolve + (self.branch.mispredict_penalty << 8);

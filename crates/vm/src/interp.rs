@@ -107,42 +107,69 @@ impl<S: OpSink> Vm<S> {
             .and_then(|f| f.code.code.get(f.pc.saturating_sub(1)))
             .map(|i| i.line)
             .unwrap_or(0);
-        VmError { message: message.into(), line }
+        VmError::runtime(message, line)
+    }
+
+    // ---- frame access -----------------------------------------------------
+
+    /// The active frame, or a guest error if execution has no frame. A
+    /// missing frame can only come from malformed bytecode (hand-built
+    /// [`CodeObject`]s), so it is reported, not panicked on.
+    pub(crate) fn frame(&self) -> Result<&Frame, VmError> {
+        self.frames.last().ok_or_else(|| VmError::runtime("no active frame", 0))
+    }
+
+    /// Mutable access to the active frame (see [`Vm::frame`]).
+    pub(crate) fn frame_mut(&mut self) -> Result<&mut Frame, VmError> {
+        self.frames.last_mut().ok_or_else(|| VmError::runtime("no active frame", 0))
     }
 
     // ---- value stack ------------------------------------------------------
 
     /// Pops a value (ownership moves to the caller).
-    pub(crate) fn pop_s(&mut self, site: u32) -> ObjRef {
-        let f = self.frames.last_mut().expect("no frame");
-        let v = f.stack.pop().expect("value stack underflow");
+    ///
+    /// # Errors
+    ///
+    /// A guest error on value-stack underflow (malformed bytecode) rather
+    /// than a panic, so one bad workload cannot abort a whole sweep.
+    pub(crate) fn pop_s(&mut self, site: u32) -> Result<ObjRef, VmError> {
+        let f = self.frame_mut()?;
+        let v = f
+            .stack
+            .pop()
+            .ok_or_else(|| VmError::runtime("value stack underflow", 0))?;
         let sp = f.stack.len();
+        let nlocals = f.code.varnames.len() as u64;
         if self.cost == CostMode::Interp {
-            let nlocals = f.code.varnames.len() as u64;
             let addr = self.frame_addr() + FRAME_HEADER + (nlocals + sp as u64) * 8;
             self.ealu(site, Category::RegTransfer, 1);
             self.eload(site + 1, Category::Stack, addr);
             self.ealu(site + 2, Category::Stack, 1);
         }
-        v
+        Ok(v)
     }
 
     /// Pushes a value (takes ownership).
-    pub(crate) fn push_s(&mut self, site: u32, v: ObjRef) {
-        let f = self.frames.last_mut().expect("no frame");
+    pub(crate) fn push_s(&mut self, site: u32, v: ObjRef) -> Result<(), VmError> {
+        let f = self.frame_mut()?;
         let sp = f.stack.len();
         f.stack.push(v);
+        let nlocals = f.code.varnames.len() as u64;
         if self.cost == CostMode::Interp {
-            let nlocals = f.code.varnames.len() as u64;
             let addr = self.frame_addr() + FRAME_HEADER + (nlocals + sp as u64) * 8;
             self.ealu(site, Category::RegTransfer, 1);
             self.estore(site + 1, Category::Stack, addr);
             self.ealu(site + 2, Category::Stack, 1);
         }
+        Ok(())
     }
 
-    fn peek_s(&self) -> ObjRef {
-        *self.frames.last().expect("no frame").stack.last().expect("empty stack")
+    fn peek_s(&self) -> Result<ObjRef, VmError> {
+        self.frame()?
+            .stack
+            .last()
+            .copied()
+            .ok_or_else(|| VmError::runtime("value stack underflow", 0))
     }
 
     // ---- type checks and unboxing ----------------------------------------------
@@ -191,16 +218,29 @@ impl<S: OpSink> Vm<S> {
         let Some(frame) = self.frames.last() else {
             return Ok(StepEvent::Done);
         };
+        if let Some(fault) = self.pending_fault.take() {
+            return Err(fault);
+        }
         if self.cfg.max_steps != 0 && self.steps >= self.cfg.max_steps {
-            return Err(self.err("execution fuel exhausted"));
+            return Err(VmError::FuelExhausted { steps: self.steps });
+        }
+        if self.steps.is_multiple_of(crate::vm::DEADLINE_CHECK_INTERVAL) {
+            if let Some(deadline) = self.cfg.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(VmError::DeadlineExceeded { steps: self.steps });
+                }
+            }
         }
         self.steps += 1;
         self.stats.bytecodes += 1;
 
         let code = Rc::clone(&frame.code);
         let pc = frame.pc;
-        let instr: Instr = code.code[pc];
-        self.frames.last_mut().expect("frame").pc = pc + 1;
+        let Some(&instr) = code.code.get(pc) else {
+            return Err(self.err(format!("pc {pc} out of bounds (malformed bytecode)")));
+        };
+        let instr: Instr = instr;
+        self.frame_mut()?.pc = pc + 1;
 
         // Dispatch: read co_code, decode, computed-goto to the handler.
         // Emitted from the *previous* handler's region (computed gotos),
@@ -245,29 +285,29 @@ impl<S: OpSink> Vm<S> {
                     self.eload(1, Category::ConstLoad, consts_addr);
                 }
                 self.incref(v);
-                self.push_s(4, v);
+                self.push_s(4, v)?;
             }
             Opcode::PopTop => {
-                let v = self.pop_s(0);
+                let v = self.pop_s(0)?;
                 self.decref(v);
             }
             Opcode::DupTop => {
-                let v = self.peek_s();
+                let v = self.peek_s()?;
                 self.incref(v);
-                self.push_s(0, v);
+                self.push_s(0, v)?;
             }
             Opcode::DupTopTwo => {
-                let f = self.frames.last().expect("frame");
+                let f = self.frame()?;
                 let n = f.stack.len();
                 let a = f.stack[n - 2];
                 let b = f.stack[n - 1];
                 self.incref(a);
                 self.incref(b);
-                self.push_s(0, a);
-                self.push_s(3, b);
+                self.push_s(0, a)?;
+                self.push_s(3, b)?;
             }
             Opcode::RotTwo => {
-                let f = self.frames.last_mut().expect("frame");
+                let f = self.frame_mut()?;
                 let n = f.stack.len();
                 f.stack.swap(n - 1, n - 2);
                 if self.cost == CostMode::Interp {
@@ -275,7 +315,7 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::RotThree => {
-                let f = self.frames.last_mut().expect("frame");
+                let f = self.frame_mut()?;
                 let n = f.stack.len();
                 let top = f.stack.remove(n - 1);
                 f.stack.insert(n - 3, top);
@@ -284,7 +324,7 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::LoadFast => {
-                let f = self.frames.last().expect("frame");
+                let f = self.frame()?;
                 let Some(v) = f.locals[arg as usize] else {
                     let name = f.code.varnames[arg as usize].clone();
                     return Err(self.err(format!(
@@ -298,17 +338,17 @@ impl<S: OpSink> Vm<S> {
                     self.eload(1, Category::Execute, addr);
                 }
                 self.incref(v);
-                self.push_s(4, v);
+                self.push_s(4, v)?;
             }
             Opcode::StoreFast => {
-                let v = self.pop_s(0);
+                let v = self.pop_s(0)?;
                 if self.cost == CostMode::Interp {
                     let addr = self.frame_addr() + FRAME_HEADER + (arg as u64) * 8;
                     self.ealu(3, Category::RegTransfer, 1);
                     // The variable write itself is the program's own work.
                     self.estore(4, Category::Execute, addr);
                 }
-                let f = self.frames.last_mut().expect("frame");
+                let f = self.frame_mut()?;
                 let old = f.locals[arg as usize].replace(v);
                 if let Some(old) = old {
                     self.decref(old);
@@ -318,10 +358,10 @@ impl<S: OpSink> Vm<S> {
                 let name = &code.names[arg as usize];
                 let v = self.load_global(name.clone())?;
                 self.incref(v);
-                self.push_s(8, v);
+                self.push_s(8, v)?;
             }
             Opcode::StoreGlobal => {
-                let v = self.pop_s(0);
+                let v = self.pop_s(0)?;
                 let name = code.names[arg as usize].clone();
                 let name_obj = self.intern_str(&name);
                 let globals = self.globals;
@@ -340,10 +380,10 @@ impl<S: OpSink> Vm<S> {
                     None => self.load_global(name)?,
                 };
                 self.incref(v);
-                self.push_s(8, v);
+                self.push_s(8, v)?;
             }
             Opcode::StoreName => {
-                let v = self.pop_s(0);
+                let v = self.pop_s(0)?;
                 let name = code.names[arg as usize].clone();
                 let name_obj = self.intern_str(&name);
                 let ns = self
@@ -365,13 +405,13 @@ impl<S: OpSink> Vm<S> {
             | Opcode::BinaryXor
             | Opcode::BinaryLshift
             | Opcode::BinaryRshift => {
-                let b = self.pop_s(0);
-                let a = self.pop_s(3);
+                let b = self.pop_s(0)?;
+                let a = self.pop_s(3)?;
                 let r = self.binary_op(instr.op, a, b)?;
-                self.push_s(6, r);
+                self.push_s(6, r)?;
             }
             Opcode::UnaryNegative => {
-                let a = self.pop_s(0);
+                let a = self.pop_s(0)?;
                 self.emit_typecheck(10, a);
                 self.emit_unbox(12, a);
                 let r = match self.kind(a).clone() {
@@ -398,10 +438,10 @@ impl<S: OpSink> Vm<S> {
                     }
                 };
                 self.decref(a);
-                self.push_s(20, r);
+                self.push_s(20, r)?;
             }
             Opcode::UnaryInvert => {
-                let a = self.pop_s(0);
+                let a = self.pop_s(0)?;
                 self.emit_typecheck(10, a);
                 self.emit_unbox(12, a);
                 let Some(v) = self.as_int(a) else {
@@ -412,26 +452,26 @@ impl<S: OpSink> Vm<S> {
                 let r = self.make_int(!v);
                 self.scratch.pop();
                 self.decref(a);
-                self.push_s(20, r);
+                self.push_s(20, r)?;
             }
             Opcode::UnaryNot => {
-                let a = self.pop_s(0);
+                let a = self.pop_s(0)?;
                 self.emit_typecheck(10, a);
                 let truthy = self.kind(a).is_truthy();
                 self.ealu(12, Category::Execute, 1);
                 self.decref(a);
                 let r = self.bool_ref(!truthy);
                 self.incref(r);
-                self.push_s(14, r);
+                self.push_s(14, r)?;
             }
             Opcode::CompareOp => {
-                let b = self.pop_s(0);
-                let a = self.pop_s(3);
+                let b = self.pop_s(0)?;
+                let a = self.pop_s(3)?;
                 let r = self.compare_op(Cmp::from_arg(arg), a, b)?;
-                self.push_s(6, r);
+                self.push_s(6, r)?;
             }
             Opcode::JumpAbsolute => {
-                let f = self.frames.last_mut().expect("frame");
+                let f = self.frame_mut()?;
                 let old = f.pc;
                 f.pc = arg as usize;
                 if self.cost == CostMode::Interp {
@@ -445,7 +485,7 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::PopJumpIfFalse | Opcode::PopJumpIfTrue => {
-                let v = self.pop_s(0);
+                let v = self.pop_s(0)?;
                 self.emit_typecheck(10, v);
                 let truthy = self.kind(v).is_truthy();
                 self.decref(v);
@@ -456,7 +496,7 @@ impl<S: OpSink> Vm<S> {
                 self.ealu(11, Category::RichControlFlow, 1);
                 self.ebranch(12, Category::Execute, jump);
                 if jump {
-                    let f = self.frames.last_mut().expect("frame");
+                    let f = self.frame_mut()?;
                     let old = f.pc;
                     f.pc = arg as usize;
                     if (arg as usize) < old {
@@ -468,21 +508,21 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => {
-                let v = self.peek_s();
+                let v = self.peek_s()?;
                 self.emit_typecheck(10, v);
                 let truthy = self.kind(v).is_truthy();
                 let jump = if instr.op == Opcode::JumpIfFalseOrPop { !truthy } else { truthy };
                 self.ealu(11, Category::RichControlFlow, 1);
                 self.ebranch(12, Category::Execute, jump);
                 if jump {
-                    self.frames.last_mut().expect("frame").pc = arg as usize;
+                    self.frame_mut()?.pc = arg as usize;
                 } else {
-                    let v = self.pop_s(14);
+                    let v = self.pop_s(14)?;
                     self.decref(v);
                 }
             }
             Opcode::SetupLoop => {
-                let f = self.frames.last_mut().expect("frame");
+                let f = self.frame_mut()?;
                 let depth = f.stack.len();
                 f.blocks.push(Block { end: arg as usize, stack_depth: depth });
                 if self.cost == CostMode::Interp {
@@ -494,11 +534,10 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::PopBlock => {
-                let f = self.frames.last_mut().expect("frame");
-                f.blocks.pop().ok_or_else(|| VmError {
-                    message: "block stack underflow".into(),
-                    line: instr.line,
-                })?;
+                let f = self.frame_mut()?;
+                f.blocks
+                    .pop()
+                    .ok_or_else(|| VmError::runtime("block stack underflow", instr.line))?;
                 if self.cost == CostMode::Interp {
                     let addr = self.frame_addr() + 32;
                     self.ealu(0, Category::RichControlFlow, 1);
@@ -506,11 +545,11 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::BreakLoop => {
-                let f = self.frames.last_mut().expect("frame");
-                let block = f.blocks.pop().ok_or_else(|| VmError {
-                    message: "break with no enclosing loop".into(),
-                    line: instr.line,
-                })?;
+                let f = self.frame_mut()?;
+                let block = f
+                    .blocks
+                    .pop()
+                    .ok_or_else(|| VmError::runtime("break with no enclosing loop", instr.line))?;
                 f.pc = block.end;
                 let extra: Vec<ObjRef> = f.stack.split_off(block.stack_depth);
                 if self.cost == CostMode::Interp {
@@ -523,7 +562,7 @@ impl<S: OpSink> Vm<S> {
                 }
             }
             Opcode::GetIter => {
-                let obj = self.pop_s(0);
+                let obj = self.pop_s(0)?;
                 self.emit_typecheck(10, obj);
                 // CPython: PyObject_GetIter via tp_iter function pointer.
                 self.c_call(12, mem::INTERP_CODE_BASE + 0x8000, true);
@@ -546,7 +585,7 @@ impl<S: OpSink> Vm<S> {
                     ObjKind::Iter(_) => {
                         // Iterating an iterator: pass through.
                         self.c_return(18);
-                        self.push_s(20, obj);
+                        self.push_s(20, obj)?;
                         return Ok(StepEvent::Continue);
                     }
                     other => {
@@ -559,10 +598,10 @@ impl<S: OpSink> Vm<S> {
                 // Ownership of `obj` (for Seq/Str) moved into the state.
                 let iter = self.alloc_obj(ObjKind::Iter(state));
                 self.c_return(18);
-                self.push_s(20, iter);
+                self.push_s(20, iter)?;
             }
             Opcode::ForIter => {
-                let iter = self.peek_s();
+                let iter = self.peek_s()?;
                 // CPython: iternext through a function pointer.
                 if self.cost == CostMode::Interp {
                     let addr = self.obj_addr(iter);
@@ -577,39 +616,39 @@ impl<S: OpSink> Vm<S> {
                     Some(v) => {
                         // Loop continues: the exhaustion branch is not taken.
                         self.ebranch(12, Category::RichControlFlow, false);
-                        self.push_s(14, v);
+                        self.push_s(14, v)?;
                     }
                     None => {
                         self.ebranch(12, Category::RichControlFlow, true);
-                        let it = self.pop_s(14);
+                        let it = self.pop_s(14)?;
                         self.decref(it);
-                        self.frames.last_mut().expect("frame").pc = arg as usize;
+                        self.frame_mut()?.pc = arg as usize;
                     }
                 }
             }
             Opcode::BinarySubscr => {
-                let idx = self.pop_s(0);
-                let obj = self.pop_s(3);
+                let idx = self.pop_s(0)?;
+                let obj = self.pop_s(3)?;
                 let r = self.subscr(obj, idx)?;
-                self.push_s(6, r);
+                self.push_s(6, r)?;
             }
             Opcode::StoreSubscr => {
                 // Stack: [value, obj, idx]
-                let idx = self.pop_s(0);
-                let obj = self.pop_s(3);
-                let value = self.pop_s(6);
+                let idx = self.pop_s(0)?;
+                let obj = self.pop_s(3)?;
+                let value = self.pop_s(6)?;
                 self.store_subscr(obj, idx, value)?;
             }
             Opcode::DeleteSubscr => {
-                let idx = self.pop_s(0);
-                let obj = self.pop_s(3);
+                let idx = self.pop_s(0)?;
+                let obj = self.pop_s(3)?;
                 self.del_subscr(obj, idx)?;
             }
             Opcode::BuildList | Opcode::BuildTuple => {
                 let n = arg as usize;
                 let start = self.scratch.len();
                 for _ in 0..n {
-                    let v = self.pop_s(0);
+                    let v = self.pop_s(0)?;
                     self.scratch.push(v);
                 }
                 self.scratch[start..].reverse();
@@ -627,13 +666,13 @@ impl<S: OpSink> Vm<S> {
                     self.estore(8, Category::Execute, base + 40 + (i as u64) * 8);
                 }
                 self.scratch.truncate(start);
-                self.push_s(12, r);
+                self.push_s(12, r)?;
             }
             Opcode::BuildMap => {
                 let n = arg as usize;
                 let start = self.scratch.len();
                 for _ in 0..(2 * n) {
-                    let v = self.pop_s(0);
+                    let v = self.pop_s(0)?;
                     self.scratch.push(v);
                 }
                 self.scratch[start..].reverse();
@@ -646,20 +685,20 @@ impl<S: OpSink> Vm<S> {
                     self.dict_insert(d, key, k, v, Category::Execute)?;
                 }
                 self.scratch.truncate(start);
-                self.push_s(12, d);
+                self.push_s(12, d)?;
             }
             Opcode::BuildSlice => {
-                let hi = self.pop_s(0);
-                let lo = self.pop_s(3);
+                let hi = self.pop_s(0)?;
+                let lo = self.pop_s(3)?;
                 self.scratch.push(lo);
                 self.scratch.push(hi);
                 let r = self.alloc_obj(ObjKind::Slice { lo, hi });
                 self.scratch.truncate(self.scratch.len() - 2);
-                self.push_s(8, r);
+                self.push_s(8, r)?;
             }
             Opcode::UnpackSequence => {
                 let n = arg as usize;
-                let seq = self.pop_s(0);
+                let seq = self.pop_s(0)?;
                 self.emit_typecheck(10, seq);
                 let items: Vec<ObjRef> = match self.kind(seq) {
                     ObjKind::Tuple(t) => t.iter().copied().collect(),
@@ -683,25 +722,25 @@ impl<S: OpSink> Vm<S> {
                 for (i, &v) in items.iter().enumerate().rev() {
                     self.eload(14, Category::Execute, base + 40 + (i as u64) * 8);
                     self.incref(v);
-                    self.push_s(16, v);
+                    self.push_s(16, v)?;
                 }
                 self.decref(seq);
             }
             Opcode::LoadAttr => {
-                let obj = self.pop_s(0);
+                let obj = self.pop_s(0)?;
                 let name = code.names[arg as usize].clone();
                 let r = self.load_attr(obj, &name)?;
-                self.push_s(8, r);
+                self.push_s(8, r)?;
             }
             Opcode::StoreAttr => {
                 // Stack: [value, obj]
-                let obj = self.pop_s(0);
-                let value = self.pop_s(3);
+                let obj = self.pop_s(0)?;
+                let value = self.pop_s(3)?;
                 let name = code.names[arg as usize].clone();
                 self.store_attr(obj, &name, value)?;
             }
             Opcode::MakeFunction => {
-                let code_obj = self.pop_s(0);
+                let code_obj = self.pop_s(0)?;
                 let ObjKind::Code(func_code) = self.kind(code_obj) else {
                     return Err(self.err("MAKE_FUNCTION without code object"));
                 };
@@ -709,7 +748,7 @@ impl<S: OpSink> Vm<S> {
                 let n = arg as usize;
                 let start = self.scratch.len();
                 for _ in 0..n {
-                    let d = self.pop_s(2);
+                    let d = self.pop_s(2)?;
                     self.scratch.push(d);
                 }
                 self.scratch[start..].reverse();
@@ -722,11 +761,11 @@ impl<S: OpSink> Vm<S> {
                 self.estore(8, Category::FunctionSetup, base + 16);
                 self.estore(9, Category::FunctionSetup, base + 24);
                 self.decref(code_obj);
-                self.push_s(12, f);
+                self.push_s(12, f)?;
             }
             Opcode::BuildClass => {
-                let ns = self.pop_s(0);
-                let base_obj = self.pop_s(3);
+                let ns = self.pop_s(0)?;
+                let base_obj = self.pop_s(3)?;
                 let name: Rc<str> = code.names[arg as usize].clone().into();
                 let base = match self.kind(base_obj) {
                     ObjKind::None => None,
@@ -745,7 +784,7 @@ impl<S: OpSink> Vm<S> {
                 if base.is_none() {
                     self.decref(base_obj); // the popped None
                 }
-                self.push_s(8, cls);
+                self.push_s(8, cls)?;
             }
             Opcode::CallFunction => {
                 return self.call_function(arg as usize);

@@ -104,15 +104,16 @@ impl<S: OpSink> Vm<S> {
 ///
 /// # Errors
 ///
-/// Returns the compile error message or the guest run-time error.
+/// Returns a typed [`VmError`]: a compile error, a guest run-time error,
+/// or a resource-limit cutoff (fuel, deadline, simulated OOM).
 pub fn run_source<S: OpSink>(
     source: &str,
     cfg: VmConfig,
     sink: S,
-) -> Result<Vm<S>, String> {
-    let code = qoa_frontend::compile(source).map_err(|e| e.to_string())?;
+) -> Result<Vm<S>, VmError> {
+    let code = qoa_frontend::compile(source)?;
     let mut vm = Vm::new(cfg, sink);
     vm.load_program(&code);
-    vm.run().map_err(|e| e.to_string())?;
+    vm.run()?;
     Ok(vm)
 }

@@ -580,7 +580,11 @@ impl<S: OpSink> Vm<S> {
                         v.ln()
                     }
                     NativeFn::Floor => v.floor(),
-                    _ => unreachable!(),
+                    other => {
+                        return Err(self.err_here(format!(
+                            "internal error: {other:?} routed to unary float dispatch"
+                        )))
+                    }
                 };
                 Ok(self.make_float(r))
             }
@@ -848,7 +852,9 @@ impl<S: OpSink> Vm<S> {
                     return Err(self.err_here("ValueError: list.remove(x): x not in list"));
                 };
                 let removed = {
-                    let ObjKind::List(v) = &mut self.obj_mut(recv).kind else { unreachable!() };
+                    let ObjKind::List(v) = &mut self.obj_mut(recv).kind else {
+                        return Err(self.err_here("internal error: list changed kind"));
+                    };
                     v.remove(pos)
                 };
                 let base = self.buffer_addr(recv);
@@ -1136,7 +1142,9 @@ impl<S: OpSink> Vm<S> {
             width *= 2;
         }
         {
-            let ObjKind::List(v) = &mut self.obj_mut(recv).kind else { unreachable!() };
+            let ObjKind::List(v) = &mut self.obj_mut(recv).kind else {
+                return Err(self.err_here("internal error: list changed kind"));
+            };
             *v = items;
         }
         let none = self.none();

@@ -214,7 +214,7 @@ impl ObjKind {
             ObjKind::Str(s) => !s.is_empty(),
             ObjKind::List(v) => !v.is_empty(),
             ObjKind::Tuple(v) => !v.is_empty(),
-            ObjKind::Dict(d) => d.len() > 0,
+            ObjKind::Dict(d) => !d.is_empty(),
             ObjKind::Range { start, stop, step } => {
                 if *step > 0 {
                     start < stop

@@ -66,7 +66,7 @@ impl<S: OpSink> Vm<S> {
             .and_then(|f| f.code.code.get(f.pc.saturating_sub(1)))
             .map(|i| i.line)
             .unwrap_or(0);
-        VmError { message: message.into(), line }
+        VmError::runtime(message, line)
     }
 
     // ---- binary operations ---------------------------------------------------
@@ -210,8 +210,8 @@ impl<S: OpSink> Vm<S> {
     }
 
     fn int_binary(&mut self, op: Opcode, a: ObjRef, b: ObjRef) -> Result<ObjRef, VmError> {
-        let x = self.as_int(a).expect("int operand");
-        let y = self.as_int(b).expect("int operand");
+        let x = self.as_int(a).ok_or_else(|| self.err_here("TypeError: int operand expected"))?;
+        let y = self.as_int(b).ok_or_else(|| self.err_here("TypeError: int operand expected"))?;
         self.emit_unbox2(30, a);
         self.emit_unbox2(31, b);
         let v: i64 = match op {
@@ -280,13 +280,13 @@ impl<S: OpSink> Vm<S> {
             }
             Opcode::BinaryRshift => {
                 self.ealu2(32, Category::Execute, 1);
-                let shift = u32::try_from(y.clamp(0, 63)).expect("clamped");
+                let shift = y.clamp(0, 63) as u32;
                 if y < 0 {
                     return Err(self.err_here("ValueError: negative shift count"));
                 }
                 x >> shift
             }
-            other => unreachable!("not an int binary op: {other:?}"),
+            other => return Err(self.err_here(format!("internal error: not an int binary op: {other:?}"))),
         };
         // Boxing the result: PyInt_FromLong.
         self.icall(40, 0x9200, false);
@@ -300,8 +300,8 @@ impl<S: OpSink> Vm<S> {
     }
 
     fn float_binary(&mut self, op: Opcode, a: ObjRef, b: ObjRef) -> Result<ObjRef, VmError> {
-        let x = self.as_float(a).expect("numeric operand");
-        let y = self.as_float(b).expect("numeric operand");
+        let x = self.as_float(a).ok_or_else(|| self.err_here("TypeError: numeric operand expected"))?;
+        let y = self.as_float(b).ok_or_else(|| self.err_here("TypeError: numeric operand expected"))?;
         // Slow path: PyNumber_Add -> binary_op1 -> nb_add (indirect).
         self.icall(50, 0x9300, false);
         self.icall(56, 0x9340, true);
@@ -505,7 +505,9 @@ impl<S: OpSink> Vm<S> {
                     Cmp::Le => ord != std::cmp::Ordering::Greater,
                     Cmp::Gt => ord == std::cmp::Ordering::Greater,
                     Cmp::Ge => ord != std::cmp::Ordering::Less,
-                    Cmp::In | Cmp::NotIn => unreachable!(),
+                    Cmp::In | Cmp::NotIn => {
+                        return Err(self.err_here("internal error: containment compare routed to ordering path"))
+                    }
                 }
             }
         };
@@ -528,8 +530,8 @@ impl<S: OpSink> Vm<S> {
         match (self.kind(a).clone(), self.kind(b).clone()) {
             (ObjKind::Int(_) | ObjKind::Bool(_), ObjKind::Int(_) | ObjKind::Bool(_)) => {
                 // ceval fast path: inline compare.
-                let x = self.as_int(a).expect("int");
-                let y = self.as_int(b).expect("int");
+                let x = self.as_int(a).ok_or_else(|| self.err_here("TypeError: int operand expected"))?;
+                let y = self.as_int(b).ok_or_else(|| self.err_here("TypeError: int operand expected"))?;
                 self.emit_unbox2(site, a);
                 self.emit_unbox2(site + 1, b);
                 self.ealu2(site + 2, Category::Execute, 3);
@@ -539,8 +541,8 @@ impl<S: OpSink> Vm<S> {
                 if matches!(x, ObjKind::Float(_) | ObjKind::Int(_) | ObjKind::Bool(_))
                     && matches!(y, ObjKind::Float(_) | ObjKind::Int(_) | ObjKind::Bool(_)) =>
             {
-                let x = self.as_float(a).expect("num");
-                let y = self.as_float(b).expect("num");
+                let x = self.as_float(a).ok_or_else(|| self.err_here("TypeError: numeric operand expected"))?;
+                let y = self.as_float(b).ok_or_else(|| self.err_here("TypeError: numeric operand expected"))?;
                 self.icall(site, 0x9400, false);
                 self.emit_unbox2(site + 6, a);
                 self.emit_unbox2(site + 7, b);
@@ -1079,7 +1081,9 @@ impl<S: OpSink> Vm<S> {
                 let base = self.buffer_addr(obj);
                 self.estore2(22, Category::Execute, base + (i as u64) * 8);
                 let old = {
-                    let ObjKind::List(v) = &mut self.obj_mut(obj).kind else { unreachable!() };
+                    let ObjKind::List(v) = &mut self.obj_mut(obj).kind else {
+                        return Err(self.err_here("internal error: list changed kind"));
+                    };
                     std::mem::replace(&mut v[i], value)
                 };
                 self.write_barrier(obj, value);
@@ -1130,7 +1134,9 @@ impl<S: OpSink> Vm<S> {
                 let i = self.index_i64(idx)?;
                 let i = self.normalize_index(i, items.len(), false)?;
                 let removed = {
-                    let ObjKind::List(v) = &mut self.obj_mut(obj).kind else { unreachable!() };
+                    let ObjKind::List(v) = &mut self.obj_mut(obj).kind else {
+                        return Err(self.err_here("internal error: list changed kind"));
+                    };
                     v.remove(i)
                 };
                 // Shift emission.
@@ -1352,7 +1358,7 @@ impl<S: OpSink> Vm<S> {
                     let v = match self.kind(seq) {
                         ObjKind::List(v) => v[index],
                         ObjKind::Tuple(v) => v[index],
-                        _ => unreachable!(),
+                        _ => return Err(self.err_here("internal error: seq iterator over non-sequence")),
                     };
                     let base = self.buffer_addr(seq);
                     self.eload2(4, Category::Execute, base + (index as u64) * 8);
@@ -1363,7 +1369,7 @@ impl<S: OpSink> Vm<S> {
             IterState::Str { s, index } => {
                 let owned = match self.kind(s) {
                     ObjKind::Str(x) => Rc::clone(x),
-                    _ => unreachable!(),
+                    _ => return Err(self.err_here("internal error: str iterator over non-string")),
                 };
                 if index >= owned.len() {
                     (None, None)
@@ -1405,11 +1411,11 @@ impl<S: OpSink> Vm<S> {
         // Pop args (reversed) and the callee into GC-visible scratch.
         let mark = self.scratch.len();
         for _ in 0..argc {
-            let v = self.pop_s(0);
+            let v = self.pop_s(0)?;
             self.scratch.push(v);
         }
         self.scratch[mark..].reverse();
-        let callee = self.pop_s(3);
+        let callee = self.pop_s(3)?;
         self.scratch.push(callee);
         // CPython: call_function helper.
         self.emit_typecheck2(16, callee);
@@ -1445,7 +1451,7 @@ impl<S: OpSink> Vm<S> {
                     self.decref(a);
                 }
                 self.decref(callee);
-                self.push_s(56, result);
+                self.push_s(56, result)?;
                 Ok(StepEvent::Continue)
             }
             ObjKind::BoundMethod { func, recv } => {
@@ -1471,7 +1477,7 @@ impl<S: OpSink> Vm<S> {
                             self.decref(a);
                         }
                         self.decref(callee);
-                        self.push_s(56, result);
+                        self.push_s(56, result)?;
                         Ok(StepEvent::Continue)
                     }
                     other => Err(self.err_here(format!(
@@ -1523,7 +1529,7 @@ impl<S: OpSink> Vm<S> {
                         // stack, callee is released.
                         self.scratch.truncate(mark);
                         self.decref(callee);
-                        self.push_s(56, inst);
+                        self.push_s(56, inst)?;
                         Ok(StepEvent::Continue)
                     }
                 }
@@ -1595,7 +1601,7 @@ impl<S: OpSink> Vm<S> {
         self.frames.push(frame);
         let frame_addr = self.frame_addr();
         {
-            let fr = self.frames.last_mut().expect("frame");
+            let fr = self.frame_mut()?;
             for (i, a) in args.into_iter().enumerate() {
                 fr.locals[i] = Some(a);
             }
@@ -1618,15 +1624,15 @@ impl<S: OpSink> Vm<S> {
             .map(|f| f.class_ns.is_some())
             .unwrap_or(false);
         let retval = if is_class_body {
-            let ns = self.frames.last().and_then(|f| f.class_ns).expect("class ns");
+            let ns = self.frames.last().and_then(|f| f.class_ns).ok_or_else(|| self.err_here("internal error: class body frame lost its namespace"))?;
             self.incref(ns);
             ns
         } else {
-            self.pop_s(0)
+            self.pop_s(0)?
         };
         // Function cleanup + frame release: unwinding the call machinery.
         self.ealu2(4, Category::FunctionSetup, 10);
-        let frame = self.frames.pop().expect("frame to return from");
+        let frame = self.frames.pop().ok_or_else(|| self.err_here("internal error: no frame to return from"))?;
         for v in frame.locals.into_iter().flatten() {
             self.decref(v);
         }
@@ -1660,7 +1666,7 @@ impl<S: OpSink> Vm<S> {
             }
             return Ok(StepEvent::Done);
         }
-        self.push_s(16, retval);
+        self.push_s(16, retval)?;
         Ok(StepEvent::Continue)
     }
 

@@ -40,13 +40,32 @@ pub struct VmConfig {
     pub heap: HeapMode,
     /// Execution fuel: abort after this many bytecodes (0 = unlimited).
     pub max_steps: u64,
+    /// Wall-clock cutoff: [`Vm::step`] fails with
+    /// [`VmError::DeadlineExceeded`] once this instant passes (checked
+    /// every [`DEADLINE_CHECK_INTERVAL`] bytecodes).
+    pub deadline: Option<std::time::Instant>,
+    /// Simulated-OOM cap on live heap bytes (0 = unlimited). Exceeding it
+    /// fails the next step with [`VmError::OutOfMemory`].
+    pub max_heap_bytes: u64,
 }
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { heap: HeapMode::Rc, max_steps: 0 }
+        VmConfig { heap: HeapMode::Rc, max_steps: 0, deadline: None, max_heap_bytes: 0 }
     }
 }
+
+impl VmConfig {
+    /// Returns a copy whose deadline is `timeout` from now.
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.deadline = Some(std::time::Instant::now() + timeout);
+        self
+    }
+}
+
+/// How often (in bytecodes) the interpreter polls the wall clock for
+/// [`VmConfig::deadline`].
+pub const DEADLINE_CHECK_INTERVAL: u64 = 4096;
 
 /// Cost model in effect (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,22 +77,93 @@ pub enum CostMode {
     Trace,
 }
 
-/// A guest run-time error.
+/// Why an execution stopped abnormally.
+///
+/// Every variant is recoverable from the host's point of view: the
+/// experiment harness records it as a structured run failure instead of
+/// aborting the sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VmError {
-    /// Description (e.g. `TypeError: ...`).
-    pub message: String,
-    /// Source line of the faulting bytecode.
-    pub line: u32,
+pub enum VmError {
+    /// The program failed to compile.
+    Compile(qoa_frontend::FrontendError),
+    /// A guest run-time error (e.g. `TypeError: ...`) at a source line.
+    Runtime {
+        /// Description (e.g. `TypeError: ...`).
+        message: String,
+        /// Source line of the faulting bytecode.
+        line: u32,
+    },
+    /// The execution fuel budget ([`VmConfig::max_steps`]) ran out.
+    FuelExhausted {
+        /// Bytecodes executed when the budget ran out.
+        steps: u64,
+    },
+    /// The wall-clock deadline ([`VmConfig::deadline`]) passed.
+    DeadlineExceeded {
+        /// Bytecodes executed when the deadline fired.
+        steps: u64,
+    },
+    /// Simulated live heap exceeded [`VmConfig::max_heap_bytes`].
+    OutOfMemory {
+        /// Live bytes at the failing allocation.
+        live_bytes: u64,
+        /// The configured cap.
+        limit_bytes: u64,
+    },
+}
+
+impl VmError {
+    /// A guest run-time error at `line`.
+    pub fn runtime(message: impl Into<String>, line: u32) -> Self {
+        VmError::Runtime { message: message.into(), line }
+    }
+
+    /// True for errors the guest program itself caused (compile and
+    /// run-time errors), false for resource-limit cutoffs.
+    pub fn is_guest_fault(&self) -> bool {
+        matches!(self, VmError::Compile(_) | VmError::Runtime { .. })
+    }
 }
 
 impl std::fmt::Display for VmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match self {
+            VmError::Compile(e) => write!(f, "compile error: {e}"),
+            VmError::Runtime { message, line } => write!(f, "line {line}: {message}"),
+            VmError::FuelExhausted { steps } => {
+                write!(f, "execution fuel exhausted after {steps} bytecodes")
+            }
+            VmError::DeadlineExceeded { steps } => {
+                write!(f, "wall-clock deadline exceeded after {steps} bytecodes")
+            }
+            VmError::OutOfMemory { live_bytes, limit_bytes } => {
+                write!(f, "simulated OOM: {live_bytes} live bytes > {limit_bytes} byte cap")
+            }
+        }
     }
 }
 
-impl std::error::Error for VmError {}
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qoa_frontend::FrontendError> for VmError {
+    fn from(e: qoa_frontend::FrontendError) -> Self {
+        VmError::Compile(e)
+    }
+}
+
+/// Compatibility with older `Result<_, String>` call sites.
+impl From<VmError> for String {
+    fn from(e: VmError) -> Self {
+        e.to_string()
+    }
+}
 
 /// What one [`Vm::step`] did, from the driver's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +275,9 @@ pub struct Vm<S: OpSink> {
     pub(crate) probes: Vec<u32>,
     pub(crate) stats: VmStats,
     pub(crate) steps: u64,
+    /// A fault detected mid-instruction (e.g. simulated OOM during an
+    /// allocation); surfaced as the result of the next [`Vm::step`].
+    pub(crate) pending_fault: Option<VmError>,
     /// Modeled C-call nesting depth (for C-stack addresses).
     pub(crate) c_depth: u32,
     /// Captured `print` output.
@@ -246,6 +339,7 @@ impl<S: OpSink> Vm<S> {
             probes: Vec::new(),
             stats: VmStats::default(),
             steps: 0,
+            pending_fault: None,
             c_depth: 0,
             output: Vec::new(),
             result: None,
@@ -566,6 +660,26 @@ impl<S: OpSink> Vm<S> {
                     self.major_gc();
                 }
             }
+        }
+        self.check_heap_cap();
+    }
+
+    /// Flags a pending [`VmError::OutOfMemory`] when the simulated live
+    /// heap exceeds the configured cap. Allocation itself stays infallible;
+    /// the fault surfaces at the next [`Vm::step`] boundary.
+    fn check_heap_cap(&mut self) {
+        if self.cfg.max_heap_bytes == 0 || self.pending_fault.is_some() {
+            return;
+        }
+        let live = match &self.heap {
+            HeapImpl::Rc(h) => h.stats().live_bytes,
+            HeapImpl::Gen(h) => h.live_bytes(),
+        };
+        if live > self.cfg.max_heap_bytes {
+            self.pending_fault = Some(VmError::OutOfMemory {
+                live_bytes: live,
+                limit_bytes: self.cfg.max_heap_bytes,
+            });
         }
     }
 

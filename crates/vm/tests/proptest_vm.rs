@@ -105,7 +105,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
 }
 
 fn run_guest(src: &str, heap: HeapMode) -> Result<Option<i64>, String> {
-    let cfg = VmConfig { heap, max_steps: 2_000_000 };
+    let cfg = VmConfig { heap, max_steps: 2_000_000, ..VmConfig::default() };
     let mut vm = qoa_vm::run_source(src, cfg, CountingSink::new())?;
     Ok(vm.global_int("r"))
 }
@@ -172,7 +172,7 @@ proptest! {
             }
         }
         program.push_str("r = len(xs)\ns = sum(xs)\n");
-        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000 };
+        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000, ..VmConfig::default() };
         let mut vm = qoa_vm::run_source(&program, cfg, CountingSink::new())
             .map_err(|e| TestCaseError::fail(format!("{e}\n{program}")))?;
         prop_assert_eq!(vm.global_int("r"), Some(model.len() as i64));
@@ -196,7 +196,7 @@ proptest! {
             }
         }
         program.push_str("r = len(d)\ns = 0\nfor k in d:\n    s = s + d[k]\n");
-        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000 };
+        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000, ..VmConfig::default() };
         let mut vm = qoa_vm::run_source(&program, cfg, CountingSink::new())
             .map_err(|e| TestCaseError::fail(format!("{e}\n{program}")))?;
         prop_assert_eq!(vm.global_int("r"), Some(model.len() as i64));
@@ -209,9 +209,9 @@ proptest! {
         let src = format!(
             "t = 0\nfor i in range({n}):\n    xs = [i, i + 1]\n    t = t + xs[0]\n"
         );
-        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000 };
+        let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 5_000_000, ..VmConfig::default() };
         let mut vm = qoa_vm::run_source(&src, cfg, CountingSink::new())
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
         let stats = vm.stats();
         let live = stats.rc.allocs - stats.rc.frees;
         prop_assert!(live < 100, "leaked {live} objects");

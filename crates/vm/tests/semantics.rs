@@ -7,10 +7,11 @@ use qoa_model::CountingSink;
 use qoa_vm::{HeapMode, Vm, VmConfig, VmStats};
 
 fn run_both(src: &str) -> (Vm<CountingSink>, Vm<CountingSink>) {
-    let rc_cfg = VmConfig { heap: HeapMode::Rc, max_steps: 50_000_000 };
+    let rc_cfg = VmConfig { heap: HeapMode::Rc, max_steps: 50_000_000, ..VmConfig::default() };
     let gen_cfg = VmConfig {
         heap: HeapMode::Gen(GcConfig::with_nursery(64 << 10)),
         max_steps: 50_000_000,
+        ..VmConfig::default()
     };
     let rc = qoa_vm::run_source(src, rc_cfg, CountingSink::new())
         .unwrap_or_else(|e| panic!("rc run failed: {e}\n{src}"));
@@ -82,7 +83,7 @@ fn division_errors() {
     let cfg = VmConfig::default();
     let err = qoa_vm::run_source("x = 1 // 0\n", cfg, CountingSink::new())
         .err().expect("div by zero must fail");
-    assert!(err.contains("ZeroDivisionError"), "{err}");
+    assert!(err.to_string().contains("ZeroDivisionError"), "{err}");
 }
 
 #[test]
@@ -94,7 +95,7 @@ fn overflow_is_detected() {
         CountingSink::new(),
     )
     .err().expect("overflow must fail");
-    assert!(err.contains("OverflowError"), "{err}");
+    assert!(err.to_string().contains("OverflowError"), "{err}");
 }
 
 // ---- comparisons and control flow ----------------------------------------------
@@ -627,6 +628,7 @@ n = len(keep)
     let gen_cfg = VmConfig {
         heap: HeapMode::Gen(GcConfig::with_nursery(32 << 10)),
         max_steps: 100_000_000,
+        ..VmConfig::default()
     };
     let mut vm = qoa_vm::run_source(src, gen_cfg, CountingSink::new()).expect("runs");
     assert_eq!(vm.global_int("n"), Some(20));
@@ -658,6 +660,7 @@ leaf = walker['v']
     let gen_cfg = VmConfig {
         heap: HeapMode::Gen(GcConfig::with_nursery(16 << 10)),
         max_steps: 100_000_000,
+        ..VmConfig::default()
     };
     let mut vm = qoa_vm::run_source(src, gen_cfg, CountingSink::new()).expect("runs");
     assert_eq!(vm.global_int("depth"), Some(200));
@@ -680,14 +683,14 @@ fn guest_errors_are_reported() {
     ] {
         let err = qoa_vm::run_source(src, cfg, CountingSink::new())
             .err().unwrap_or_else(|| panic!("{src} should fail"));
-        assert!(err.contains(needle), "{src} gave {err}");
+        assert!(err.to_string().contains(needle), "{src} gave {err}");
     }
 }
 
 #[test]
 fn fuel_exhaustion_is_an_error() {
-    let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 1000 };
+    let cfg = VmConfig { heap: HeapMode::Rc, max_steps: 1000, ..VmConfig::default() };
     let err = qoa_vm::run_source("while True:\n    pass\n", cfg, CountingSink::new())
         .err().expect("infinite loop must exhaust fuel");
-    assert!(err.contains("fuel"), "{err}");
+    assert!(err.to_string().contains("fuel"), "{err}");
 }

@@ -9,7 +9,7 @@ use qoa_workloads::{jetstream_suite, python_suite, Scale, Workload};
 const FUEL: u64 = 200_000_000;
 
 fn run_cpython(src: &str) -> (Option<String>, u64) {
-    let cfg = VmConfig { heap: HeapMode::Rc, max_steps: FUEL };
+    let cfg = VmConfig { heap: HeapMode::Rc, max_steps: FUEL, ..VmConfig::default() };
     let code = qoa_frontend::compile(src).expect("compiles");
     let mut vm = Vm::new(cfg, CountingSink::new());
     vm.load_program(&code);

@@ -44,7 +44,7 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let best = best_nursery(&points);
+    let best = best_nursery(&points).expect("sweep produced points");
     let baseline = points
         .iter()
         .find(|p| p.nursery == (1 << 20))

@@ -614,6 +614,7 @@ mod shim_tests {
     #[test]
     fn recursive_terminates() {
         #[derive(Debug, Clone)]
+        #[allow(dead_code)] // exercised only through Debug formatting
         enum Tree {
             Leaf(u8),
             Node(Box<Tree>, Box<Tree>),
