@@ -1,0 +1,270 @@
+//! Static overhead-category annotation.
+//!
+//! The paper's methodology is a *static* labeling of interpreter source
+//! regions with Table II categories, weighed dynamically by cycles. This
+//! module is the static half applied to guest bytecode: every opcode maps
+//! to the micro-op category profile its interpreter handler emits on its
+//! common path (dispatch prologue, value-stack traffic, refcounting, type
+//! checks, C-helper call chains, ...), mirroring `vm::interp`.
+//!
+//! Summing the profiles over a program's static instructions yields a
+//! predicted Fig. 4-style share table with *every instruction weighted
+//! equally* — no execution frequencies. Comparing it against the dynamic
+//! attribution (`fig04-static` prints both side by side) shows how much
+//! of the dynamic picture is loop weighting rather than opcode mix.
+
+use qoa_frontend::{CodeObject, Instr, Opcode};
+use qoa_model::{Category, CategoryMap};
+use std::rc::Rc;
+
+/// Accumulator for a modeled micro-op profile.
+struct Profile(CategoryMap<u64>);
+
+impl Profile {
+    fn new() -> Profile {
+        // Every bytecode starts with the dispatch prologue (fetch,
+        // decode, computed goto) and ends in the handler's unannotated
+        // Execute residual, as in `Vm::step`.
+        let mut p = Profile(CategoryMap::default());
+        p.add(Category::Dispatch, 4);
+        p.add(Category::Execute, 6);
+        p
+    }
+
+    fn add(&mut self, cat: Category, n: u64) -> &mut Profile {
+        self.0[cat] += n;
+        self
+    }
+
+    /// One value-stack push or pop: pointer math + slot traffic.
+    fn stack(&mut self, n: u64) -> &mut Profile {
+        self.add(Category::RegTransfer, n).add(Category::Stack, 2 * n)
+    }
+
+    fn incref(&mut self, n: u64) -> &mut Profile {
+        self.add(Category::GarbageCollection, 2 * n)
+    }
+
+    fn decref(&mut self, n: u64) -> &mut Profile {
+        self.add(Category::GarbageCollection, 3 * n)
+    }
+
+    /// A modeled C call/return pair (`Vm::c_call` + `Vm::c_return`).
+    fn ccall(&mut self) -> &mut Profile {
+        self.add(Category::CFunctionCall, 10)
+    }
+
+    fn typecheck(&mut self, n: u64) -> &mut Profile {
+        self.add(Category::TypeCheck, 2 * n)
+    }
+
+    fn unbox(&mut self, n: u64) -> &mut Profile {
+        self.add(Category::BoxUnbox, n)
+    }
+
+    fn alloc(&mut self) -> &mut Profile {
+        self.add(Category::ObjectAllocation, 6)
+    }
+
+    /// One dict probe sequence (`Vm::dict_lookup`, single-probe case).
+    fn lookup(&mut self, cat: Category) -> &mut Profile {
+        self.add(cat, 5)
+    }
+
+    /// One dict insert (`Vm::dict_insert`, probe + winning-slot writes).
+    fn insert(&mut self, cat: Category) -> &mut Profile {
+        self.add(cat, 7)
+    }
+}
+
+/// The modeled micro-op category profile of one static instruction, as
+/// the CPython-style interpreter would execute it on its common path.
+pub fn instr_profile(instr: Instr) -> CategoryMap<u64> {
+    use Category as C;
+    let n = u64::from(instr.arg);
+    let mut p = Profile::new();
+    match instr.op {
+        Opcode::Nop => {}
+        Opcode::LoadConst => {
+            p.add(C::RegTransfer, 1).add(C::ConstLoad, 1).incref(1).stack(1);
+        }
+        Opcode::PopTop => {
+            p.stack(1).decref(1);
+        }
+        Opcode::DupTop => {
+            p.incref(1).stack(1);
+        }
+        Opcode::DupTopTwo => {
+            p.incref(2).stack(2);
+        }
+        Opcode::RotTwo => {
+            p.add(C::Stack, 2);
+        }
+        Opcode::RotThree => {
+            p.add(C::Stack, 3);
+        }
+        Opcode::LoadFast => {
+            p.add(C::RegTransfer, 1).add(C::Execute, 1).incref(1).stack(1);
+        }
+        Opcode::StoreFast => {
+            p.stack(1).add(C::RegTransfer, 1).add(C::Execute, 1).decref(1);
+        }
+        Opcode::LoadGlobal => {
+            p.ccall().lookup(C::NameResolution).incref(1).stack(1);
+        }
+        Opcode::StoreGlobal => {
+            p.stack(1).insert(C::NameResolution);
+        }
+        Opcode::LoadName => {
+            // Class-namespace probe with globals fallback.
+            p.lookup(C::NameResolution).lookup(C::NameResolution).incref(1).stack(1);
+        }
+        Opcode::StoreName => {
+            p.stack(1).insert(C::NameResolution);
+        }
+        Opcode::LoadAttr => {
+            p.stack(1).ccall().lookup(C::NameResolution).incref(1).decref(1).stack(1);
+        }
+        Opcode::StoreAttr => {
+            p.stack(2).insert(C::NameResolution).decref(1);
+        }
+        Opcode::BinarySubscr => {
+            p.stack(2)
+                .typecheck(2)
+                .unbox(1)
+                .add(C::ErrorCheck, 2)
+                .add(C::Execute, 3)
+                .incref(1)
+                .decref(2)
+                .stack(1);
+        }
+        Opcode::StoreSubscr => {
+            p.stack(3).typecheck(2).unbox(1).add(C::ErrorCheck, 2).add(C::Execute, 2).decref(2);
+        }
+        Opcode::DeleteSubscr => {
+            p.stack(2).typecheck(2).unbox(1).add(C::ErrorCheck, 2).add(C::Execute, 2).decref(2);
+        }
+        Opcode::BinaryAdd
+        | Opcode::BinarySubtract
+        | Opcode::BinaryMultiply
+        | Opcode::BinaryDivide
+        | Opcode::BinaryFloorDivide
+        | Opcode::BinaryModulo
+        | Opcode::BinaryPower
+        | Opcode::BinaryAnd
+        | Opcode::BinaryOr
+        | Opcode::BinaryXor
+        | Opcode::BinaryLshift
+        | Opcode::BinaryRshift => {
+            // ceval int fast path: typecheck both, unbox both, one ALU,
+            // box the result, release the operands.
+            p.stack(2).typecheck(2).unbox(2).add(C::Execute, 1).alloc().decref(2).stack(1);
+        }
+        Opcode::UnaryNegative | Opcode::UnaryInvert => {
+            p.stack(1).typecheck(1).unbox(1).add(C::Execute, 1).alloc().decref(1).stack(1);
+        }
+        Opcode::UnaryNot => {
+            p.stack(1).typecheck(1).add(C::Execute, 1).incref(1).decref(1).stack(1);
+        }
+        Opcode::CompareOp => {
+            p.stack(2).typecheck(2).unbox(2).add(C::Execute, 1).incref(1).decref(2).stack(1);
+        }
+        Opcode::JumpAbsolute => {
+            p.add(C::RichControlFlow, 1);
+        }
+        Opcode::PopJumpIfFalse | Opcode::PopJumpIfTrue => {
+            p.stack(1).typecheck(1).add(C::RichControlFlow, 1).add(C::Execute, 1).decref(1);
+        }
+        Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => {
+            p.typecheck(1).add(C::RichControlFlow, 1).add(C::Execute, 1).stack(1).decref(1);
+        }
+        Opcode::SetupLoop => {
+            p.add(C::RichControlFlow, 4);
+        }
+        Opcode::PopBlock => {
+            p.add(C::RichControlFlow, 2);
+        }
+        Opcode::BreakLoop => {
+            p.add(C::RichControlFlow, 3);
+        }
+        Opcode::GetIter => {
+            p.stack(1).typecheck(1).ccall().alloc().stack(1);
+        }
+        Opcode::ForIter => {
+            // iternext through a function pointer, exhaustion branch not
+            // taken, next element pushed.
+            p.add(C::FunctionResolution, 1)
+                .ccall()
+                .add(C::Execute, 2)
+                .add(C::RichControlFlow, 1)
+                .stack(1);
+        }
+        Opcode::BuildList | Opcode::BuildTuple => {
+            p.stack(n).alloc().add(C::Execute, n).stack(1);
+        }
+        Opcode::BuildMap => {
+            p.stack(2 * n).alloc().add(C::Execute, 7 * n).stack(1);
+        }
+        Opcode::BuildSlice => {
+            p.stack(2).alloc().stack(1);
+        }
+        Opcode::UnpackSequence => {
+            p.stack(1)
+                .typecheck(1)
+                .add(C::ErrorCheck, 2)
+                .add(C::Execute, n)
+                .incref(n)
+                .stack(n)
+                .decref(1);
+        }
+        Opcode::CallFunction => {
+            // Pop callee + args, helper call chain, frame allocation and
+            // argument binding (the paper's function setup).
+            p.stack(n + 1).typecheck(1).ccall().alloc().add(C::FunctionSetup, 4 + 2 * n);
+        }
+        Opcode::ReturnValue => {
+            p.stack(2).add(C::FunctionSetup, 4).decref(2);
+        }
+        Opcode::MakeFunction => {
+            p.stack(n + 1).alloc().add(C::FunctionSetup, 2).decref(1).stack(1);
+        }
+        Opcode::BuildClass => {
+            p.stack(2).alloc().decref(1).stack(1);
+        }
+    }
+    p.0
+}
+
+/// Sums [`instr_profile`] over every instruction of `code` (one code
+/// object, no nesting).
+pub fn code_counts(code: &CodeObject) -> CategoryMap<u64> {
+    let mut total = CategoryMap::default();
+    for &instr in &code.code {
+        total.merge(&instr_profile(instr));
+    }
+    total
+}
+
+/// Sums [`instr_profile`] over every instruction of `root` and all
+/// nested code objects.
+pub fn static_counts(root: &Rc<CodeObject>) -> CategoryMap<u64> {
+    let mut total = CategoryMap::default();
+    for code in root.iter_all() {
+        total.merge(&code_counts(&code));
+    }
+    total
+}
+
+/// Normalizes [`static_counts`] into per-category shares of the modeled
+/// micro-op total (all zeros for an empty program).
+pub fn static_shares(root: &Rc<CodeObject>) -> CategoryMap<f64> {
+    let counts = static_counts(root);
+    let total = counts.total() as f64;
+    let mut shares = CategoryMap::default();
+    if total > 0.0 {
+        for cat in Category::ALL {
+            shares[cat] = counts[cat] as f64 / total;
+        }
+    }
+    shares
+}

@@ -1,0 +1,136 @@
+//! Control-flow graphs over guest bytecode.
+//!
+//! A [`Cfg`] partitions a code object's instruction stream into basic
+//! blocks and records the static successor edges between them. Leaders
+//! are the entry point, every jump target (including `SetupLoop`'s block
+//! exit), and every instruction following a jump or a terminator.
+//!
+//! `BreakLoop` has no *static* successor: its transfer target lives on
+//! the block stack. The dataflow pass in [`crate::verify`] resolves it
+//! from the abstract block stack; at the CFG level the edge is covered by
+//! `SetupLoop`'s exit edge, exactly as in CPython's `stackdepth()`.
+
+use crate::verify::{VerifyError, VerifyReason};
+use qoa_frontend::CodeObject;
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids along static edges (fall-through and
+    /// arg-encoded jumps, deduplicated).
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of one code object.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in instruction order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from instruction index to owning block id.
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Partitions `code` into basic blocks.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty instruction stream and any jump whose target is
+    /// outside the instruction array (the verifier's `BadJump`).
+    pub fn build(code: &CodeObject) -> Result<Cfg, VerifyError> {
+        let len = code.code.len();
+        if len == 0 {
+            return Err(VerifyError::at(code, 0, VerifyReason::EmptyCode));
+        }
+        let mut leader = vec![false; len];
+        leader[0] = true;
+        for (i, instr) in code.code.iter().enumerate() {
+            if instr.op.is_jump() {
+                let target = instr.arg as usize;
+                if target >= len {
+                    return Err(VerifyError::at(
+                        code,
+                        i,
+                        VerifyReason::BadJump { target, len },
+                    ));
+                }
+                leader[target] = true;
+            }
+            let splits_after =
+                instr.op.is_jump() || !instr.op.has_fallthrough();
+            if splits_after && i + 1 < len {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        for (i, &is_leader) in leader.iter().enumerate() {
+            if is_leader {
+                blocks.push(BasicBlock { start: i, end: i, succs: Vec::new() });
+            }
+            let id = blocks.len() - 1;
+            block_of[i] = id;
+            blocks[id].end = i + 1;
+        }
+
+        for block in &mut blocks {
+            let last = block.end - 1;
+            let instr = code.code[last];
+            let mut succs = Vec::new();
+            if instr.op.has_fallthrough() && last + 1 < len {
+                succs.push(block_of[last + 1]);
+            }
+            if instr.op.is_jump() {
+                let t = block_of[instr.arg as usize];
+                if !succs.contains(&t) {
+                    succs.push(t);
+                }
+            }
+            block.succs = succs;
+        }
+        Ok(Cfg { blocks, block_of })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_frontend::compile;
+
+    #[test]
+    fn loop_produces_cycle() {
+        let code = compile("t = 0\nwhile t < 3:\n    t = t + 1\nresult = t\n")
+            .expect("compiles");
+        let cfg = Cfg::build(&code).expect("cfg");
+        assert!(cfg.blocks.len() >= 3, "loop should split blocks");
+        // Some block jumps backwards (the loop back-edge).
+        let back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(id, b)| b.succs.iter().any(|&s| s <= id));
+        assert!(back, "expected a back-edge in {:?}", cfg.blocks);
+    }
+
+    #[test]
+    fn rejects_wild_jump() {
+        use qoa_frontend::{CodeKind, Instr, Opcode};
+        let code = CodeObject {
+            name: "t".into(),
+            kind: CodeKind::Function,
+            argcount: 0,
+            num_defaults: 0,
+            varnames: vec![],
+            names: vec![],
+            consts: vec![],
+            code: vec![Instr { op: Opcode::JumpAbsolute, arg: 7, line: 1 }],
+            max_stack: 0,
+        };
+        assert!(Cfg::build(&code).is_err());
+    }
+}

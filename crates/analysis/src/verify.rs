@@ -1,0 +1,686 @@
+//! Bytecode verification by abstract interpretation.
+//!
+//! A worklist dataflow pass propagates an abstract machine state — the
+//! operand-stack depth and value types, the local-slot types, and the
+//! static block stack — along every control-flow edge of a code object.
+//! Code is rejected if any reachable path underflows the stack, exceeds
+//! the declared [`CodeObject::max_stack`], jumps outside the instruction
+//! array, indexes outside the const/name/local pools, or merges two
+//! paths with inconsistent stack or block depths.
+//!
+//! Code that passes earns a [`Verified`] token, which is the *only* way
+//! to reach the VM's check-eliding load path: the interpreter's dynamic
+//! stack and index bounds checks exist exactly for the properties proved
+//! here, so the token is the proof that they can be skipped.
+
+use crate::cfg::Cfg;
+use qoa_frontend::{CodeKind, CodeObject, Const, Opcode};
+use std::fmt;
+use std::rc::Rc;
+
+/// Why a code object failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names mirror the prose in each variant doc.
+pub enum VerifyReason {
+    /// The instruction stream is empty (nothing to execute, and the VM
+    /// would immediately fault on pc 0).
+    EmptyCode,
+    /// A jump target lies outside the instruction array.
+    BadJump { target: usize, len: usize },
+    /// A reachable instruction falls through past the last instruction.
+    FallsOffEnd,
+    /// An instruction pops more operands than the stack holds.
+    StackUnderflow { depth: usize, pops: usize },
+    /// The stack grows beyond the code object's declared `max_stack`.
+    ExceedsDeclaredMax { depth: usize, declared: usize },
+    /// A `LoadConst` indexes outside the constant pool.
+    BadConstIndex { index: usize, len: usize },
+    /// A name-keyed opcode indexes outside `names`.
+    BadNameIndex { index: usize, len: usize },
+    /// A fast-local opcode indexes outside `varnames`.
+    BadLocalIndex { index: usize, len: usize },
+    /// A `CompareOp` carries an undecodable comparison discriminant.
+    BadCompareOp { arg: u32 },
+    /// `PopBlock`/`BreakLoop` with no enclosing block.
+    BlockUnderflow,
+    /// Two paths reach the same instruction with different stack depths.
+    DepthMismatch { a: usize, b: usize },
+    /// Two paths reach the same instruction with different block stacks.
+    BlockMismatch,
+    /// More parameters than local slots (the frame could not bind them).
+    BadArgcount { argcount: usize, nlocals: usize },
+}
+
+impl fmt::Display for VerifyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyReason::EmptyCode => write!(f, "empty instruction stream"),
+            VerifyReason::BadJump { target, len } => {
+                write!(f, "jump target {target} outside code of length {len}")
+            }
+            VerifyReason::FallsOffEnd => {
+                write!(f, "execution falls off the end of the code")
+            }
+            VerifyReason::StackUnderflow { depth, pops } => {
+                write!(f, "pops {pops} operand(s) with stack depth {depth}")
+            }
+            VerifyReason::ExceedsDeclaredMax { depth, declared } => {
+                write!(f, "stack depth {depth} exceeds declared max_stack {declared}")
+            }
+            VerifyReason::BadConstIndex { index, len } => {
+                write!(f, "const index {index} outside pool of {len}")
+            }
+            VerifyReason::BadNameIndex { index, len } => {
+                write!(f, "name index {index} outside table of {len}")
+            }
+            VerifyReason::BadLocalIndex { index, len } => {
+                write!(f, "local index {index} outside {len} slot(s)")
+            }
+            VerifyReason::BadCompareOp { arg } => {
+                write!(f, "comparison discriminant {arg} out of range")
+            }
+            VerifyReason::BlockUnderflow => write!(f, "no enclosing block"),
+            VerifyReason::DepthMismatch { a, b } => {
+                write!(f, "paths merge with stack depths {a} and {b}")
+            }
+            VerifyReason::BlockMismatch => {
+                write!(f, "paths merge with different block stacks")
+            }
+            VerifyReason::BadArgcount { argcount, nlocals } => {
+                write!(f, "{argcount} parameter(s) but only {nlocals} local slot(s)")
+            }
+        }
+    }
+}
+
+/// A typed verification diagnostic: which code object, which instruction
+/// (span: index + source line), which opcode, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Name of the offending code object.
+    pub code: String,
+    /// Instruction index the diagnostic anchors to.
+    pub at: usize,
+    /// 1-based source line of that instruction (0 if unavailable).
+    pub line: u32,
+    /// The opcode at `at`, when one exists.
+    pub op: Option<Opcode>,
+    /// The failed property.
+    pub reason: VerifyReason,
+}
+
+impl VerifyError {
+    pub(crate) fn at(code: &CodeObject, at: usize, reason: VerifyReason) -> VerifyError {
+        let instr = code.code.get(at);
+        VerifyError {
+            code: code.name.clone(),
+            at,
+            line: instr.map_or(0, |i| i.line),
+            op: instr.map(|i| i.op),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed in `{}` at instr {}", self.code, self.at)?;
+        if let Some(op) = self.op {
+            write!(f, " ({op:?})")?;
+        }
+        if self.line > 0 {
+            write!(f, ", line {}", self.line)?;
+        }
+        write!(f, ": {}", self.reason)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Static type of an abstract stack or local slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // Variants mirror the guest type names.
+pub enum Ty {
+    Int,
+    Float,
+    Bool,
+    Str,
+    None,
+    List,
+    Tuple,
+    Dict,
+    Slice,
+    Code,
+    Func,
+    Class,
+    Iter,
+    /// Join of distinct types, or a value the analysis cannot type.
+    Any,
+}
+
+impl Ty {
+    /// Whether the type is a concrete guest type (not the lattice top).
+    pub fn is_concrete(self) -> bool {
+        self != Ty::Any
+    }
+
+    fn join(self, other: Ty) -> Ty {
+        if self == other {
+            self
+        } else {
+            Ty::Any
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Int => "int",
+            Ty::Float => "float",
+            Ty::Bool => "bool",
+            Ty::Str => "str",
+            Ty::None => "NoneType",
+            Ty::List => "list",
+            Ty::Tuple => "tuple",
+            Ty::Dict => "dict",
+            Ty::Slice => "slice",
+            Ty::Code => "code",
+            Ty::Func => "function",
+            Ty::Class => "class",
+            Ty::Iter => "iterator",
+            Ty::Any => "?",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where an abstract value came from (constant provenance for the
+/// folding lint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Loaded from the constant pool at this index (possibly through a
+    /// local slot that holds nothing else).
+    Const(u32),
+    /// Anything else.
+    Other,
+}
+
+/// One abstract operand: its static type and provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Static type.
+    pub ty: Ty,
+    /// Constant provenance.
+    pub origin: Origin,
+}
+
+impl AbsVal {
+    fn any() -> AbsVal {
+        AbsVal { ty: Ty::Any, origin: Origin::Other }
+    }
+
+    fn of(ty: Ty) -> AbsVal {
+        AbsVal { ty, origin: Origin::Other }
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal {
+            ty: self.ty.join(other.ty),
+            origin: if self.origin == other.origin { self.origin } else { Origin::Other },
+        }
+    }
+}
+
+/// One entry on the abstract block stack (a `SetupLoop` frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AbsBlock {
+    /// Where `BreakLoop` resumes.
+    end: usize,
+    /// Operand-stack depth on block entry (`BreakLoop` truncates to it).
+    depth: usize,
+}
+
+/// The abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    stack: Vec<AbsVal>,
+    blocks: Vec<AbsBlock>,
+    locals: Vec<AbsVal>,
+}
+
+impl State {
+    /// Joins `other` into `self`. Returns whether `self` changed.
+    fn join(&mut self, other: &State) -> Result<bool, VerifyReason> {
+        if self.stack.len() != other.stack.len() {
+            return Err(VerifyReason::DepthMismatch {
+                a: self.stack.len(),
+                b: other.stack.len(),
+            });
+        }
+        if self.blocks != other.blocks {
+            return Err(VerifyReason::BlockMismatch);
+        }
+        let mut changed = false;
+        for (a, b) in self.stack.iter_mut().zip(&other.stack) {
+            let j = a.join(*b);
+            changed |= j != *a;
+            *a = j;
+        }
+        for (a, b) in self.locals.iter_mut().zip(&other.locals) {
+            let j = a.join(*b);
+            changed |= j != *a;
+            *a = j;
+        }
+        Ok(changed)
+    }
+}
+
+/// Facts proved about one reachable instruction.
+#[derive(Debug, Clone)]
+pub struct EntryFacts {
+    /// The abstract operand stack on entry (bottom first).
+    pub stack: Vec<AbsVal>,
+}
+
+impl EntryFacts {
+    /// The `n`-th operand from the top of the entry stack (0 = TOS).
+    pub fn operand(&self, n: usize) -> Option<&AbsVal> {
+        self.stack.iter().rev().nth(n)
+    }
+}
+
+/// Everything the dataflow pass proved about one code object.
+#[derive(Debug, Clone)]
+pub struct CodeAnalysis {
+    /// The control-flow graph.
+    pub cfg: Cfg,
+    /// Per-instruction entry facts; `None` marks unreachable code.
+    pub entry: Vec<Option<EntryFacts>>,
+    /// The re-derived operand-stack high-water mark.
+    pub max_depth: usize,
+}
+
+impl CodeAnalysis {
+    /// Whether instruction `i` is reachable from the entry point.
+    pub fn reachable(&self, i: usize) -> bool {
+        self.entry.get(i).is_some_and(Option::is_some)
+    }
+}
+
+/// Proof that a value passed verification. The only constructors live in
+/// this crate, so holding a `Verified<T>` means [`verify`] (or
+/// [`verify_code`] for every nested code object) succeeded on it.
+#[derive(Debug, Clone)]
+pub struct Verified<T>(T);
+
+impl<T> Verified<T> {
+    /// Borrows the verified value.
+    pub fn get(&self) -> &T {
+        &self.0
+    }
+
+    /// Unwraps the verified value, discarding the proof.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> AsRef<T> for Verified<T> {
+    fn as_ref(&self) -> &T {
+        &self.0
+    }
+}
+
+fn const_ty(c: &Const) -> Ty {
+    match c {
+        Const::Int(_) => Ty::Int,
+        Const::Float(_) => Ty::Float,
+        Const::Str(_) => Ty::Str,
+        Const::Bool(_) => Ty::Bool,
+        Const::None => Ty::None,
+        Const::Code(_) => Ty::Code,
+    }
+}
+
+/// Result type of `a ⊗ b` for the arithmetic/bit opcodes, mirroring the
+/// interpreter's coercion rules closely enough for lint purposes.
+fn binary_ty(op: Opcode, a: Ty, b: Ty) -> Ty {
+    use Ty::{Any, Bool, Float, Int, List, Str};
+    let numeric = |t: Ty| matches!(t, Int | Bool | Float);
+    match (op, a, b) {
+        (_, x, y) if numeric(x) && numeric(y) => {
+            if x == Float || y == Float {
+                Float
+            } else {
+                Int
+            }
+        }
+        (Opcode::BinaryAdd, Str, Str) => Str,
+        (Opcode::BinaryAdd, List, List) => List,
+        (Opcode::BinaryMultiply, Str, Int) | (Opcode::BinaryMultiply, Int, Str) => Str,
+        (Opcode::BinaryMultiply, List, Int) | (Opcode::BinaryMultiply, Int, List) => List,
+        (Opcode::BinaryModulo, Str, _) => Str,
+        _ => Any,
+    }
+}
+
+/// Static per-instruction argument checks (indices, discriminants,
+/// parameter binding). Applied to *every* instruction, reachable or not,
+/// so the guarantee matches `CodeObject::validate` and more.
+fn check_static(code: &CodeObject) -> Result<(), VerifyError> {
+    if code.argcount > code.varnames.len() {
+        return Err(VerifyError::at(
+            code,
+            0,
+            VerifyReason::BadArgcount {
+                argcount: code.argcount,
+                nlocals: code.varnames.len(),
+            },
+        ));
+    }
+    for (i, instr) in code.code.iter().enumerate() {
+        let arg = instr.arg as usize;
+        let reason = match instr.op {
+            Opcode::LoadConst if arg >= code.consts.len() => {
+                Some(VerifyReason::BadConstIndex { index: arg, len: code.consts.len() })
+            }
+            Opcode::LoadFast | Opcode::StoreFast if arg >= code.varnames.len() => {
+                Some(VerifyReason::BadLocalIndex { index: arg, len: code.varnames.len() })
+            }
+            Opcode::LoadGlobal
+            | Opcode::StoreGlobal
+            | Opcode::LoadName
+            | Opcode::StoreName
+            | Opcode::LoadAttr
+            | Opcode::StoreAttr
+            | Opcode::BuildClass
+                if arg >= code.names.len() =>
+            {
+                Some(VerifyReason::BadNameIndex { index: arg, len: code.names.len() })
+            }
+            Opcode::CompareOp if instr.arg >= 8 => {
+                Some(VerifyReason::BadCompareOp { arg: instr.arg })
+            }
+            _ => None,
+        };
+        if let Some(reason) = reason {
+            return Err(VerifyError::at(code, i, reason));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies one code object (not its nested children) and returns the
+/// per-instruction dataflow facts.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] encountered; see [`VerifyReason`] for the
+/// full list of rejected properties.
+pub fn verify_code(code: &CodeObject) -> Result<CodeAnalysis, VerifyError> {
+    check_static(code)?;
+    let cfg = Cfg::build(code)?;
+    let len = code.code.len();
+    let nlocals = code.varnames.len();
+
+    let mut entry: Vec<Option<State>> = vec![None; len];
+    let mut work: Vec<usize> = Vec::new();
+    entry[0] = Some(State {
+        stack: Vec::new(),
+        blocks: Vec::new(),
+        // Parameters arrive typed by the caller; everything is Any here.
+        locals: vec![AbsVal::any(); nlocals],
+    });
+    work.push(0);
+    let mut max_depth = 0usize;
+
+    while let Some(i) = work.pop() {
+        let Some(st) = entry[i].clone() else { continue };
+        let instr = code.code[i];
+        let arg = instr.arg;
+        let err = |reason: VerifyReason| VerifyError::at(code, i, reason);
+
+        // Each outgoing edge carries its own successor state.
+        let mut edges: Vec<(usize, State)> = Vec::new();
+        let fall = |state: State, edges: &mut Vec<(usize, State)>| {
+            if i + 1 >= len {
+                return Err(err(VerifyReason::FallsOffEnd));
+            }
+            edges.push((i + 1, state));
+            Ok(())
+        };
+        let pop_n = |state: &mut State, n: usize| -> Result<Vec<AbsVal>, VerifyError> {
+            if state.stack.len() < n {
+                return Err(err(VerifyReason::StackUnderflow {
+                    depth: state.stack.len(),
+                    pops: n,
+                }));
+            }
+            let at = state.stack.len() - n;
+            Ok(state.stack.split_off(at))
+        };
+
+        match instr.op {
+            Opcode::JumpAbsolute => {
+                edges.push((arg as usize, st));
+            }
+            Opcode::PopJumpIfFalse | Opcode::PopJumpIfTrue => {
+                let mut s = st;
+                pop_n(&mut s, 1)?;
+                edges.push((arg as usize, s.clone()));
+                fall(s, &mut edges)?;
+            }
+            Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => {
+                if st.stack.is_empty() {
+                    return Err(err(VerifyReason::StackUnderflow { depth: 0, pops: 1 }));
+                }
+                edges.push((arg as usize, st.clone()));
+                let mut s = st;
+                s.stack.pop();
+                fall(s, &mut edges)?;
+            }
+            Opcode::ForIter => {
+                if st.stack.is_empty() {
+                    return Err(err(VerifyReason::StackUnderflow { depth: 0, pops: 1 }));
+                }
+                let mut taken = st.clone();
+                taken.stack.pop();
+                edges.push((arg as usize, taken));
+                let mut s = st;
+                s.stack.push(AbsVal::any());
+                fall(s, &mut edges)?;
+            }
+            Opcode::SetupLoop => {
+                let mut s = st;
+                s.blocks.push(AbsBlock { end: arg as usize, depth: s.stack.len() });
+                fall(s, &mut edges)?;
+            }
+            Opcode::PopBlock => {
+                let mut s = st;
+                if s.blocks.pop().is_none() {
+                    return Err(err(VerifyReason::BlockUnderflow));
+                }
+                fall(s, &mut edges)?;
+            }
+            Opcode::BreakLoop => {
+                let mut s = st;
+                let Some(block) = s.blocks.pop() else {
+                    return Err(err(VerifyReason::BlockUnderflow));
+                };
+                // The dynamic break truncates the stack to the block's
+                // entry depth; a shallower stack means the body leaked.
+                if s.stack.len() < block.depth {
+                    return Err(err(VerifyReason::StackUnderflow {
+                        depth: s.stack.len(),
+                        pops: block.depth,
+                    }));
+                }
+                s.stack.truncate(block.depth);
+                edges.push((block.end, s));
+            }
+            Opcode::ReturnValue => {
+                // Class bodies return their namespace dict implicitly
+                // (the VM special-cases frames with a class namespace),
+                // so their ReturnValue pops nothing.
+                if code.kind != CodeKind::ClassBody {
+                    let mut s = st;
+                    pop_n(&mut s, 1)?;
+                }
+                // Terminal: no successors.
+            }
+            Opcode::DupTop => {
+                let mut s = st;
+                let Some(&top) = s.stack.last() else {
+                    return Err(err(VerifyReason::StackUnderflow { depth: 0, pops: 1 }));
+                };
+                s.stack.push(top);
+                fall(s, &mut edges)?;
+            }
+            Opcode::DupTopTwo => {
+                let mut s = st;
+                let n = s.stack.len();
+                if n < 2 {
+                    return Err(err(VerifyReason::StackUnderflow { depth: n, pops: 2 }));
+                }
+                let (a, b) = (s.stack[n - 2], s.stack[n - 1]);
+                s.stack.push(a);
+                s.stack.push(b);
+                fall(s, &mut edges)?;
+            }
+            Opcode::RotTwo => {
+                let mut s = st;
+                let n = s.stack.len();
+                if n < 2 {
+                    return Err(err(VerifyReason::StackUnderflow { depth: n, pops: 2 }));
+                }
+                s.stack.swap(n - 1, n - 2);
+                fall(s, &mut edges)?;
+            }
+            Opcode::RotThree => {
+                let mut s = st;
+                let n = s.stack.len();
+                if n < 3 {
+                    return Err(err(VerifyReason::StackUnderflow { depth: n, pops: 3 }));
+                }
+                let top = s.stack.remove(n - 1);
+                s.stack.insert(n - 3, top);
+                fall(s, &mut edges)?;
+            }
+            _ => {
+                // Straight-line opcodes: generic pops, typed pushes.
+                let (pops, pushes) = instr.op.stack_io(arg);
+                let mut s = st;
+                let popped = pop_n(&mut s, pops as usize)?;
+                let results: Vec<AbsVal> = match instr.op {
+                    Opcode::LoadConst => vec![AbsVal {
+                        ty: const_ty(&code.consts[arg as usize]),
+                        origin: Origin::Const(arg),
+                    }],
+                    Opcode::LoadFast => vec![s.locals[arg as usize]],
+                    Opcode::StoreFast => {
+                        s.locals[arg as usize] = popped[0];
+                        vec![]
+                    }
+                    Opcode::BinaryAdd
+                    | Opcode::BinarySubtract
+                    | Opcode::BinaryMultiply
+                    | Opcode::BinaryDivide
+                    | Opcode::BinaryFloorDivide
+                    | Opcode::BinaryModulo
+                    | Opcode::BinaryPower
+                    | Opcode::BinaryAnd
+                    | Opcode::BinaryOr
+                    | Opcode::BinaryXor
+                    | Opcode::BinaryLshift
+                    | Opcode::BinaryRshift => {
+                        vec![AbsVal::of(binary_ty(instr.op, popped[0].ty, popped[1].ty))]
+                    }
+                    Opcode::CompareOp | Opcode::UnaryNot => vec![AbsVal::of(Ty::Bool)],
+                    Opcode::UnaryNegative | Opcode::UnaryInvert => {
+                        let t = match popped[0].ty {
+                            Ty::Int | Ty::Bool => Ty::Int,
+                            Ty::Float if instr.op == Opcode::UnaryNegative => Ty::Float,
+                            _ => Ty::Any,
+                        };
+                        vec![AbsVal::of(t)]
+                    }
+                    Opcode::GetIter => vec![AbsVal::of(Ty::Iter)],
+                    Opcode::BuildList => vec![AbsVal::of(Ty::List)],
+                    Opcode::BuildTuple => vec![AbsVal::of(Ty::Tuple)],
+                    Opcode::BuildMap => vec![AbsVal::of(Ty::Dict)],
+                    Opcode::BuildSlice => vec![AbsVal::of(Ty::Slice)],
+                    Opcode::MakeFunction => vec![AbsVal::of(Ty::Func)],
+                    Opcode::BuildClass => vec![AbsVal::of(Ty::Class)],
+                    _ => vec![AbsVal::any(); pushes as usize],
+                };
+                debug_assert_eq!(results.len(), pushes as usize);
+                s.stack.extend(results);
+                fall(s, &mut edges)?;
+            }
+        }
+
+        for (target, next) in edges {
+            // `Cfg::build` bounded all jump targets; fall-through targets
+            // were bounded above.
+            max_depth = max_depth.max(next.stack.len());
+            if next.stack.len() > code.max_stack {
+                return Err(err(VerifyReason::ExceedsDeclaredMax {
+                    depth: next.stack.len(),
+                    declared: code.max_stack,
+                }));
+            }
+            match entry[target].as_mut() {
+                None => {
+                    entry[target] = Some(next);
+                    work.push(target);
+                }
+                Some(prev) => {
+                    let changed = prev
+                        .join(&next)
+                        .map_err(|reason| VerifyError::at(code, target, reason))?;
+                    if changed {
+                        work.push(target);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(CodeAnalysis {
+        cfg,
+        entry: entry
+            .into_iter()
+            .map(|s| s.map(|st| EntryFacts { stack: st.stack }))
+            .collect(),
+        max_depth,
+    })
+}
+
+/// Verifies `root` and every nested code object, returning the
+/// [`Verified`] capability on success.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] in any code object.
+pub fn verify(root: &Rc<CodeObject>) -> Result<Verified<Rc<CodeObject>>, VerifyError> {
+    for code in root.iter_all() {
+        verify_code(&code)?;
+    }
+    Ok(Verified(Rc::clone(root)))
+}
+
+/// Verifies `root` and every nested code object, returning each one's
+/// analysis (in [`CodeObject::iter_all`] order) for downstream passes.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] in any code object.
+pub fn analyze(
+    root: &Rc<CodeObject>,
+) -> Result<Vec<(Rc<CodeObject>, CodeAnalysis)>, VerifyError> {
+    root.iter_all()
+        .into_iter()
+        .map(|code| verify_code(&code).map(|a| (code, a)))
+        .collect()
+}

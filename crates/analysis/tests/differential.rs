@@ -1,0 +1,258 @@
+//! Differential and fuzz-shaped property tests for the verifier and the
+//! VM's check-elision path.
+//!
+//! Three properties:
+//!
+//! 1. Every bundled workload verifies, and runs **byte-identically**
+//!    (same result, same output, same error) with dynamic guards on and
+//!    off — plus the elided run must emit strictly fewer micro-ops (the
+//!    dispatch-path speedup the `Verified` token buys).
+//! 2. Anything the verifier accepts, the *checked* interpreter accepts:
+//!    no panic and no malformed-bytecode-class error on any compiled
+//!    program the fuzzer produces.
+//! 3. The verifier itself is total: arbitrarily mutated or truncated
+//!    bytecode produces `Ok` or a typed `VerifyError`, never a panic.
+
+use proptest::prelude::*;
+use qoa_analysis::verify;
+use qoa_frontend::{CodeObject, Opcode};
+use qoa_model::CountingSink;
+use qoa_vm::{Vm, VmConfig};
+use std::rc::Rc;
+
+/// Ample fuel for the known-terminating bundled workloads.
+const WORKLOAD_FUEL: u64 = 2_000_000_000;
+/// Tight fuel for fuzz programs, which may loop forever.
+const FUZZ_FUEL: u64 = 100_000;
+
+struct Run {
+    result: Option<String>,
+    output: Vec<String>,
+    micro_ops: u64,
+    error: Option<String>,
+}
+
+fn run(code: &Rc<CodeObject>, elide: bool, fuel: u64) -> Run {
+    let cfg = VmConfig { max_steps: fuel, ..VmConfig::default() };
+    let mut vm = Vm::new(cfg, CountingSink::new());
+    if elide {
+        let v = verify(code).expect("caller verified the code");
+        vm.load_verified(&v);
+    } else {
+        vm.load_program(code);
+    }
+    let error = vm.run().err().map(|e| format!("{e:?}"));
+    let result = vm.global_display("result");
+    let output = vm.output().to_vec();
+    let (sink, _) = vm.finish();
+    Run { result, output, micro_ops: sink.total(), error }
+}
+
+#[test]
+fn all_workloads_run_identically_checked_vs_elided() {
+    for suite in [qoa_workloads::python_suite(), qoa_workloads::jetstream_suite()] {
+        for w in suite {
+            let src = w.source(qoa_workloads::Scale::Tiny);
+            let code =
+                qoa_frontend::compile(&src).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            verify(&code).unwrap_or_else(|e| panic!("{} fails verification: {e}", w.name));
+            let guarded = run(&code, false, WORKLOAD_FUEL);
+            let elided = run(&code, true, WORKLOAD_FUEL);
+            assert_eq!(guarded.error, elided.error, "{}: errors diverge", w.name);
+            assert_eq!(guarded.result, elided.result, "{}: results diverge", w.name);
+            assert_eq!(guarded.output, elided.output, "{}: outputs diverge", w.name);
+            assert!(
+                guarded.micro_ops > elided.micro_ops,
+                "{}: elision saved nothing (guarded {} vs elided {})",
+                w.name,
+                guarded.micro_ops,
+                elided.micro_ops
+            );
+        }
+    }
+}
+
+/// Messages the guarded interpreter only produces on bytecode the
+/// verifier is supposed to reject.
+fn is_malformed_class(message: &str) -> bool {
+    message.contains("value stack underflow")
+        || message.contains("block stack underflow")
+        || message.contains("out of bounds")
+        || message.contains("internal error")
+}
+
+/// Every opcode, for mutation fuzzing.
+const OPCODES: [Opcode; 53] = [
+    Opcode::LoadConst,
+    Opcode::PopTop,
+    Opcode::DupTop,
+    Opcode::DupTopTwo,
+    Opcode::RotTwo,
+    Opcode::RotThree,
+    Opcode::LoadFast,
+    Opcode::StoreFast,
+    Opcode::LoadGlobal,
+    Opcode::StoreGlobal,
+    Opcode::LoadName,
+    Opcode::StoreName,
+    Opcode::LoadAttr,
+    Opcode::StoreAttr,
+    Opcode::BinarySubscr,
+    Opcode::StoreSubscr,
+    Opcode::DeleteSubscr,
+    Opcode::BinaryAdd,
+    Opcode::BinarySubtract,
+    Opcode::BinaryMultiply,
+    Opcode::BinaryDivide,
+    Opcode::BinaryFloorDivide,
+    Opcode::BinaryModulo,
+    Opcode::BinaryPower,
+    Opcode::BinaryAnd,
+    Opcode::BinaryOr,
+    Opcode::BinaryXor,
+    Opcode::BinaryLshift,
+    Opcode::BinaryRshift,
+    Opcode::UnaryNegative,
+    Opcode::UnaryNot,
+    Opcode::UnaryInvert,
+    Opcode::CompareOp,
+    Opcode::JumpAbsolute,
+    Opcode::PopJumpIfFalse,
+    Opcode::PopJumpIfTrue,
+    Opcode::JumpIfFalseOrPop,
+    Opcode::JumpIfTrueOrPop,
+    Opcode::SetupLoop,
+    Opcode::PopBlock,
+    Opcode::BreakLoop,
+    Opcode::GetIter,
+    Opcode::ForIter,
+    Opcode::BuildList,
+    Opcode::BuildTuple,
+    Opcode::BuildMap,
+    Opcode::BuildSlice,
+    Opcode::UnpackSequence,
+    Opcode::CallFunction,
+    Opcode::ReturnValue,
+    Opcode::MakeFunction,
+    Opcode::BuildClass,
+    Opcode::Nop,
+];
+
+/// Statement soup: hits the code generator (and hence the verifier) far
+/// more often than character soup.
+fn soup(stmts: &[String]) -> String {
+    let mut src = stmts.join("\n");
+    src.push('\n');
+    src
+}
+
+const STMT_PATTERNS: [&str; 10] = [
+    "[a-z]{1,4} = [0-9]{1,4}",
+    "[a-z]{1,4} = [a-z]{1,4} [+*-] [0-9]{1,3}",
+    "[a-z]{1,4} = \\[[0-9]{1,2}, [0-9]{1,2}\\]",
+    "if [a-z]{1,4}:",
+    "    [a-z]{1,4} = [0-9]{1,3}",
+    "while [a-z]{1,4}:",
+    "    break",
+    "def [a-z]{1,4}\\([a-z]{0,3}\\):",
+    "    return [a-z0-9]{1,4}",
+    "for [a-z]{1,2} in range\\([0-9]{1,3}\\):",
+];
+
+fn stmt_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        prop_oneof![
+            STMT_PATTERNS[0],
+            STMT_PATTERNS[1],
+            STMT_PATTERNS[2],
+            STMT_PATTERNS[3],
+            STMT_PATTERNS[4],
+            STMT_PATTERNS[5],
+            STMT_PATTERNS[6],
+            STMT_PATTERNS[7],
+            STMT_PATTERNS[8],
+            STMT_PATTERNS[9],
+        ],
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Verifier-accepts ⇒ the *checked* interpreter accepts: it neither
+    /// panics nor reports a malformed-bytecode-class error. (Guest-level
+    /// errors like NameError and fuel exhaustion are fine — the verifier
+    /// proves structure, not semantics.)
+    #[test]
+    fn verified_programs_never_trip_dynamic_guards(stmts in stmt_strategy()) {
+        let src = soup(&stmts);
+        if let Ok(code) = qoa_frontend::compile(&src) {
+            if verify(&code).is_ok() {
+                let guarded = run(&code, false, FUZZ_FUEL);
+                if let Some(e) = &guarded.error {
+                    prop_assert!(
+                        !is_malformed_class(e),
+                        "verified program tripped a guard: {e}\nsource:\n{src}"
+                    );
+                }
+                // And elision must not change observable behavior.
+                let elided = run(&code, true, FUZZ_FUEL);
+                prop_assert_eq!(&guarded.error, &elided.error, "source:\n{}", src);
+                prop_assert_eq!(&guarded.result, &elided.result, "source:\n{}", src);
+                prop_assert_eq!(&guarded.output, &elided.output, "source:\n{}", src);
+            }
+        }
+    }
+
+    /// The verifier is total over mutated bytecode: opcode/arg rewrites
+    /// of real compiler output either verify or fail with a typed error,
+    /// never a panic.
+    #[test]
+    fn verifier_is_total_on_mutated_bytecode(
+        stmts in stmt_strategy(),
+        mutations in proptest::collection::vec(
+            (any::<usize>(), any::<u32>(), any::<usize>()),
+            1..8,
+        ),
+        declared in 0u32..64,
+    ) {
+        let src = soup(&stmts);
+        if let Ok(root) = qoa_frontend::compile(&src) {
+            for code in root.iter_all() {
+                let mut c = (*code).clone();
+                if c.code.is_empty() {
+                    continue;
+                }
+                for &(i, arg, opsel) in &mutations {
+                    let i = i % c.code.len();
+                    c.code[i].op = OPCODES[opsel % OPCODES.len()];
+                    // Mix small (often in-range) and wild operands.
+                    c.code[i].arg = if arg & 1 == 0 { arg % 8 } else { arg };
+                }
+                c.max_stack = declared as usize;
+                let _ = qoa_analysis::verify_code(&c);
+            }
+        }
+    }
+
+    /// ... and over truncated bytecode (dangling jumps, missing
+    /// terminators, half-built blocks).
+    #[test]
+    fn verifier_is_total_on_truncated_bytecode(
+        stmts in stmt_strategy(),
+        keep in any::<usize>(),
+    ) {
+        let src = soup(&stmts);
+        if let Ok(root) = qoa_frontend::compile(&src) {
+            for code in root.iter_all() {
+                let mut c = (*code).clone();
+                if c.code.is_empty() {
+                    continue;
+                }
+                c.code.truncate(keep % c.code.len() + 1);
+                let _ = qoa_analysis::verify_code(&c);
+            }
+        }
+    }
+}

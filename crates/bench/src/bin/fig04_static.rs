@@ -1,0 +1,155 @@
+//! Fig. 4-static: static vs dynamic CPython overhead attribution.
+//!
+//! The static half weighs every *instruction* equally (the annotator's
+//! per-opcode handler profiles, no execution frequencies); the dynamic
+//! half is the usual cycle attribution on the simple core. Printing both
+//! side by side shows how much of Fig. 4 is loop weighting rather than
+//! opcode mix. The same cells also record the check-elision delta: the
+//! cycles the verifier's `Verified` token saves over the guarded
+//! dispatch path.
+
+use qoa_bench::{cli, emit, harness, limit};
+use qoa_core::report::Table;
+use qoa_core::runtime::RuntimeConfig;
+use qoa_core::{capture, Breakdown, CellKey, CellMetrics, Harness, Metric};
+use qoa_model::{Category, CategoryMap, RuntimeKind};
+use qoa_uarch::UarchConfig;
+use qoa_workloads::{Scale, Workload};
+
+/// Static and dynamic shares plus the guard-elision cycle pair for one
+/// benchmark.
+struct StaticCell {
+    name: String,
+    stat: CategoryMap<f64>,
+    dynamic: CategoryMap<f64>,
+    cycles_elided: u64,
+    cycles_guarded: u64,
+}
+
+fn static_cell(
+    h: &mut Harness,
+    w: &Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+) -> Option<StaticCell> {
+    let key = CellKey::new(w.name, format!("{:?}", rt.kind), "static-attribution", "simple-core");
+    let metrics = h.cell(key, |deadline| {
+        let src = w.source(scale);
+        let code = qoa_frontend::compile(&src)?;
+        let stat = qoa_analysis::annotate::static_shares(&code);
+        let elided = capture(&src, &rt.with_deadline(deadline))?;
+        let dyn_stats = elided.trace.simulate_simple(uarch);
+        let b = Breakdown::from_stats(w.name, &dyn_stats);
+        let guarded = capture(&src, &rt.with_check_elision(false).with_deadline(deadline))?;
+        let g_stats = guarded.trace.simulate_simple(uarch);
+        let mut m = CellMetrics::new();
+        m.insert("cycles.elided".into(), Metric::Int(dyn_stats.cycles as i64));
+        m.insert("cycles.guarded".into(), Metric::Int(g_stats.cycles as i64));
+        for c in Category::ALL {
+            m.insert(format!("static.{c:?}"), Metric::Num(stat[c]));
+            m.insert(format!("dynamic.{c:?}"), Metric::Num(b.shares[c]));
+            m.insert(format!("delta.{c:?}"), Metric::Num(b.shares[c] - stat[c]));
+        }
+        Ok(m)
+    })?;
+    let share = |prefix: &str| {
+        CategoryMap::from_fn(|c| {
+            metrics.get(&format!("{prefix}.{c:?}")).and_then(Metric::as_f64).unwrap_or(0.0)
+        })
+    };
+    Some(StaticCell {
+        name: w.name.to_string(),
+        stat: share("static"),
+        dynamic: share("dynamic"),
+        cycles_elided: metrics.get("cycles.elided")?.as_i64()? as u64,
+        cycles_guarded: metrics.get("cycles.guarded")?.as_i64()? as u64,
+    })
+}
+
+/// `12.3/14.1` — static share / dynamic share, in percent.
+fn pair(s: f64, d: f64) -> String {
+    format!("{:.1}/{:.1}", s * 100.0, d * 100.0)
+}
+
+fn panel(title: &str, cats: &[Category], rows: &[StaticCell]) -> Table {
+    let mut cols: Vec<&str> = vec!["benchmark"];
+    let labels: Vec<String> = cats.iter().map(|c| c.label().to_string()).collect();
+    cols.extend(labels.iter().map(|s| s.as_str()));
+    let mut t = Table::new(title, &cols);
+    for r in rows {
+        let mut cells = vec![r.name.clone()];
+        cells.extend(cats.iter().map(|&c| pair(r.stat[c], r.dynamic[c])));
+        t.row(cells);
+    }
+    let n = rows.len().max(1) as f64;
+    let mut cells = vec!["AVG".to_string()];
+    cells.extend(cats.iter().map(|&c| {
+        let s = rows.iter().map(|r| r.stat[c]).sum::<f64>() / n;
+        let d = rows.iter().map(|r| r.dynamic[c]).sum::<f64>() / n;
+        pair(s, d)
+    }));
+    t.row(cells);
+    t
+}
+
+fn main() {
+    let cli = cli();
+    let mut h = harness(&cli, "fig04-static");
+    let suite = limit(&cli, qoa_workloads::python_suite());
+    let rt = RuntimeConfig::new(RuntimeKind::CPython);
+    let uarch = UarchConfig::skylake();
+    let mut rows: Vec<StaticCell> = Vec::new();
+    for w in &suite {
+        eprintln!("running {}...", w.name);
+        if let Some(r) = static_cell(&mut h, w, cli.scale, &rt, &uarch) {
+            rows.push(r);
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("no benchmark produced an attribution");
+        std::process::exit(h.finish().max(1));
+    }
+
+    emit(
+        &cli,
+        &panel(
+            "Fig. 4-static (a): language features (static/dynamic % of cycles, CPython)",
+            &Category::LANGUAGE_FEATURES,
+            &rows,
+        ),
+    );
+    emit(
+        &cli,
+        &panel(
+            "Fig. 4-static (b): interpreter operations (static/dynamic % of cycles, CPython)",
+            &Category::INTERPRETER_OPERATIONS,
+            &rows,
+        ),
+    );
+
+    // Where execution frequency moves the picture the most.
+    let n = rows.len() as f64;
+    let mut deltas: Vec<(Category, f64)> = Category::ALL
+        .iter()
+        .map(|&c| (c, rows.iter().map(|r| r.dynamic[c] - r.stat[c]).sum::<f64>() / n))
+        .collect();
+    deltas.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    println!("largest static-vs-dynamic share deltas (dynamic - static, avg):");
+    for (c, d) in deltas.iter().take(5) {
+        println!("  {:<22} {:+.1} pp", c.label(), d * 100.0);
+    }
+
+    // Check-elision headline: cycles on the guarded dispatch path vs the
+    // verified (guard-free) path.
+    let elided: u64 = rows.iter().map(|r| r.cycles_elided).sum();
+    let guarded: u64 = rows.iter().map(|r| r.cycles_guarded).sum();
+    if elided > 0 {
+        println!(
+            "dispatch guard cost: {:.2}% of cycles (verified elision speedup {:.3}x)",
+            (guarded as f64 / elided as f64 - 1.0) * 100.0,
+            guarded as f64 / elided as f64
+        );
+    }
+    std::process::exit(h.finish());
+}

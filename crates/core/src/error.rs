@@ -13,6 +13,9 @@ use qoa_vm::VmError;
 pub enum QoaError {
     /// The guest program failed to compile.
     Compile(qoa_frontend::FrontendError),
+    /// Compiled bytecode failed static verification (span + opcode +
+    /// reason live in the wrapped diagnostic).
+    Verify(qoa_analysis::VerifyError),
     /// A guest run-time error (`TypeError: ...`) at a source line.
     Guest {
         /// Description, e.g. `ZeroDivisionError: ...`.
@@ -57,6 +60,7 @@ impl QoaError {
     pub fn kind(&self) -> &'static str {
         match self {
             QoaError::Compile(_) => "compile",
+            QoaError::Verify(_) => "verify",
             QoaError::Guest { .. } => "guest",
             QoaError::FuelExhausted { .. } => "fuel",
             QoaError::DeadlineExceeded { .. } => "deadline",
@@ -69,7 +73,7 @@ impl QoaError {
     /// True for errors the guest program itself caused; false for
     /// resource cutoffs and harness-level failures.
     pub fn is_guest_fault(&self) -> bool {
-        matches!(self, QoaError::Compile(_) | QoaError::Guest { .. })
+        matches!(self, QoaError::Compile(_) | QoaError::Verify(_) | QoaError::Guest { .. })
     }
 
     /// Journal I/O failure with context.
@@ -82,6 +86,7 @@ impl std::fmt::Display for QoaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QoaError::Compile(e) => write!(f, "compile error: {e}"),
+            QoaError::Verify(e) => write!(f, "{e}"),
             QoaError::Guest { message, line } => write!(f, "line {line}: {message}"),
             QoaError::FuelExhausted { steps } => {
                 write!(f, "execution fuel exhausted after {steps} bytecodes")
@@ -104,6 +109,7 @@ impl std::error::Error for QoaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             QoaError::Compile(e) => Some(e),
+            QoaError::Verify(e) => Some(e),
             QoaError::Journal { source, .. } => Some(source),
             _ => None,
         }
@@ -130,6 +136,12 @@ impl From<qoa_frontend::FrontendError> for QoaError {
     }
 }
 
+impl From<qoa_analysis::VerifyError> for QoaError {
+    fn from(e: qoa_analysis::VerifyError) -> Self {
+        QoaError::Verify(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +164,16 @@ mod tests {
         assert!(QoaError::Guest { message: "x".into(), line: 1 }.is_guest_fault());
         assert!(!QoaError::FuelExhausted { steps: 1 }.is_guest_fault());
         assert!(!QoaError::Panic { message: "x".into() }.is_guest_fault());
+    }
+
+    #[test]
+    fn verify_errors_are_guest_faults_with_their_own_kind() {
+        let mut code = (*qoa_frontend::compile("x = 1\n").expect("compiles")).clone();
+        code.code[0].arg = 999; // out-of-range const index
+        let err = qoa_analysis::verify_code(&code).expect_err("rejects");
+        let err = QoaError::from(err);
+        assert_eq!(err.kind(), "verify");
+        assert!(err.is_guest_fault());
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

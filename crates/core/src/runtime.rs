@@ -24,6 +24,10 @@ pub struct RuntimeConfig {
     pub deadline: Option<std::time::Instant>,
     /// Simulated live-heap cap in bytes (0 = unlimited).
     pub max_heap_bytes: u64,
+    /// Verify bytecode up front and elide the interpreter's dynamic
+    /// guards (the default). When false the VM keeps its per-dispatch
+    /// guard micro-ops and the verifier is skipped entirely.
+    pub elide_checks: bool,
 }
 
 impl RuntimeConfig {
@@ -35,6 +39,7 @@ impl RuntimeConfig {
             max_steps: DEFAULT_FUEL,
             deadline: None,
             max_heap_bytes: 0,
+            elide_checks: true,
         }
     }
 
@@ -53,6 +58,12 @@ impl RuntimeConfig {
     /// Returns a copy with the simulated live-heap cap set.
     pub fn with_heap_cap(mut self, bytes: u64) -> Self {
         self.max_heap_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with check elision switched on or off.
+    pub fn with_check_elision(mut self, on: bool) -> Self {
+        self.elide_checks = on;
         self
     }
 
@@ -118,6 +129,7 @@ pub fn run_with_sink<S: OpSink>(
     sink: S,
 ) -> Result<SinkRun<S>, QoaError> {
     let code = qoa_frontend::compile(source)?;
+    let verified = if rt.elide_checks { Some(qoa_analysis::verify(&code)?) } else { None };
     match rt.kind {
         RuntimeKind::CPython => {
             let cfg = VmConfig {
@@ -127,7 +139,10 @@ pub fn run_with_sink<S: OpSink>(
                 max_heap_bytes: rt.max_heap_bytes,
             };
             let mut vm = Vm::new(cfg, sink);
-            vm.load_program(&code);
+            match &verified {
+                Some(v) => vm.load_verified(v),
+                None => vm.load_program(&code),
+            }
             vm.run().map_err(QoaError::from)?;
             let result = vm.global_display("result");
             let output = vm.output().to_vec();
@@ -138,7 +153,10 @@ pub fn run_with_sink<S: OpSink>(
         RuntimeKind::PyPyNoJit | RuntimeKind::PyPyJit | RuntimeKind::V8 => {
             let enabled = rt.kind != RuntimeKind::PyPyNoJit;
             let mut vm = PyPyVm::new(rt.jit_config(enabled), sink);
-            vm.load_program(&code);
+            match &verified {
+                Some(v) => vm.load_verified(v),
+                None => vm.load_program(&code),
+            }
             vm.run().map_err(QoaError::from)?;
             let jit = vm.jit_stats();
             let result = vm.vm.global_display("result");
@@ -166,6 +184,23 @@ mod tests {
         }
         results.dedup();
         assert_eq!(results.len(), 1, "runtimes disagree: {results:?}");
+    }
+
+    #[test]
+    fn guarded_and_elided_paths_agree() {
+        let elided = capture(SRC, &RuntimeConfig::new(RuntimeKind::CPython)).expect("runs");
+        let guarded = capture(
+            SRC,
+            &RuntimeConfig::new(RuntimeKind::CPython).with_check_elision(false),
+        )
+        .expect("runs");
+        assert_eq!(elided.result, guarded.result);
+        assert!(
+            guarded.trace.len() > elided.trace.len(),
+            "guards emit extra micro-ops: guarded {} vs elided {}",
+            guarded.trace.len(),
+            elided.trace.len()
+        );
     }
 
     #[test]

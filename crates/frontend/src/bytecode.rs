@@ -110,6 +110,93 @@ impl Opcode {
                 | Opcode::ForIter
         )
     }
+
+    /// Whether execution can continue at the next instruction after this
+    /// one. `JumpAbsolute` always jumps, `BreakLoop` transfers to the
+    /// enclosing block's exit, and `ReturnValue` leaves the frame.
+    pub fn has_fallthrough(self) -> bool {
+        !matches!(self, Opcode::JumpAbsolute | Opcode::BreakLoop | Opcode::ReturnValue)
+    }
+
+    /// `(pops, pushes)` on the operand stack along the fall-through edge.
+    ///
+    /// Pops happen before pushes, so the depth required on entry is
+    /// `pops` and the depth after is `depth - pops + pushes`. Opcodes
+    /// that only peek (`DupTop`, `ForIter`, ...) are expressed as
+    /// re-pushing what they inspected, which encodes the entry
+    /// requirement without changing the net effect.
+    pub fn stack_io(self, arg: u32) -> (u64, u64) {
+        let n = arg as u64;
+        match self {
+            Opcode::LoadConst
+            | Opcode::LoadFast
+            | Opcode::LoadGlobal
+            | Opcode::LoadName => (0, 1),
+            Opcode::PopTop
+            | Opcode::StoreFast
+            | Opcode::StoreGlobal
+            | Opcode::StoreName => (1, 0),
+            Opcode::DupTop => (1, 2),
+            Opcode::DupTopTwo => (2, 4),
+            Opcode::RotTwo => (2, 2),
+            Opcode::RotThree => (3, 3),
+            Opcode::LoadAttr
+            | Opcode::GetIter
+            | Opcode::UnaryNegative
+            | Opcode::UnaryNot
+            | Opcode::UnaryInvert => (1, 1),
+            Opcode::StoreAttr | Opcode::DeleteSubscr => (2, 0),
+            Opcode::BinarySubscr
+            | Opcode::BuildSlice
+            | Opcode::BuildClass
+            | Opcode::CompareOp
+            | Opcode::BinaryAdd
+            | Opcode::BinarySubtract
+            | Opcode::BinaryMultiply
+            | Opcode::BinaryDivide
+            | Opcode::BinaryFloorDivide
+            | Opcode::BinaryModulo
+            | Opcode::BinaryPower
+            | Opcode::BinaryAnd
+            | Opcode::BinaryOr
+            | Opcode::BinaryXor
+            | Opcode::BinaryLshift
+            | Opcode::BinaryRshift => (2, 1),
+            Opcode::StoreSubscr => (3, 0),
+            Opcode::JumpAbsolute
+            | Opcode::SetupLoop
+            | Opcode::PopBlock
+            | Opcode::BreakLoop
+            | Opcode::Nop => (0, 0),
+            Opcode::PopJumpIfFalse | Opcode::PopJumpIfTrue => (1, 0),
+            // Falling through pops the tested value.
+            Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => (1, 0),
+            // Loop continues: the iterator stays, the next value lands on top.
+            Opcode::ForIter => (1, 2),
+            Opcode::BuildList | Opcode::BuildTuple => (n, 1),
+            Opcode::BuildMap => (2 * n, 1),
+            Opcode::UnpackSequence => (1, n),
+            Opcode::CallFunction | Opcode::MakeFunction => (n + 1, 1),
+            Opcode::ReturnValue => (1, 0),
+        }
+    }
+
+    /// `(pops, pushes)` along the taken-jump edge to `arg`, for the
+    /// opcodes whose `arg` is a direct jump target. `None` for everything
+    /// else — including `SetupLoop`, whose `arg` is the block *exit*
+    /// reached via `BreakLoop` at the block's entry depth, and
+    /// `BreakLoop` itself, whose target comes from the block stack.
+    pub fn jump_io(self) -> Option<(u64, u64)> {
+        match self {
+            Opcode::JumpAbsolute => Some((0, 0)),
+            Opcode::PopJumpIfFalse | Opcode::PopJumpIfTrue => Some((1, 0)),
+            // Jumping keeps the tested value on the stack.
+            Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => Some((1, 1)),
+            // Exhaustion pops the iterator.
+            Opcode::ForIter => Some((1, 0)),
+            _ => None,
+        }
+    }
 }
 
 /// Comparison discriminants carried in [`Opcode::CompareOp`]'s arg.
@@ -209,6 +296,11 @@ pub struct CodeObject {
     pub consts: Vec<Const>,
     /// The instruction stream.
     pub code: Vec<Instr>,
+    /// Declared operand-stack bound: the deepest the value stack can get
+    /// while this code runs. Computed by the compiler (CPython's
+    /// `co_stacksize`); the verifier re-derives it and checks it, and the
+    /// VM preallocates frames with it.
+    pub max_stack: usize,
 }
 
 impl CodeObject {
@@ -280,6 +372,83 @@ impl CodeObject {
         Ok(())
     }
 
+    /// Computes the operand-stack high-water mark (CPython's
+    /// `stackdepth()`): a worklist walk over the instruction graph
+    /// propagating entry depths along fall-through and jump edges.
+    /// `SetupLoop` additionally propagates its entry depth to the block
+    /// exit, which is where `BreakLoop` resumes after truncating the
+    /// stack — so the block stack itself never needs simulating here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency: a jump outside
+    /// the instruction array, or a path that pops more than it pushed.
+    pub fn compute_max_stack(&self) -> Result<usize, String> {
+        const DEPTH_LIMIT: u64 = 1 << 16;
+        let len = self.code.len();
+        // Deepest entry depth seen per instruction; re-propagate only when
+        // it grows, so the walk terminates (depths are bounded by the
+        // monotone max and error out if they go negative).
+        let mut entry: Vec<Option<u64>> = vec![None; len];
+        let mut work: Vec<(usize, u64)> = Vec::new();
+        if len > 0 {
+            work.push((0, 0));
+        }
+        let mut max = 0u64;
+        while let Some((i, depth)) = work.pop() {
+            if i >= len {
+                return Err(format!("jump target {i} out of range (len {len})"));
+            }
+            if entry[i].is_some_and(|seen| seen >= depth) {
+                continue;
+            }
+            entry[i] = Some(depth);
+            let instr = self.code[i];
+            let mut edge = |work: &mut Vec<(usize, u64)>,
+                            target: usize,
+                            pops: u64,
+                            pushes: u64|
+             -> Result<(), String> {
+                if depth < pops {
+                    return Err(format!(
+                        "instr {i}: {:?} pops {pops} with stack depth {depth}",
+                        instr.op
+                    ));
+                }
+                let after = depth - pops + pushes;
+                // A cycle with net-positive stack effect grows the depth
+                // forever; no plausible program needs 2^16 operands.
+                if after > DEPTH_LIMIT {
+                    return Err(format!(
+                        "instr {i}: stack depth {after} diverges (positive-effect cycle?)"
+                    ));
+                }
+                max = max.max(after);
+                work.push((target, after));
+                Ok(())
+            };
+            if instr.op.has_fallthrough() {
+                let (pops, pushes) = instr.op.stack_io(instr.arg);
+                edge(&mut work, i + 1, pops, pushes)?;
+            } else if instr.op == Opcode::ReturnValue {
+                // Class bodies return their namespace dict implicitly;
+                // their ReturnValue pops nothing.
+                let pops = if self.kind == CodeKind::ClassBody { 0 } else { 1 };
+                if depth < pops {
+                    return Err(format!("instr {i}: ReturnValue on empty stack"));
+                }
+            }
+            if let Some((pops, pushes)) = instr.op.jump_io() {
+                edge(&mut work, instr.arg as usize, pops, pushes)?;
+            }
+            if instr.op == Opcode::SetupLoop {
+                // Block exit resumes at this depth (BreakLoop truncates).
+                edge(&mut work, instr.arg as usize, 0, 0)?;
+            }
+        }
+        Ok(max as usize)
+    }
+
     /// Iterates over this code object and all nested ones.
     pub fn iter_all(self: &Rc<Self>) -> Vec<Rc<CodeObject>> {
         let mut out = vec![Rc::clone(self)];
@@ -330,7 +499,69 @@ mod tests {
             names: vec![],
             consts: vec![],
             code: vec![Instr { op: Opcode::LoadConst, arg: 0, line: 1 }],
+            max_stack: 1,
         };
         assert!(code.validate().is_err());
+    }
+
+    fn raw(code: Vec<Instr>) -> CodeObject {
+        CodeObject {
+            name: "t".into(),
+            kind: CodeKind::Function,
+            argcount: 0,
+            num_defaults: 0,
+            varnames: vec![],
+            names: vec![],
+            consts: vec![Const::None],
+            code,
+            max_stack: 0,
+        }
+    }
+
+    fn ins(op: Opcode, arg: u32) -> Instr {
+        Instr { op, arg, line: 1 }
+    }
+
+    #[test]
+    fn max_stack_straight_line() {
+        let c = raw(vec![
+            ins(Opcode::LoadConst, 0),
+            ins(Opcode::LoadConst, 0),
+            ins(Opcode::BinaryAdd, 0),
+            ins(Opcode::ReturnValue, 0),
+        ]);
+        assert_eq!(c.compute_max_stack(), Ok(2));
+    }
+
+    #[test]
+    fn max_stack_joins_take_deepest_path() {
+        // Branch: one arm piles three operands, the other one.
+        let c = raw(vec![
+            ins(Opcode::LoadConst, 0),
+            ins(Opcode::PopJumpIfFalse, 5),
+            ins(Opcode::LoadConst, 0),
+            ins(Opcode::LoadConst, 0),
+            ins(Opcode::BinaryAdd, 0),
+            ins(Opcode::LoadConst, 0),
+            ins(Opcode::ReturnValue, 0),
+        ]);
+        // pc 5 is reached empty (jump) and with 1 operand (fallthrough);
+        // the deepest transient is the two-operand add arm plus the
+        // surviving value at pc 5.
+        assert_eq!(c.compute_max_stack(), Ok(2));
+    }
+
+    #[test]
+    fn max_stack_rejects_underflow_and_bad_jump() {
+        let under = raw(vec![ins(Opcode::PopTop, 0), ins(Opcode::ReturnValue, 0)]);
+        assert!(under.compute_max_stack().is_err());
+        let wild = raw(vec![ins(Opcode::JumpAbsolute, 99)]);
+        assert!(wild.compute_max_stack().is_err());
+    }
+
+    #[test]
+    fn max_stack_terminates_on_positive_cycle() {
+        let cycle = raw(vec![ins(Opcode::LoadConst, 0), ins(Opcode::JumpAbsolute, 0)]);
+        assert!(cycle.compute_max_stack().is_err());
     }
 }

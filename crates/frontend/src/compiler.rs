@@ -84,7 +84,7 @@ impl Compiler {
     }
 
     fn finish(self) -> CodeObject {
-        CodeObject {
+        let mut code = CodeObject {
             name: self.name,
             kind: self.kind,
             argcount: self.argcount,
@@ -93,7 +93,13 @@ impl Compiler {
             names: self.names,
             consts: self.consts,
             code: self.code,
-        }
+            max_stack: 0,
+        };
+        // The walk only fails on malformed bytecode the compiler itself
+        // would have to emit; fall back to a bound no program exceeds so
+        // the verifier (which re-derives the depth) still gets its say.
+        code.max_stack = code.compute_max_stack().unwrap_or(code.code.len() + 1);
+        code
     }
 
     fn err(&self, line: u32, message: impl Into<String>) -> CompileError {

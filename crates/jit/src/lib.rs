@@ -216,6 +216,12 @@ impl<S: OpSink> PyPyVm<S> {
         self.vm.load_program(code);
     }
 
+    /// Loads a statically verified program with dispatch guard checks
+    /// elided (see [`Vm::load_verified`]).
+    pub fn load_verified(&mut self, code: &qoa_analysis::Verified<Rc<CodeObject>>) {
+        self.vm.load_verified(code);
+    }
+
     /// JIT pipeline statistics.
     pub fn jit_stats(&self) -> JitStats {
         self.stats

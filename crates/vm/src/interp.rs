@@ -30,10 +30,29 @@ const FRAME_HEADER: u64 = 96;
 impl<S: OpSink> Vm<S> {
     /// Loads a module code object and pushes its frame. Call
     /// [`Vm::step`] or [`Vm::run`] afterwards.
+    ///
+    /// Code loaded this way is treated as *unverified*: every dispatch
+    /// emits the defensive guard micro-ops (pc/operand-index bounds
+    /// re-checks, tagged [`Category::ErrorCheck`]) a CPython-style
+    /// interpreter performs on untrusted bytecode. Use
+    /// [`Vm::load_verified`] to elide them.
     pub fn load_program(&mut self, code: &Rc<CodeObject>) {
         self.register_code(code);
         let frame = self.new_frame(Rc::clone(code), Vec::new(), None, None);
         self.frames.push(frame);
+    }
+
+    /// Loads a statically verified module and elides the per-dispatch
+    /// guard checks: the [`qoa_analysis::Verified`] token proves stack
+    /// depths, jump targets, and operand indices are in bounds, which is
+    /// exactly what the guards re-check dynamically.
+    ///
+    /// The token is the only way to turn elision on, so the guarded and
+    /// elided paths stay separately testable ([`Vm::check_elision`]
+    /// reports which one is active).
+    pub fn load_verified(&mut self, code: &qoa_analysis::Verified<Rc<CodeObject>>) {
+        self.elide_checks = true;
+        self.load_program(code.get());
     }
 
     /// Runs until the program completes.
@@ -72,6 +91,9 @@ impl<S: OpSink> Vm<S> {
         for (i, a) in args.into_iter().enumerate() {
             locals[i] = Some(a);
         }
+        // The compiler's declared stack bound sizes the frame exactly;
+        // hand-built code may declare 0, so keep a small floor.
+        let stack_cap = code.max_stack.max(4);
         // Frame objects are heap-allocated per call in the interpreter
         // (Table II: object allocation); JIT traces virtualize them away.
         let frame_obj = if self.cost == CostMode::Interp {
@@ -84,7 +106,7 @@ impl<S: OpSink> Vm<S> {
             code,
             pc: 0,
             locals,
-            stack: Vec::with_capacity(16),
+            stack: Vec::with_capacity(stack_cap),
             blocks: Vec::new(),
             frame_obj,
             class_ns,
@@ -252,6 +274,14 @@ impl<S: OpSink> Vm<S> {
             let code_addr = meta.code_addr + (pc as u64) * 4;
             self.eload(240, Category::Dispatch, code_addr);
             self.ealu(241, Category::Dispatch, 2);
+            if !self.elide_checks {
+                // Defensive re-validation of the decoded instruction on
+                // the hot path: pc bound, operand-index range, stack
+                // limit. Statically verified code proves these hold, so
+                // [`Vm::load_verified`] elides them.
+                self.ealu(244, Category::ErrorCheck, 1);
+                self.ebranch(245, Category::ErrorCheck, false);
+            }
             self.emit(
                 243,
                 OpKind::Branch { taken: true, target: Pc(next_handler), indirect: true },

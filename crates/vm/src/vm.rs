@@ -286,6 +286,12 @@ pub struct Vm<S: OpSink> {
     pub(crate) result: Option<ObjRef>,
     /// Category native-body emissions carry (CLibrary vs Execute).
     pub(crate) lib_cat: Category,
+    /// Whether the per-dispatch defensive guard checks are elided. Set
+    /// only by [`Vm::load_verified`]: statically verified code has
+    /// proved the properties the guards re-check dynamically, so their
+    /// simulated cost ([`Category::ErrorCheck`] ops per dispatch) is
+    /// skipped. Unverified code keeps the guards.
+    pub(crate) elide_checks: bool,
 }
 
 /// Registered metadata for one code object.
@@ -344,6 +350,7 @@ impl<S: OpSink> Vm<S> {
             output: Vec::new(),
             result: None,
             lib_cat: Category::CLibrary,
+            elide_checks: false,
         };
         vm.none_ref = vm.alloc_immortal(ObjKind::None);
         vm.true_ref = vm.alloc_immortal(ObjKind::Bool(true));
@@ -379,6 +386,12 @@ impl<S: OpSink> Vm<S> {
     /// Lines captured from the guest's `print`.
     pub fn output(&self) -> &[String] {
         &self.output
+    }
+
+    /// Whether the per-dispatch guard checks are elided (true only after
+    /// `Vm::load_verified`).
+    pub fn check_elision(&self) -> bool {
+        self.elide_checks
     }
 
     /// The globals dict object.
