@@ -1,0 +1,262 @@
+//! `qoa-prof`: the observability driver.
+//!
+//! Runs one workload under one modeled run-time with full observability
+//! on — wall-clock spans around every pipeline stage, guest frame events
+//! in the trace, a cycle-domain sampling profile of the replay — and
+//! writes any of:
+//!
+//! * `--trace out.json` — Chrome/Perfetto `trace_events` JSON (load in
+//!   `ui.perfetto.dev` or `chrome://tracing`): pid 1 is wall time, pid 2
+//!   is simulated cycles.
+//! * `--metrics out.prom` — Prometheus text exposition of every
+//!   subsystem's counters (VM, heap, JIT, simulation, profiler).
+//! * `--folded out.folded` — folded stacks for `inferno-flamegraph` /
+//!   `flamegraph.pl`, one `frame;frame;[Category] count` line each.
+//!
+//! `--check` re-parses everything just written through the crate's own
+//! round-trip parsers and verifies the sampled per-category shares agree
+//! with the exact Fig. 4 attribution within 2 percentage points; any
+//! violation exits nonzero. A journal line (with the metrics snapshot
+//! embedded as the v2 `"obs"` field) is recorded under `--journal-dir`.
+
+use qoa_core::journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric};
+use qoa_core::runtime::{capture_observed, RuntimeConfig};
+use qoa_model::RuntimeKind;
+use qoa_obs::bridge::{
+    fill_exec_stats, fill_jit_stats, fill_profile, fill_span_histogram, fill_vm_stats,
+};
+use qoa_obs::profiler::ObsCore;
+use qoa_obs::{export_trace, parse_exposition, parse_trace, ObsConfig, Observability};
+use qoa_uarch::UarchConfig;
+use qoa_workloads::Scale;
+use std::path::PathBuf;
+
+#[derive(Debug)]
+struct ProfCli {
+    workload: String,
+    runtime: RuntimeKind,
+    scale: Scale,
+    sample_every: u64,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    folded: Option<PathBuf>,
+    check: bool,
+    journal_dir: PathBuf,
+}
+
+impl Default for ProfCli {
+    fn default() -> Self {
+        ProfCli {
+            workload: "go".to_string(),
+            runtime: RuntimeKind::CPython,
+            scale: Scale::Small,
+            sample_every: 4096,
+            trace: None,
+            metrics: None,
+            folded: None,
+            check: false,
+            journal_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+fn parse_cli() -> ProfCli {
+    let mut out = ProfCli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => out.workload = args.next().unwrap_or_default(),
+            "--runtime" => {
+                let v = args.next().unwrap_or_default();
+                out.runtime = match v.as_str() {
+                    "cpython" => RuntimeKind::CPython,
+                    "pypy-nojit" => RuntimeKind::PyPyNoJit,
+                    "pypy-jit" => RuntimeKind::PyPyJit,
+                    "v8" => RuntimeKind::V8,
+                    other => panic!("unknown runtime '{other}' (cpython|pypy-nojit|pypy-jit|v8)"),
+                };
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                out.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale '{other}' (tiny|small|full)"),
+                };
+            }
+            "--sample-every" => {
+                let v = args.next().unwrap_or_default();
+                out.sample_every = v.parse().expect("--sample-every takes a cycle count");
+            }
+            "--trace" => out.trace = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--metrics" => out.metrics = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--folded" => out.folded = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--check" => out.check = true,
+            "--journal-dir" => out.journal_dir = PathBuf::from(args.next().unwrap_or_default()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --workload NAME  --runtime cpython|pypy-nojit|pypy-jit|v8  \
+                     --scale tiny|small|full  --sample-every N  --trace FILE  \
+                     --metrics FILE  --folded FILE  --check  --journal-dir DIR"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    out
+}
+
+fn write_output(path: &PathBuf, what: &str, content: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        }
+    }
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("{what}: {} ({} bytes)", path.display(), content.len());
+}
+
+fn main() {
+    let cli = parse_cli();
+    let workload = qoa_workloads::by_name(&cli.workload)
+        .unwrap_or_else(|| panic!("unknown workload '{}'", cli.workload));
+    let source = workload.source(cli.scale);
+
+    let obs_cfg = ObsConfig::on().with_sample_every(cli.sample_every);
+    let rt = RuntimeConfig::new(cli.runtime).with_observability(obs_cfg);
+    let mut obs = Observability::new(obs_cfg);
+
+    eprintln!(
+        "profiling {} / {:?} at {:?} scale, sampling every {} cycles...",
+        workload.name, cli.runtime, cli.scale, cli.sample_every
+    );
+    let run = match capture_observed(&source, &rt, &mut obs) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let uarch = UarchConfig::skylake();
+    let report = obs.wall_span("simulate", || {
+        let mut core = ObsCore::new(&uarch, cli.sample_every, obs_cfg.ring_capacity);
+        run.trace.replay(&mut core);
+        core.finish()
+    });
+
+    fill_vm_stats(&mut obs.registry, &run.vm);
+    fill_jit_stats(&mut obs.registry, &run.jit);
+    fill_exec_stats(&mut obs.registry, &report.stats);
+    fill_profile(&mut obs.registry, &report.profile);
+    fill_span_histogram(&mut obs.registry, &report.spans);
+
+    println!(
+        "{}: {} cycles, {} instructions, {} samples over {} stacks ({} spans, {} dropped)",
+        workload.name,
+        report.stats.cycles,
+        report.stats.instructions,
+        report.profile.total_samples,
+        report.profile.distinct_stacks(),
+        obs.wall_spans().len() + report.spans.len(),
+        obs.dropped() + report.dropped_spans,
+    );
+
+    let mut all_spans = obs.wall_spans();
+    all_spans.extend(report.spans.iter().cloned());
+    let trace_json = export_trace(&all_spans);
+    let prom_text = obs.registry.expose();
+    let folded_text = report.profile.folded_output();
+
+    if let Some(path) = &cli.trace {
+        write_output(path, "trace", &trace_json);
+    }
+    if let Some(path) = &cli.metrics {
+        write_output(path, "metrics", &prom_text);
+    }
+    if let Some(path) = &cli.folded {
+        write_output(path, "folded stacks", &folded_text);
+    }
+
+    // Journal line with the registry snapshot embedded (v2 "obs" field).
+    let key = CellKey::new(
+        workload.name,
+        format!("{:?}", cli.runtime),
+        "sample_every",
+        cli.sample_every.to_string(),
+    );
+    let mut metrics = CellMetrics::new();
+    metrics.insert("cycles".into(), Metric::Int(report.stats.cycles as i64));
+    metrics.insert("instructions".into(), Metric::Int(report.stats.instructions as i64));
+    metrics.insert("samples".into(), Metric::Int(report.profile.total_samples as i64));
+    let snapshot: CellMetrics = obs
+        .registry
+        .snapshot()
+        .into_iter()
+        .map(|(name, value)| (name, Metric::Num(value)))
+        .collect();
+    let config = format!("scale={:?} sample_every={}", cli.scale, cli.sample_every);
+    match Journal::open(&cli.journal_dir, "qoa-prof", config, false) {
+        Ok(mut journal) => {
+            if let Err(e) = journal.record_with_obs(key, CellOutcome::Ok(metrics), Some(snapshot)) {
+                eprintln!("journal write failed (continuing): {e}");
+            } else {
+                println!("journal: {}", journal.path().display());
+            }
+        }
+        Err(e) => eprintln!("journal open failed (continuing): {e}"),
+    }
+
+    if cli.check {
+        let mut failures = Vec::new();
+        match parse_trace(&trace_json) {
+            Ok(spans) => {
+                if spans.len() != all_spans.len() {
+                    failures.push(format!(
+                        "trace round-trip lost spans: {} -> {}",
+                        all_spans.len(),
+                        spans.len()
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("trace JSON invalid: {e}")),
+        }
+        match parse_exposition(&prom_text) {
+            Ok(exposition) => {
+                if exposition.get("qoa_sim_cycles_total") != Some(report.stats.cycles as f64) {
+                    failures.push("exposition disagrees on qoa_sim_cycles_total".to_string());
+                }
+            }
+            Err(e) => failures.push(format!("Prometheus exposition invalid: {e}")),
+        }
+        if folded_text.lines().next().is_none() {
+            failures.push("folded output is empty".to_string());
+        }
+        let sampled = report.profile.category_shares();
+        let exact = report.stats.category_shares();
+        for (c, &s) in sampled.iter() {
+            let d = (s - exact[c]).abs();
+            if d > 0.02 {
+                failures.push(format!(
+                    "category {c:?}: sampled share {:.2}% vs exact {:.2}% (diff {:.2}pp)",
+                    s * 100.0,
+                    exact[c] * 100.0,
+                    d * 100.0
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "check: OK (trace and exposition round-trip; sampled shares within 2pp of exact)"
+            );
+        } else {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,7 +7,7 @@
 
 use crate::error::QoaError;
 use crate::runtime::{capture, RuntimeConfig};
-use qoa_model::{Category, CategoryMap, RuntimeKind};
+use qoa_model::{CategoryMap, RuntimeKind};
 use qoa_uarch::{ExecutionStats, UarchConfig};
 use qoa_workloads::{Scale, Workload};
 
@@ -36,13 +36,17 @@ impl Breakdown {
     }
 
     /// Share of cycles across the fourteen Table II overheads.
+    ///
+    /// Delegates to [`CategoryMap::overhead_share`], the single share code
+    /// path also used by `ExecutionStats` and the `qoa-obs` metrics
+    /// registry, so figure output and exported metrics cannot drift.
     pub fn overhead_share(&self) -> f64 {
-        Category::OVERHEADS.iter().map(|&c| self.shares[c]).sum()
+        self.shares.overhead_share()
     }
 
     /// The residual `execute` + C-library share.
     pub fn compute_share(&self) -> f64 {
-        self.shares[Category::Execute] + self.shares[Category::CLibrary]
+        self.shares.compute_share()
     }
 }
 
@@ -103,6 +107,7 @@ pub fn figure4_breakdowns(scale: Scale) -> Result<Vec<Breakdown>, QoaError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qoa_model::Category;
     use qoa_workloads::by_name;
 
     fn quick(name: &str, kind: RuntimeKind) -> Breakdown {

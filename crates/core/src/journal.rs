@@ -19,6 +19,17 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+/// Journal line format version.
+///
+/// * v1 (unversioned lines): figure/config/key/status/metrics.
+/// * v2: adds the explicit `"version"` field and the optional `"obs"`
+///   object — a flattened metrics-registry snapshot for the cell.
+///
+/// Lines without a `version` field are read as v1; lines with a version
+/// above [`JOURNAL_VERSION`] are skipped (the cell reruns) rather than
+/// misread.
+pub const JOURNAL_VERSION: i64 = 2;
+
 /// One journaled measurement value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Metric {
@@ -109,6 +120,9 @@ pub struct Journal {
     figure: String,
     config: String,
     entries: BTreeMap<CellKey, CellOutcome>,
+    /// Per-cell observability snapshots (v2 `"obs"` field), kept beside
+    /// the outcome so old readers that only know `metrics` still work.
+    obs: BTreeMap<CellKey, CellMetrics>,
 }
 
 impl Journal {
@@ -130,7 +144,13 @@ impl Journal {
     ) -> Result<Journal, QoaError> {
         let config = config.into();
         let path = dir.join(format!("{figure}.journal.jsonl"));
-        let mut journal = Journal { path, figure: figure.to_string(), config, entries: BTreeMap::new() };
+        let mut journal = Journal {
+            path,
+            figure: figure.to_string(),
+            config,
+            entries: BTreeMap::new(),
+            obs: BTreeMap::new(),
+        };
         if fresh || !journal.path.exists() {
             return Ok(journal);
         }
@@ -139,7 +159,10 @@ impl Journal {
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             // A malformed line (old format, manual edit) is skipped, not
             // fatal: the cell simply reruns.
-            if let Some((key, outcome)) = journal.parse_line(line) {
+            if let Some((key, outcome, obs)) = journal.parse_line(line) {
+                if let Some(snapshot) = obs {
+                    journal.obs.insert(key.clone(), snapshot);
+                }
                 journal.entries.insert(key, outcome);
             }
         }
@@ -173,8 +196,38 @@ impl Journal {
     /// Returns [`QoaError::Journal`] when the temp file cannot be written
     /// or renamed into place.
     pub fn record(&mut self, key: CellKey, outcome: CellOutcome) -> Result<(), QoaError> {
+        self.record_with_obs(key, outcome, None)
+    }
+
+    /// Records a completed cell with an optional observability snapshot
+    /// (a flattened metrics-registry view, embedded as the line's `"obs"`
+    /// object) and persists the journal atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QoaError::Journal`] when the temp file cannot be written
+    /// or renamed into place.
+    pub fn record_with_obs(
+        &mut self,
+        key: CellKey,
+        outcome: CellOutcome,
+        obs: Option<CellMetrics>,
+    ) -> Result<(), QoaError> {
+        match obs {
+            Some(snapshot) => {
+                self.obs.insert(key.clone(), snapshot);
+            }
+            None => {
+                self.obs.remove(&key);
+            }
+        }
         self.entries.insert(key, outcome);
         self.persist()
+    }
+
+    /// The observability snapshot recorded with a cell, if any.
+    pub fn obs_snapshot(&self, key: &CellKey) -> Option<&CellMetrics> {
+        self.obs.get(key)
     }
 
     fn persist(&self) -> Result<(), QoaError> {
@@ -201,6 +254,14 @@ impl Journal {
         for (name, value) in [
             ("figure", self.figure.as_str()),
             ("config", self.config.as_str()),
+        ] {
+            encode_str(out, name);
+            out.push(':');
+            encode_str(out, value);
+            out.push(',');
+        }
+        let _ = write!(out, "\"version\":{JOURNAL_VERSION},");
+        for (name, value) in [
             ("workload", key.workload.as_str()),
             ("runtime", key.runtime.as_str()),
             ("param", key.param.as_str()),
@@ -213,24 +274,8 @@ impl Journal {
         }
         match outcome {
             CellOutcome::Ok(metrics) => {
-                out.push_str("\"status\":\"ok\",\"metrics\":{");
-                let mut first = true;
-                for (name, metric) in metrics {
-                    if !first {
-                        out.push(',');
-                    }
-                    first = false;
-                    encode_str(out, name);
-                    out.push(':');
-                    match metric {
-                        Metric::Int(v) => {
-                            let _ = write!(out, "{v}");
-                        }
-                        Metric::Num(v) => encode_f64(out, *v),
-                        Metric::Str(s) => encode_str(out, s),
-                    }
-                }
-                out.push('}');
+                out.push_str("\"status\":\"ok\",\"metrics\":");
+                encode_metrics(out, metrics);
             }
             CellOutcome::Failed { kind, message } => {
                 out.push_str("\"status\":\"failed\",\"kind\":");
@@ -239,17 +284,28 @@ impl Journal {
                 encode_str(out, message);
             }
         }
+        if let Some(snapshot) = self.obs.get(key) {
+            out.push_str(",\"obs\":");
+            encode_metrics(out, snapshot);
+        }
         out.push_str("}\n");
     }
 
     // ---- decoding --------------------------------------------------------
 
-    fn parse_line(&self, line: &str) -> Option<(CellKey, CellOutcome)> {
+    fn parse_line(&self, line: &str) -> Option<(CellKey, CellOutcome, Option<CellMetrics>)> {
         let fields = parse_object(line)?;
         if fields.get("figure")?.str()? != self.figure
             || fields.get("config")?.str()? != self.config
         {
             return None;
+        }
+        // Unversioned lines are v1; anything newer than this reader is
+        // skipped rather than misread.
+        match fields.get("version") {
+            None => {}
+            Some(Json::Int(v)) if (1..=JOURNAL_VERSION).contains(v) => {}
+            Some(_) => return None,
         }
         let key = CellKey::new(
             fields.get("workload")?.str()?,
@@ -260,17 +316,7 @@ impl Journal {
         let outcome = match fields.get("status")?.str()? {
             "ok" => {
                 let Json::Object(raw) = fields.get("metrics")? else { return None };
-                let mut metrics = CellMetrics::new();
-                for (name, v) in raw {
-                    let metric = match v {
-                        Json::Int(i) => Metric::Int(*i),
-                        Json::Num(f) => Metric::Num(*f),
-                        Json::Str(s) => Metric::Str(s.clone()),
-                        Json::Object(_) => return None,
-                    };
-                    metrics.insert(name.clone(), metric);
-                }
-                CellOutcome::Ok(metrics)
+                CellOutcome::Ok(parse_metrics(raw)?)
             }
             "failed" => CellOutcome::Failed {
                 kind: fields.get("kind")?.str()?.to_string(),
@@ -278,8 +324,48 @@ impl Journal {
             },
             _ => return None,
         };
-        Some((key, outcome))
+        let obs = match fields.get("obs") {
+            Some(Json::Object(raw)) => Some(parse_metrics(raw)?),
+            Some(_) => return None,
+            None => None,
+        };
+        Some((key, outcome, obs))
     }
+}
+
+fn encode_metrics(out: &mut String, metrics: &CellMetrics) {
+    out.push('{');
+    let mut first = true;
+    for (name, metric) in metrics {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        encode_str(out, name);
+        out.push(':');
+        match metric {
+            Metric::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Metric::Num(v) => encode_f64(out, *v),
+            Metric::Str(s) => encode_str(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn parse_metrics(raw: &BTreeMap<String, Json>) -> Option<CellMetrics> {
+    let mut metrics = CellMetrics::new();
+    for (name, v) in raw {
+        let metric = match v {
+            Json::Int(i) => Metric::Int(*i),
+            Json::Num(f) => Metric::Num(*f),
+            Json::Str(s) => Metric::Str(s.clone()),
+            Json::Object(_) => return None,
+        };
+        metrics.insert(name.clone(), metric);
+    }
+    Some(metrics)
 }
 
 fn encode_str(out: &mut String, s: &str) {
@@ -532,6 +618,61 @@ mod tests {
                 "{v} -> {line} -> {got}"
             );
         }
+    }
+
+    #[test]
+    fn v1_lines_without_version_are_still_read() {
+        // A hand-written line in the original (pre-version) format: no
+        // "version" field, no "obs" object.
+        let dir = tmp_dir("v1compat");
+        let path = dir.join("fig10.journal.jsonl");
+        let v1 = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"workload\":\"go\",\
+                  \"runtime\":\"PyPyJit\",\"param\":\"nursery\",\"value\":\"4096\",\
+                  \"status\":\"ok\",\"metrics\":{\"cycles\":42}}\n";
+        std::fs::write(&path, v1).expect("write");
+        let j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+        let key = CellKey::new("go", "PyPyJit", "nursery", "4096");
+        let Some(CellOutcome::Ok(metrics)) = j.get(&key) else {
+            panic!("v1 line not honored: {:?}", j.get(&key));
+        };
+        assert_eq!(metrics.get("cycles"), Some(&Metric::Int(42)));
+        assert!(j.obs_snapshot(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_lines_are_skipped() {
+        let dir = tmp_dir("v99");
+        let path = dir.join("fig10.journal.jsonl");
+        let v99 = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"version\":99,\
+                   \"workload\":\"go\",\"runtime\":\"CPython\",\"param\":\"p\",\
+                   \"value\":\"1\",\"status\":\"ok\",\"metrics\":{}}\n";
+        std::fs::write(&path, v99).expect("write");
+        let j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+        assert!(j.is_empty(), "future-version line must rerun, not misread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_snapshots_round_trip() {
+        let dir = tmp_dir("obs");
+        let key = CellKey::new("go", "CPython", "scale", "small");
+        let mut obs = CellMetrics::new();
+        obs.insert("qoa_sim_cycles_total".into(), Metric::Num(123456.0));
+        obs.insert("qoa_vm_dispatch_total{opcode=\"BinaryAdd\"}".into(), Metric::Num(7.0));
+        {
+            let mut j = Journal::open(&dir, "prof", "cfg", false).expect("open");
+            j.record_with_obs(key.clone(), CellOutcome::Ok(sample_metrics()), Some(obs.clone()))
+                .expect("record");
+        }
+        let j = Journal::open(&dir, "prof", "cfg", false).expect("reopen");
+        assert_eq!(j.get(&key), Some(&CellOutcome::Ok(sample_metrics())));
+        assert_eq!(j.obs_snapshot(&key), Some(&obs));
+        // The line self-describes as v2.
+        let text = std::fs::read_to_string(j.path()).expect("read");
+        assert!(text.contains("\"version\":2,"), "line: {text}");
+        assert!(text.contains("\"obs\":{"), "line: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

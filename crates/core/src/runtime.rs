@@ -1,10 +1,14 @@
 //! Running guest programs under the paper's four run-time configurations.
 
 use crate::error::QoaError;
+use qoa_analysis::Verified;
+use qoa_frontend::CodeObject;
 use qoa_jit::{JitConfig, JitStats, PyPyVm};
 use qoa_model::{OpSink, RuntimeKind};
+use qoa_obs::{ObsConfig, Observability};
 use qoa_uarch::TraceBuffer;
 use qoa_vm::{HeapMode, Vm, VmConfig, VmStats};
+use std::rc::Rc;
 
 /// Default execution fuel for experiment runs (guards against accidental
 /// infinite loops in workload programs).
@@ -28,6 +32,9 @@ pub struct RuntimeConfig {
     /// guards (the default). When false the VM keeps its per-dispatch
     /// guard micro-ops and the verifier is skipped entirely.
     pub elide_checks: bool,
+    /// Observability toggle. Disabled by default, which keeps the figure
+    /// paths overhead-free: no frame capture, no spans, no sampling.
+    pub obs: ObsConfig,
 }
 
 impl RuntimeConfig {
@@ -40,6 +47,7 @@ impl RuntimeConfig {
             deadline: None,
             max_heap_bytes: 0,
             elide_checks: true,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -64,6 +72,12 @@ impl RuntimeConfig {
     /// Returns a copy with check elision switched on or off.
     pub fn with_check_elision(mut self, on: bool) -> Self {
         self.elide_checks = on;
+        self
+    }
+
+    /// Returns a copy with the observability configuration set.
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -107,9 +121,47 @@ pub struct CapturedRun {
 /// Returns the typed [`QoaError`]: compile error, guest run-time error,
 /// or resource cutoff (fuel, deadline, simulated OOM).
 pub fn capture(source: &str, rt: &RuntimeConfig) -> Result<CapturedRun, QoaError> {
-    run_with_sink(source, rt, TraceBuffer::new()).map(
+    let trace = if rt.obs.enabled {
+        TraceBuffer::with_frame_capture()
+    } else {
+        TraceBuffer::new()
+    };
+    run_with_sink(source, rt, trace).map(
         |(trace, vm, jit, output, result)| CapturedRun { trace, vm, jit, output, result },
     )
+}
+
+/// Runs `source` under `rt` with wall-clock spans recorded into `obs`
+/// for every pipeline stage (parse, compile, verify, execute) and guest
+/// frame events captured in the trace for the sampling profiler.
+///
+/// The captured trace and statistics are identical to [`capture`] with
+/// observability enabled — this entry point only adds the wall spans.
+///
+/// # Errors
+///
+/// Returns the typed [`QoaError`]: compile error, guest run-time error,
+/// or resource cutoff (fuel, deadline, simulated OOM).
+pub fn capture_observed(
+    source: &str,
+    rt: &RuntimeConfig,
+    obs: &mut Observability,
+) -> Result<CapturedRun, QoaError> {
+    let module = obs
+        .wall_span("parse", || qoa_frontend::parse(source))
+        .map_err(qoa_frontend::FrontendError::from)?;
+    let code = obs
+        .wall_span("compile", || qoa_frontend::compile_module(&module))
+        .map_err(qoa_frontend::FrontendError::from)?;
+    let verified = if rt.elide_checks {
+        Some(obs.wall_span("verify", || qoa_analysis::verify(&code))?)
+    } else {
+        None
+    };
+    obs.wall_span("execute", || {
+        run_compiled(&code, verified.as_ref(), rt, TraceBuffer::with_frame_capture())
+    })
+    .map(|(trace, vm, jit, output, result)| CapturedRun { trace, vm, jit, output, result })
 }
 
 /// Runs `source` under `rt` with an arbitrary sink (e.g. a core model
@@ -130,6 +182,16 @@ pub fn run_with_sink<S: OpSink>(
 ) -> Result<SinkRun<S>, QoaError> {
     let code = qoa_frontend::compile(source)?;
     let verified = if rt.elide_checks { Some(qoa_analysis::verify(&code)?) } else { None };
+    run_compiled(&code, verified.as_ref(), rt, sink)
+}
+
+/// Executes already-compiled (and optionally verified) code under `rt`.
+fn run_compiled<S: OpSink>(
+    code: &Rc<CodeObject>,
+    verified: Option<&Verified<Rc<CodeObject>>>,
+    rt: &RuntimeConfig,
+    sink: S,
+) -> Result<SinkRun<S>, QoaError> {
     match rt.kind {
         RuntimeKind::CPython => {
             let cfg = VmConfig {
@@ -139,9 +201,9 @@ pub fn run_with_sink<S: OpSink>(
                 max_heap_bytes: rt.max_heap_bytes,
             };
             let mut vm = Vm::new(cfg, sink);
-            match &verified {
+            match verified {
                 Some(v) => vm.load_verified(v),
-                None => vm.load_program(&code),
+                None => vm.load_program(code),
             }
             vm.run().map_err(QoaError::from)?;
             let result = vm.global_display("result");
@@ -153,9 +215,9 @@ pub fn run_with_sink<S: OpSink>(
         RuntimeKind::PyPyNoJit | RuntimeKind::PyPyJit | RuntimeKind::V8 => {
             let enabled = rt.kind != RuntimeKind::PyPyNoJit;
             let mut vm = PyPyVm::new(rt.jit_config(enabled), sink);
-            match &verified {
+            match verified {
                 Some(v) => vm.load_verified(v),
-                None => vm.load_program(&code),
+                None => vm.load_program(code),
             }
             vm.run().map_err(QoaError::from)?;
             let jit = vm.jit_stats();

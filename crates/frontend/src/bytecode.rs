@@ -92,6 +92,66 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Number of distinct opcodes (dimension for dense per-opcode tables).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Every opcode, in `index()` order.
+    pub const ALL: [Opcode; 53] = [
+        Opcode::LoadConst,
+        Opcode::PopTop,
+        Opcode::DupTop,
+        Opcode::DupTopTwo,
+        Opcode::RotTwo,
+        Opcode::RotThree,
+        Opcode::LoadFast,
+        Opcode::StoreFast,
+        Opcode::LoadGlobal,
+        Opcode::StoreGlobal,
+        Opcode::LoadName,
+        Opcode::StoreName,
+        Opcode::LoadAttr,
+        Opcode::StoreAttr,
+        Opcode::BinarySubscr,
+        Opcode::StoreSubscr,
+        Opcode::DeleteSubscr,
+        Opcode::BinaryAdd,
+        Opcode::BinarySubtract,
+        Opcode::BinaryMultiply,
+        Opcode::BinaryDivide,
+        Opcode::BinaryFloorDivide,
+        Opcode::BinaryModulo,
+        Opcode::BinaryPower,
+        Opcode::BinaryAnd,
+        Opcode::BinaryOr,
+        Opcode::BinaryXor,
+        Opcode::BinaryLshift,
+        Opcode::BinaryRshift,
+        Opcode::UnaryNegative,
+        Opcode::UnaryNot,
+        Opcode::UnaryInvert,
+        Opcode::CompareOp,
+        Opcode::JumpAbsolute,
+        Opcode::PopJumpIfFalse,
+        Opcode::PopJumpIfTrue,
+        Opcode::JumpIfFalseOrPop,
+        Opcode::JumpIfTrueOrPop,
+        Opcode::SetupLoop,
+        Opcode::PopBlock,
+        Opcode::BreakLoop,
+        Opcode::GetIter,
+        Opcode::ForIter,
+        Opcode::BuildList,
+        Opcode::BuildTuple,
+        Opcode::BuildMap,
+        Opcode::BuildSlice,
+        Opcode::UnpackSequence,
+        Opcode::CallFunction,
+        Opcode::ReturnValue,
+        Opcode::MakeFunction,
+        Opcode::BuildClass,
+        Opcode::Nop,
+    ];
+
     /// Dense index of the opcode (for handler tables and statistics).
     pub fn index(self) -> usize {
         self as usize
@@ -563,5 +623,15 @@ mod tests {
     fn max_stack_terminates_on_positive_cycle() {
         let cycle = raw(vec![ins(Opcode::LoadConst, 0), ins(Opcode::JumpAbsolute, 0)]);
         assert!(cycle.compute_max_stack().is_err());
+    }
+
+    #[test]
+    fn opcode_all_matches_dense_indices() {
+        assert_eq!(Opcode::ALL.len(), Opcode::COUNT);
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op:?} out of order in Opcode::ALL");
+        }
+        // Nop is the last discriminant, so the table is exhaustive.
+        assert_eq!(Opcode::Nop.index(), Opcode::COUNT - 1);
     }
 }

@@ -350,6 +350,22 @@ impl CategoryMap<f64> {
     pub fn total(&self) -> f64 {
         self.values.iter().sum()
     }
+
+    /// Sum across the fourteen Table II overhead categories only.
+    ///
+    /// For a map of per-category *shares* this is the paper's "identified
+    /// overheads" total (64.9% on average for CPython). This is the single
+    /// code path behind `Breakdown::overhead_share`,
+    /// `ExecutionStats::overhead_share` and the metrics registry — keep it
+    /// that way so figure output and exported metrics cannot drift.
+    pub fn overhead_share(&self) -> f64 {
+        Category::OVERHEADS.iter().map(|&c| self[c]).sum()
+    }
+
+    /// The residual share: `Execute` plus `CLibrary`.
+    pub fn compute_share(&self) -> f64 {
+        self[Category::Execute] + self[Category::CLibrary]
+    }
 }
 
 impl<T> std::ops::Index<Category> for CategoryMap<T> {

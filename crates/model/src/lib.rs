@@ -39,7 +39,7 @@ pub mod phase;
 pub use category::{Category, CategoryMap, Group};
 pub use emit::Emitter;
 pub use mem::Segment;
-pub use op::{CountingSink, MicroOp, NullSink, OpKind, OpSink, Pc};
+pub use op::{CountingSink, FrameEvent, MicroOp, NullSink, OpKind, OpSink, Pc};
 pub use phase::{Phase, PhaseMap};
 
 /// Identifies which modeled run-time produced a measurement.

@@ -8,6 +8,27 @@
 //! the execution [`Phase`] it belongs to.
 
 use crate::{Category, Phase};
+use std::rc::Rc;
+
+/// A guest-frame lifecycle event, emitted by the run-times alongside the
+/// micro-op stream.
+///
+/// Frame events carry *semantic* information (which guest function is
+/// running) that micro-ops deliberately do not. They cost no simulated
+/// cycles and no micro-ops; sinks that do not care inherit a no-op hook.
+/// The sampling profiler in `qoa-obs` reconstructs guest call stacks from
+/// them at replay time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A guest frame was pushed (a function call was entered).
+    Push {
+        /// The callee's name. Interned per code object — clones are a
+        /// reference-count bump, not a string copy.
+        name: Rc<str>,
+    },
+    /// The current guest frame was popped (the function returned).
+    Pop,
+}
 
 /// A synthetic program-counter value inside a simulated code segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -129,6 +150,11 @@ pub trait OpSink {
     /// Called when the run-time switches execution phase. Sinks that keep
     /// per-phase statistics can hook this; the default does nothing.
     fn phase_change(&mut self, _phase: Phase) {}
+
+    /// Called when the run-time pushes or pops a guest frame. Sinks that
+    /// reconstruct guest call stacks (e.g. the sampling profiler) hook
+    /// this; the default does nothing.
+    fn frame_event(&mut self, _event: &FrameEvent) {}
 }
 
 /// A sink that counts ops per category and kind but models no timing.
@@ -208,6 +234,9 @@ impl<S: OpSink + ?Sized> OpSink for &mut S {
     }
     fn phase_change(&mut self, phase: Phase) {
         (**self).phase_change(phase);
+    }
+    fn frame_event(&mut self, event: &FrameEvent) {
+        (**self).frame_event(event);
     }
 }
 

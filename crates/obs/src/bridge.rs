@@ -1,0 +1,263 @@
+//! Bridges from the runtime's stats structs into the metrics
+//! [`Registry`].
+//!
+//! Each `fill_*` function maps one subsystem's counters onto stable
+//! Prometheus families. Registration is keyed by (family, label value),
+//! so the functions are idempotent at the schema level; calling one adds
+//! the run's values into the registered series.
+
+use crate::metrics::Registry;
+use crate::profiler::Profile;
+use crate::span::{Clock, SpanEvent};
+use qoa_frontend::Opcode;
+use qoa_heap::GcStats;
+use qoa_jit::JitStats;
+use qoa_uarch::{CacheStats, ExecutionStats};
+use qoa_vm::VmStats;
+
+/// Records the VM-level counters: bytecodes, allocations, calls, dict
+/// probes, the per-opcode dispatch distribution, and heap statistics.
+pub fn fill_vm_stats(reg: &mut Registry, stats: &VmStats) {
+    let scalars: [(&str, &str, u64); 5] = [
+        ("qoa_vm_bytecodes_total", "Bytecodes executed", stats.bytecodes),
+        ("qoa_vm_allocations_total", "Guest objects allocated", stats.allocations),
+        ("qoa_vm_calls_total", "Guest function calls", stats.calls),
+        ("qoa_vm_native_calls_total", "Native (C extension) calls", stats.native_calls),
+        ("qoa_vm_dict_probes_total", "Dict probe slots touched", stats.dict_probes),
+    ];
+    for (name, help, value) in scalars {
+        let id = reg.counter(name, help);
+        reg.add(id, value);
+    }
+    for op in Opcode::ALL {
+        let n = stats.opcodes.get(op.index()).copied().unwrap_or(0);
+        if n > 0 {
+            let id = reg.labeled_counter(
+                "qoa_vm_dispatch_total",
+                "Dispatch count per opcode",
+                "opcode",
+                &format!("{op:?}"),
+            );
+            reg.add(id, n);
+        }
+    }
+    let rc: [(&str, &str, u64); 3] = [
+        ("qoa_heap_rc_increfs_total", "Reference-count increments", stats.rc.increfs),
+        ("qoa_heap_rc_decrefs_total", "Reference-count decrements", stats.rc.decrefs),
+        ("qoa_heap_rc_frees_total", "Objects freed by refcounting", stats.rc.frees),
+    ];
+    for (name, help, value) in rc {
+        let id = reg.counter(name, help);
+        reg.add(id, value);
+    }
+    let peak = reg.gauge("qoa_heap_rc_peak_bytes", "High-water mark of live bytes (Rc mode)");
+    reg.set(peak, stats.rc.peak_bytes as f64);
+    fill_gc_stats(reg, &stats.gc);
+}
+
+/// Records the generational-GC counters and the nursery survival rate.
+pub fn fill_gc_stats(reg: &mut Registry, gc: &GcStats) {
+    let minor = reg.labeled_counter("qoa_gc_collections_total", "Collections performed", "kind", "minor");
+    reg.add(minor, gc.minor_collections);
+    let major = reg.labeled_counter("qoa_gc_collections_total", "Collections performed", "kind", "major");
+    reg.add(major, gc.major_collections);
+    let allocated = reg.counter("qoa_gc_nursery_allocated_bytes_total", "Bytes bump-allocated in the nursery");
+    reg.add(allocated, gc.nursery_allocated);
+    let promoted = reg.counter("qoa_gc_promoted_bytes_total", "Bytes copied out of the nursery");
+    reg.add(promoted, gc.bytes_promoted);
+    let survival = reg.gauge("qoa_gc_nursery_survival_rate", "Fraction of nursery bytes that survived");
+    reg.set(survival, gc.survival_rate());
+    let old = reg.gauge("qoa_gc_old_live_bytes", "Live bytes in the old space");
+    reg.set(old, gc.old_live_bytes as f64);
+}
+
+/// Records the tracing-JIT counters.
+pub fn fill_jit_stats(reg: &mut Registry, jit: &JitStats) {
+    let pairs: [(&str, &str, u64); 10] = [
+        ("qoa_jit_traces_compiled_total", "Main loop traces compiled", jit.traces_compiled),
+        ("qoa_jit_bridges_compiled_total", "Bridge traces compiled", jit.bridges_compiled),
+        ("qoa_jit_trace_executions_total", "Completed trace-loop iterations", jit.trace_executions),
+        ("qoa_jit_guard_failures_total", "Guard failures", jit.guard_failures),
+        ("qoa_jit_bridge_transfers_total", "Guard failures continued in a bridge", jit.bridge_transfers),
+        ("qoa_jit_deopts_total", "Deoptimizations back to the interpreter", jit.deopts),
+        ("qoa_jit_blacklisted_total", "Loops blacklisted as trace-hostile", jit.blacklisted),
+        ("qoa_jit_aborted_recordings_total", "Recordings aborted", jit.aborted_recordings),
+        ("qoa_jit_bytecodes_total", "Bytecodes executed under the trace cost model", jit.jit_bytecodes),
+        ("qoa_jit_interp_bytecodes_total", "Bytecodes executed under the interpreter cost model", jit.interp_bytecodes),
+    ];
+    for (name, help, value) in pairs {
+        let id = reg.counter(name, help);
+        reg.add(id, value);
+    }
+}
+
+/// Records the microarchitectural simulation result: cycle and
+/// instruction totals, per-category and per-phase attribution, cache and
+/// branch statistics, and the derived share gauges.
+pub fn fill_exec_stats(reg: &mut Registry, stats: &ExecutionStats) {
+    let cycles = reg.counter("qoa_sim_cycles_total", "Total simulated cycles");
+    reg.add(cycles, stats.cycles);
+    let instructions = reg.counter("qoa_sim_instructions_total", "Total retired micro-ops");
+    reg.add(instructions, stats.instructions);
+    for (c, &n) in stats.cycles_by_category.iter() {
+        if n > 0 {
+            let id = reg.labeled_counter(
+                "qoa_sim_category_cycles_total",
+                "Cycles per Table II category",
+                "category",
+                &format!("{c:?}"),
+            );
+            reg.add(id, n);
+        }
+    }
+    for (c, &n) in stats.instructions_by_category.iter() {
+        if n > 0 {
+            let id = reg.labeled_counter(
+                "qoa_sim_category_instructions_total",
+                "Instructions per Table II category",
+                "category",
+                &format!("{c:?}"),
+            );
+            reg.add(id, n);
+        }
+    }
+    for (p, &n) in stats.cycles_by_phase.iter() {
+        if n > 0 {
+            let id = reg.labeled_counter(
+                "qoa_sim_phase_cycles_total",
+                "Cycles per execution phase",
+                "phase",
+                p.label(),
+            );
+            reg.add(id, n);
+        }
+    }
+    let caches: [(&str, &CacheStats); 4] =
+        [("l1i", &stats.l1i), ("l1d", &stats.l1d), ("l2", &stats.l2), ("llc", &stats.llc)];
+    for (level, cache) in caches {
+        let accesses =
+            reg.labeled_counter("qoa_sim_cache_accesses_total", "Cache accesses per level", "level", level);
+        reg.add(accesses, cache.accesses);
+        let misses =
+            reg.labeled_counter("qoa_sim_cache_misses_total", "Cache misses per level", "level", level);
+        reg.add(misses, cache.misses);
+        let rate = reg.labeled_gauge("qoa_sim_cache_miss_rate", "Cache miss rate per level", "level", level);
+        reg.set(rate, cache.miss_rate());
+    }
+    let dir = reg.counter("qoa_sim_branch_direction_mispredicts_total", "Conditional mispredictions");
+    reg.add(dir, stats.branch.direction_mispredicts);
+    let tgt = reg.counter("qoa_sim_branch_target_mispredicts_total", "Indirect-target mispredictions");
+    reg.add(tgt, stats.branch.target_mispredicts);
+    let dram = reg.counter("qoa_sim_dram_bytes_total", "Bytes transferred from DRAM");
+    reg.add(dram, stats.dram_bytes);
+    let cpi = reg.gauge("qoa_sim_cpi", "Cycles per instruction");
+    reg.set(cpi, stats.cpi());
+    // Shares go through the one CategoryMap code path shared with the
+    // figure pipeline, so the exposition can never drift from Fig. 4.
+    let overhead = reg.gauge("qoa_sim_overhead_share", "Share of cycles in the 14 Table II overheads");
+    reg.set(overhead, stats.overhead_share());
+    let compute = reg.gauge("qoa_sim_compute_share", "Share of cycles in Execute + C library");
+    reg.set(compute, stats.compute_share());
+}
+
+/// Records the sampling profile: totals, per-category samples, and the
+/// guest stack-depth distribution.
+pub fn fill_profile(reg: &mut Registry, profile: &Profile) {
+    let total = reg.counter("qoa_prof_samples_total", "Profiler samples taken");
+    reg.add(total, profile.total_samples);
+    let every = reg.gauge("qoa_prof_sample_every_cycles", "Sampling period in simulated cycles");
+    reg.set(every, profile.sample_every as f64);
+    for (c, &n) in profile.by_category.iter() {
+        if n > 0 {
+            let id = reg.labeled_counter(
+                "qoa_prof_category_samples_total",
+                "Profiler samples per Table II category",
+                "category",
+                &format!("{c:?}"),
+            );
+            reg.add(id, n);
+        }
+    }
+    for (p, &n) in profile.by_phase.iter() {
+        if n > 0 {
+            let id = reg.labeled_counter(
+                "qoa_prof_phase_samples_total",
+                "Profiler samples per execution phase",
+                "phase",
+                p.label(),
+            );
+            reg.add(id, n);
+        }
+    }
+    let depth = reg.histogram("qoa_prof_stack_depth", "Guest stack depth at each sample");
+    for (d, &n) in profile.depth_counts.iter().enumerate() {
+        for _ in 0..n {
+            reg.observe(depth, d as u64);
+        }
+    }
+}
+
+/// Records a histogram of simulated-cycle span durations (phase batch
+/// lengths: interpreter runs, JIT compiles, GC pauses).
+pub fn fill_span_histogram(reg: &mut Registry, spans: &[SpanEvent]) {
+    let hist = reg.histogram("qoa_span_cycles", "Simulated-cycle span durations");
+    for span in spans {
+        if span.clock == Clock::Cycles {
+            reg.observe(hist, span.dur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::parse_exposition;
+
+    #[test]
+    fn exec_stats_expose_and_round_trip() {
+        let mut stats = ExecutionStats {
+            cycles: 1000,
+            instructions: 800,
+            ..Default::default()
+        };
+        stats.cycles_by_category[qoa_model::Category::Dispatch] = 250;
+        stats.cycles_by_category[qoa_model::Category::Execute] = 750;
+        stats.cycles_by_phase[qoa_model::Phase::Interpreter] = 1000;
+        stats.l1d = CacheStats { accesses: 400, misses: 13 };
+
+        let mut reg = Registry::new();
+        fill_exec_stats(&mut reg, &stats);
+        let text = reg.expose();
+        let parsed = parse_exposition(&text).expect("valid exposition");
+        assert_eq!(parsed.get("qoa_sim_cycles_total"), Some(1000.0));
+        assert_eq!(
+            parsed.get("qoa_sim_category_cycles_total{category=\"Dispatch\"}"),
+            Some(250.0)
+        );
+        let share = parsed.get("qoa_sim_overhead_share").expect("share gauge");
+        assert!((share - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vm_and_jit_stats_land_in_the_registry() {
+        let mut vm = VmStats {
+            bytecodes: 123,
+            ..Default::default()
+        };
+        vm.opcodes[Opcode::BinaryAdd.index()] = 7;
+        vm.gc.minor_collections = 3;
+        let jit = JitStats {
+            traces_compiled: 2,
+            ..Default::default()
+        };
+
+        let mut reg = Registry::new();
+        fill_vm_stats(&mut reg, &vm);
+        fill_jit_stats(&mut reg, &jit);
+        let parsed = parse_exposition(&reg.expose()).expect("valid exposition");
+        assert_eq!(parsed.get("qoa_vm_bytecodes_total"), Some(123.0));
+        assert_eq!(parsed.get("qoa_vm_dispatch_total{opcode=\"BinaryAdd\"}"), Some(7.0));
+        assert_eq!(parsed.get("qoa_gc_collections_total{kind=\"minor\"}"), Some(3.0));
+        assert_eq!(parsed.get("qoa_jit_traces_compiled_total"), Some(2.0));
+    }
+}

@@ -1,0 +1,380 @@
+//! The sampling profiler over simulated cycles.
+//!
+//! [`ObsCore`] wraps the attribution-exact [`SimpleCore`] as an
+//! [`OpSink`]: each replayed micro-op is charged by the inner core, and
+//! every time the simulated cycle clock crosses an `every`-cycle
+//! boundary a sample is recorded against the guest call stack (rebuilt
+//! from the [`FrameEvent`]s captured in the trace), the op's Table-II
+//! [`Category`], and its [`Phase`]. Because the sampling clock *is* the
+//! attribution clock, per-category sample shares converge on the exact
+//! Fig. 4 cycle shares. Sampling is *stratified*: one sample per
+//! `every`-cycle window, at a deterministic pseudo-random offset inside
+//! the window. A strict `every`-cycle comb would alias against periodic
+//! op patterns (an interpreter loop whose dispatch ops recur every k
+//! cycles with `k | every` would be systematically over- or
+//! under-sampled); the per-window jitter breaks that alignment while a
+//! fixed-seed xorshift keeps every run bit-for-bit reproducible.
+//!
+//! The wrapper also derives simulated-cycle spans: each contiguous run of
+//! one phase (an interpreter dispatch batch, a JIT compilation, a GC
+//! pause) becomes one [`SpanEvent`] in a bounded [`RingSink`].
+
+use crate::span::{Clock, RingSink, SpanEvent, TraceSink};
+use qoa_model::{Category, CategoryMap, FrameEvent, MicroOp, OpSink, Phase, PhaseMap};
+use qoa_uarch::{ExecutionStats, SimpleCore, UarchConfig};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Maximum tracked stack depth for the depth distribution (deeper stacks
+/// saturate into the last slot).
+const MAX_DEPTH: usize = 256;
+
+/// Sampling replay core: [`SimpleCore`] plus guest-stack samples and
+/// phase spans.
+#[derive(Debug)]
+pub struct ObsCore {
+    core: SimpleCore,
+    every: u64,
+    /// Start of the current sampling window.
+    window_start: u64,
+    /// Cycle timestamp of the next sample (inside the current window).
+    target: u64,
+    /// Fixed-seed xorshift state for the per-window jitter.
+    rng: u64,
+    stack: Vec<Rc<str>>,
+    folded_key: String,
+    key_dirty: bool,
+    samples: HashMap<String, CategoryMap<u64>>,
+    by_category: CategoryMap<u64>,
+    by_phase: PhaseMap<u64>,
+    total_samples: u64,
+    depth_counts: Vec<u64>,
+    ring: RingSink,
+    cur_phase: Option<Phase>,
+    phase_start: u64,
+}
+
+impl ObsCore {
+    /// Builds a sampling core over the hierarchy described by `uarch`,
+    /// sampling every `sample_every` simulated cycles and retaining at
+    /// most `ring_capacity` phase spans.
+    pub fn new(uarch: &UarchConfig, sample_every: u64, ring_capacity: usize) -> Self {
+        let every = sample_every.max(1);
+        let mut this = ObsCore {
+            core: SimpleCore::new(uarch),
+            every,
+            window_start: 0,
+            target: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            stack: Vec::new(),
+            folded_key: String::new(),
+            key_dirty: true,
+            samples: HashMap::new(),
+            by_category: CategoryMap::default(),
+            by_phase: PhaseMap::default(),
+            total_samples: 0,
+            depth_counts: vec![0; MAX_DEPTH + 1],
+            ring: RingSink::new(ring_capacity),
+            cur_phase: None,
+            phase_start: 0,
+        };
+        this.target = this.jitter();
+        this
+    }
+
+    /// Next pseudo-random offset in `[0, every)` (xorshift64).
+    fn jitter(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng % self.every
+    }
+
+    /// Read-only view of the inner core's statistics so far.
+    pub fn stats(&self) -> &ExecutionStats {
+        self.core.stats()
+    }
+
+    /// Finishes the replay: closes the open phase span and returns the
+    /// execution statistics, the profile, and the retained cycle spans.
+    pub fn finish(mut self) -> ObsReport {
+        self.close_phase_span();
+        let folded = self.samples.into_iter().collect();
+        ObsReport {
+            stats: self.core.finish(),
+            profile: Profile {
+                sample_every: self.every,
+                total_samples: self.total_samples,
+                by_category: self.by_category,
+                by_phase: self.by_phase,
+                depth_counts: self.depth_counts,
+                folded,
+            },
+            spans: self.ring.to_vec(),
+            dropped_spans: self.ring.dropped(),
+        }
+    }
+
+    fn close_phase_span(&mut self) {
+        if let Some(phase) = self.cur_phase {
+            let now = self.core.stats().cycles;
+            if now > self.phase_start {
+                self.ring.record(SpanEvent {
+                    name: Cow::Borrowed(phase.label()),
+                    clock: Clock::Cycles,
+                    start: self.phase_start,
+                    dur: now - self.phase_start,
+                });
+            }
+        }
+    }
+
+    fn record_sample(&mut self, category: Category, phase: Phase) {
+        self.total_samples += 1;
+        self.by_category[category] += 1;
+        self.by_phase[phase] += 1;
+        self.depth_counts[self.stack.len().min(MAX_DEPTH)] += 1;
+        if self.key_dirty {
+            self.key_dirty = false;
+            self.folded_key.clear();
+            if self.stack.is_empty() {
+                self.folded_key.push_str("(no guest frame)");
+            } else {
+                for (i, frame) in self.stack.iter().enumerate() {
+                    if i > 0 {
+                        self.folded_key.push(';');
+                    }
+                    self.folded_key.push_str(frame);
+                }
+            }
+        }
+        match self.samples.get_mut(self.folded_key.as_str()) {
+            Some(m) => m[category] += 1,
+            None => {
+                let mut m = CategoryMap::default();
+                m[category] = 1;
+                self.samples.insert(self.folded_key.clone(), m);
+            }
+        }
+    }
+}
+
+impl OpSink for ObsCore {
+    fn op(&mut self, op: MicroOp) {
+        if self.cur_phase != Some(op.phase) {
+            self.close_phase_span();
+            self.cur_phase = Some(op.phase);
+            self.phase_start = self.core.stats().cycles;
+        }
+        self.core.op(op);
+        // An op that stalls (cache miss) can cross several sampling
+        // windows; it earns one sample per window, which is exactly
+        // cycle-weighted attribution.
+        let now = self.core.stats().cycles;
+        while now > self.target {
+            self.record_sample(op.category, op.phase);
+            self.window_start += self.every;
+            let offset = self.jitter();
+            self.target = self.window_start + offset;
+        }
+    }
+
+    fn phase_change(&mut self, phase: Phase) {
+        self.core.phase_change(phase);
+    }
+
+    fn frame_event(&mut self, event: &FrameEvent) {
+        match event {
+            FrameEvent::Push { name } => self.stack.push(Rc::clone(name)),
+            FrameEvent::Pop => {
+                self.stack.pop();
+            }
+        }
+        self.key_dirty = true;
+    }
+}
+
+/// Everything one sampled replay yields.
+#[derive(Debug)]
+pub struct ObsReport {
+    /// The inner [`SimpleCore`]'s exact statistics — identical to an
+    /// unobserved `simulate_simple` replay of the same trace.
+    pub stats: ExecutionStats,
+    /// The sampling profile.
+    pub profile: Profile,
+    /// Retained simulated-cycle phase spans, oldest first.
+    pub spans: Vec<SpanEvent>,
+    /// Phase spans evicted from the ring.
+    pub dropped_spans: u64,
+}
+
+/// Aggregated samples from one replay.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Sampling period in simulated cycles.
+    pub sample_every: u64,
+    /// Total samples taken.
+    pub total_samples: u64,
+    /// Samples per Table-II category.
+    pub by_category: CategoryMap<u64>,
+    /// Samples per execution phase.
+    pub by_phase: PhaseMap<u64>,
+    /// Samples per guest stack depth (saturating at the last slot).
+    pub depth_counts: Vec<u64>,
+    /// Samples per folded guest stack, split by category.
+    folded: BTreeMap<String, CategoryMap<u64>>,
+}
+
+impl Profile {
+    /// Fraction of samples per category — the sampled estimate of the
+    /// Fig. 4 cycle shares.
+    pub fn category_shares(&self) -> CategoryMap<f64> {
+        let total = self.total_samples.max(1) as f64;
+        CategoryMap::from_fn(|c| self.by_category[c] as f64 / total)
+    }
+
+    /// Number of distinct guest stacks observed.
+    pub fn distinct_stacks(&self) -> usize {
+        self.folded.len()
+    }
+
+    /// Renders the profile in folded-stack format: one
+    /// `frame;frame;[Category] count` line per (stack, category),
+    /// consumable by inferno / flamegraph.pl.
+    pub fn folded_output(&self) -> String {
+        let mut out = String::new();
+        for (stack, counts) in &self.folded {
+            for (category, &n) in counts.iter() {
+                if n > 0 {
+                    out.push_str(stack);
+                    out.push_str(";[");
+                    out.push_str(&format!("{category:?}"));
+                    out.push_str("] ");
+                    out.push_str(&n.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_model::{OpKind, Pc};
+    use qoa_uarch::TraceBuffer;
+
+    /// A trace with two functions and two categories, long enough to
+    /// collect over a thousand samples at every=16.
+    fn sample_trace() -> TraceBuffer {
+        let mut t = TraceBuffer::with_frame_capture();
+        t.frame_event(&FrameEvent::Push { name: "<module>".into() });
+        for outer in 0..500u64 {
+            t.frame_event(&FrameEvent::Push { name: "work".into() });
+            for i in 0..40u64 {
+                t.op(MicroOp {
+                    pc: Pc(0x400000 + (i % 16) * 4),
+                    kind: OpKind::Alu,
+                    category: if i % 4 == 0 { Category::Dispatch } else { Category::Execute },
+                    phase: Phase::Interpreter,
+                });
+            }
+            t.frame_event(&FrameEvent::Pop);
+            if outer % 10 == 9 {
+                for i in 0..60u64 {
+                    t.op(MicroOp {
+                        pc: Pc(0x700000 + (i % 8) * 4),
+                        kind: OpKind::Alu,
+                        category: Category::GarbageCollection,
+                        phase: Phase::GcMinor,
+                    });
+                }
+            }
+        }
+        t.frame_event(&FrameEvent::Pop);
+        t
+    }
+
+    #[test]
+    fn sampled_shares_track_exact_cycle_shares() {
+        let trace = sample_trace();
+        let cfg = UarchConfig::skylake();
+        let exact = trace.simulate_simple(&cfg);
+
+        let mut core = ObsCore::new(&cfg, 16, 1024);
+        trace.replay(&mut core);
+        let report = core.finish();
+
+        // The wrapped core's stats are identical to the unobserved run.
+        assert_eq!(report.stats.cycles, exact.cycles);
+        assert_eq!(report.stats.instructions, exact.instructions);
+
+        assert!(report.profile.total_samples > 1000);
+        let sampled = report.profile.category_shares();
+        let exact_shares = exact.category_shares();
+        for (c, &s) in sampled.iter() {
+            assert!(
+                (s - exact_shares[c]).abs() < 0.02,
+                "{c:?}: sampled {s} vs exact {}",
+                exact_shares[c]
+            );
+        }
+    }
+
+    #[test]
+    fn folded_output_contains_guest_stacks() {
+        let trace = sample_trace();
+        let mut core = ObsCore::new(&UarchConfig::skylake(), 16, 1024);
+        trace.replay(&mut core);
+        let report = core.finish();
+        let folded = report.profile.folded_output();
+        assert!(folded.contains("<module>;work;[Execute] "), "folded:\n{folded}");
+        assert!(folded.contains("<module>;[GarbageCollection] "), "folded:\n{folded}");
+        // Lines are "stack count" with a numeric count.
+        for line in folded.lines() {
+            let (_, count) = line.rsplit_once(' ').expect("folded line has count");
+            count.parse::<u64>().expect("count is numeric");
+        }
+    }
+
+    #[test]
+    fn phase_batches_become_cycle_spans() {
+        let trace = sample_trace();
+        let mut core = ObsCore::new(&UarchConfig::skylake(), 64, 1024);
+        trace.replay(&mut core);
+        let report = core.finish();
+        assert!(!report.spans.is_empty());
+        // Every 10th outer iteration ends in a GC pause, so the trace is
+        // 50 interpreter batches alternating with 50 GC pauses.
+        let gc = report
+            .spans
+            .iter()
+            .filter(|s| s.name == Phase::GcMinor.label())
+            .count();
+        let interp = report
+            .spans
+            .iter()
+            .filter(|s| s.name == Phase::Interpreter.label())
+            .count();
+        assert_eq!(gc, 50);
+        assert_eq!(interp, 50);
+        // Spans tile the timeline: total span cycles == total cycles.
+        let total: u64 = report.spans.iter().map(|s| s.dur).sum();
+        assert_eq!(total, report.stats.cycles);
+        assert_eq!(report.dropped_spans, 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let trace = sample_trace();
+        let cfg = UarchConfig::skylake();
+        let run = |every| {
+            let mut core = ObsCore::new(&cfg, every, 256);
+            trace.replay(&mut core);
+            core.finish().profile.folded_output()
+        };
+        assert_eq!(run(32), run(32));
+    }
+}

@@ -1,0 +1,139 @@
+//! Span events and sinks.
+//!
+//! A [`SpanEvent`] is one closed interval on one of the two clocks the
+//! pipeline runs on: host wall-clock time (pipeline stages — parse,
+//! compile, verify, execute, simulate) or simulated cycles (phase batches
+//! inside the replayed trace — interpreter runs, JIT compilation, GC
+//! pauses). Producers push closed spans into a [`TraceSink`]; the default
+//! implementation is a fixed-capacity [`RingSink`] that never allocates
+//! after construction, so recording a span on the hot path costs a couple
+//! of moves and, at worst, evicts the oldest span.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+
+/// Which clock a span's `start`/`dur` are measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Host wall-clock nanoseconds since the observability epoch.
+    Wall,
+    /// Simulated cycles since the start of trace replay.
+    Cycles,
+}
+
+impl Clock {
+    /// Short label used as the trace-event `cat` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Clock::Wall => "wall",
+            Clock::Cycles => "cycles",
+        }
+    }
+}
+
+/// One closed span: a named interval on one clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (pipeline stage or execution phase). Hot-path producers
+    /// pass `&'static str`s; only the exporters ever build owned strings.
+    pub name: Cow<'static, str>,
+    /// The clock domain of `start` and `dur`.
+    pub clock: Clock,
+    /// Start timestamp (ns for [`Clock::Wall`], cycles for
+    /// [`Clock::Cycles`]).
+    pub start: u64,
+    /// Duration in the same unit as `start`.
+    pub dur: u64,
+}
+
+/// Consumer of closed spans.
+pub trait TraceSink {
+    /// Record one closed span.
+    fn record(&mut self, span: SpanEvent);
+}
+
+/// A fixed-capacity ring buffer of spans.
+///
+/// Capacity is allocated once up front; recording into a full ring evicts
+/// the oldest span and counts it in [`RingSink::dropped`]. This bounds
+/// memory for arbitrarily long runs while keeping the most recent history
+/// — the part a profile reader actually looks at.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<SpanEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` spans (floor of 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        RingSink { buf: VecDeque::with_capacity(cap), cap, dropped: 0 }
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no spans are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.buf.iter()
+    }
+
+    /// Copies the retained spans out, oldest first.
+    pub fn to_vec(&self) -> Vec<SpanEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, span: SpanEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, start: u64) -> SpanEvent {
+        SpanEvent { name: Cow::Borrowed(name), clock: Clock::Cycles, start, dur: 10 }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_spans() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(span("s", i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let starts: Vec<u64> = ring.spans().map(|s| s.start).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_capacity_has_a_floor_of_one() {
+        let mut ring = RingSink::new(0);
+        ring.record(span("a", 0));
+        ring.record(span("b", 1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.to_vec()[0].start, 1);
+    }
+}

@@ -49,6 +49,18 @@ impl ExecutionStats {
         CategoryMap::from_fn(|c| self.cycles_by_category[c] as f64 / total)
     }
 
+    /// Share of cycles across the fourteen Table II overheads.
+    /// Delegates to [`CategoryMap::overhead_share`] — the single share
+    /// code path shared with `qoa-core::attribution::Breakdown`.
+    pub fn overhead_share(&self) -> f64 {
+        self.category_shares().overhead_share()
+    }
+
+    /// The residual `Execute` + C-library share.
+    pub fn compute_share(&self) -> f64 {
+        self.category_shares().compute_share()
+    }
+
     /// Fraction of cycles spent in garbage collection.
     pub fn gc_share(&self) -> f64 {
         if self.cycles == 0 {

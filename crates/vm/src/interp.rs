@@ -19,7 +19,7 @@ use crate::dict::Key;
 use crate::object::{ClassObj, FuncObj, IterState, ObjKind, ObjRef};
 use crate::vm::{code_key, Block, CostMode, Frame, StepEvent, Vm, VmError};
 use qoa_frontend::{Cmp, CodeObject, Instr, Opcode};
-use qoa_model::{mem, Category, OpKind, OpSink, Pc};
+use qoa_model::{mem, Category, FrameEvent, OpKind, OpSink, Pc};
 use std::rc::Rc;
 
 /// Byte span reserved per opcode handler in the interpreter code region.
@@ -40,6 +40,8 @@ impl<S: OpSink> Vm<S> {
         self.register_code(code);
         let frame = self.new_frame(Rc::clone(code), Vec::new(), None, None);
         self.frames.push(frame);
+        let name = Rc::clone(&self.code_meta[&code_key(code)].name);
+        self.sink.frame_event(&FrameEvent::Push { name });
     }
 
     /// Loads a statically verified module and elides the per-dispatch
@@ -262,6 +264,7 @@ impl<S: OpSink> Vm<S> {
             return Err(self.err(format!("pc {pc} out of bounds (malformed bytecode)")));
         };
         let instr: Instr = instr;
+        self.stats.opcodes[instr.op.index()] += 1;
         self.frame_mut()?.pc = pc + 1;
 
         // Dispatch: read co_code, decode, computed-goto to the handler.

@@ -5,9 +5,9 @@
 
 use crate::dict::Key;
 use crate::object::{FuncObj, IterState, ObjKind, ObjRef};
-use crate::vm::{CostMode, StepEvent, Vm, VmError};
+use crate::vm::{code_key, CostMode, StepEvent, Vm, VmError};
 use qoa_frontend::{Cmp, CodeKind, Opcode};
-use qoa_model::{mem, Category, OpSink};
+use qoa_model::{mem, Category, FrameEvent, OpSink};
 use std::rc::Rc;
 
 /// Header bytes before a list/tuple's inline element storage.
@@ -1596,9 +1596,14 @@ impl<S: OpSink> Vm<S> {
         for a in &args {
             self.scratch.push(*a);
         }
+        let frame_name = match self.code_meta.get(&code_key(&code)) {
+            Some(meta) => Rc::clone(&meta.name),
+            None => Rc::from(code.name.as_str()),
+        };
         let frame = self.new_frame(code, Vec::new(), Some(callee), class_ns);
         self.scratch.truncate(self.scratch.len() - nargs);
         self.frames.push(frame);
+        self.sink.frame_event(&FrameEvent::Push { name: frame_name });
         let frame_addr = self.frame_addr();
         {
             let fr = self.frame_mut()?;
@@ -1633,6 +1638,7 @@ impl<S: OpSink> Vm<S> {
         // Function cleanup + frame release: unwinding the call machinery.
         self.ealu2(4, Category::FunctionSetup, 10);
         let frame = self.frames.pop().ok_or_else(|| self.err_here("internal error: no frame to return from"))?;
+        self.sink.frame_event(&FrameEvent::Pop);
         for v in frame.locals.into_iter().flatten() {
             self.decref(v);
         }

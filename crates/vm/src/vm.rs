@@ -15,7 +15,7 @@
 use crate::dict::{DictObj, Key};
 use crate::native::NativeRegistry;
 use crate::object::{Obj, ObjKind, ObjRef};
-use qoa_frontend::{CodeObject, Const};
+use qoa_frontend::{CodeObject, Const, Opcode};
 use qoa_heap::{GcConfig, GcStats, GenHeap, ObjId, RcHeap, RcStats, Tracer};
 use qoa_model::{mem, Category, Emitter, MicroOp, OpKind, OpSink, Pc, Phase};
 use std::collections::HashMap;
@@ -216,7 +216,7 @@ pub struct Frame {
 }
 
 /// Execution statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct VmStats {
     /// Bytecodes executed.
     pub bytecodes: u64,
@@ -228,10 +228,28 @@ pub struct VmStats {
     pub native_calls: u64,
     /// Dict probe slots touched (name resolution pressure).
     pub dict_probes: u64,
+    /// Dispatch count per opcode, indexed by [`Opcode::index`]
+    /// (always `Opcode::COUNT` entries).
+    pub opcodes: Vec<u64>,
     /// Reference-counting heap statistics (Rc mode).
     pub rc: RcStats,
     /// Generational-GC statistics (Gen mode).
     pub gc: GcStats,
+}
+
+impl Default for VmStats {
+    fn default() -> Self {
+        VmStats {
+            bytecodes: 0,
+            allocations: 0,
+            calls: 0,
+            native_calls: 0,
+            dict_probes: 0,
+            opcodes: vec![0; Opcode::COUNT],
+            rc: RcStats::default(),
+            gc: GcStats::default(),
+        }
+    }
 }
 
 pub(crate) enum HeapImpl {
@@ -302,6 +320,8 @@ pub(crate) struct CodeMeta {
     pub code_addr: u64,
     /// Simulated address of `co_consts` pointer table.
     pub consts_addr: u64,
+    /// Interned function name for frame events (cheap to clone per call).
+    pub name: Rc<str>,
 }
 
 /// Identity key of a code object (Rc pointer address).
@@ -919,7 +939,8 @@ impl<S: OpSink> Vm<S> {
                 }
             })
             .collect();
-        self.code_meta.insert(key, CodeMeta { consts, code_addr, consts_addr });
+        let name: Rc<str> = Rc::from(code.name.as_str());
+        self.code_meta.insert(key, CodeMeta { consts, code_addr, consts_addr, name });
     }
 
     /// Builds a [`Key`] from a guest object, if it is hashable.

@@ -5,11 +5,13 @@
 //! and `qoa_core` for the experiment API that reproduces each table and
 //! figure of *Quantitative Overhead Analysis for Python* (IISWC 2018).
 
+pub use qoa_analysis as analysis;
 pub use qoa_core as core;
 pub use qoa_frontend as frontend;
 pub use qoa_heap as heap;
 pub use qoa_jit as jit;
 pub use qoa_model as model;
+pub use qoa_obs as obs;
 pub use qoa_uarch as uarch;
 pub use qoa_vm as vm;
 pub use qoa_workloads as workloads;

@@ -1,0 +1,127 @@
+//! Observability overhead guard.
+//!
+//! The contract the `qoa-obs` layer must keep: turning observability on
+//! may cost a little wall-clock time, but it must not perturb the
+//! *simulation* at all — same micro-ops, same cycles, same per-category
+//! attribution — and the sampled profile must agree with the exact
+//! attribution the figures are built from.
+
+use qoa::core::runtime::{capture, capture_observed, RuntimeConfig};
+use qoa::model::RuntimeKind;
+use qoa::obs::profiler::ObsCore;
+use qoa::obs::{ObsConfig, Observability};
+use qoa::uarch::UarchConfig;
+use qoa::workloads::{by_name, Scale};
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "go";
+
+fn rt_off() -> RuntimeConfig {
+    RuntimeConfig::new(RuntimeKind::CPython)
+}
+
+fn rt_on() -> RuntimeConfig {
+    rt_off().with_observability(ObsConfig::on().with_sample_every(512))
+}
+
+#[test]
+fn observability_does_not_change_the_simulation() {
+    let source = by_name(WORKLOAD).expect("workload").source(Scale::Tiny);
+    let uarch = UarchConfig::skylake();
+
+    let off = capture(&source, &rt_off()).expect("runs");
+    let on = capture(&source, &rt_on()).expect("runs");
+
+    // Frame events cost zero micro-ops: the traces are op-identical.
+    assert_eq!(off.trace.len(), on.trace.len(), "micro-op counts differ");
+    assert_eq!(off.result, on.result);
+    assert!(!on.trace.frame_events().is_empty(), "frame events were captured");
+    assert!(off.trace.frame_events().is_empty(), "off-path must not capture frames");
+
+    // Replaying the observed trace through the sampling core yields
+    // bit-identical statistics to the unobserved replay.
+    let exact = off.trace.simulate_simple(&uarch);
+    let mut core = ObsCore::new(&uarch, 512, 4096);
+    on.trace.replay(&mut core);
+    let report = core.finish();
+    assert_eq!(report.stats.cycles, exact.cycles, "simulated cycles changed");
+    assert_eq!(report.stats.instructions, exact.instructions, "instructions changed");
+    for (c, &cycles) in exact.cycles_by_category.iter() {
+        assert_eq!(
+            report.stats.cycles_by_category[c], cycles,
+            "category {c:?} attribution changed"
+        );
+    }
+}
+
+#[test]
+fn sampled_shares_agree_with_exact_attribution_within_2pp() {
+    let source = by_name(WORKLOAD).expect("workload").source(Scale::Tiny);
+    let uarch = UarchConfig::skylake();
+    let run = capture(&source, &rt_on()).expect("runs");
+    let mut core = ObsCore::new(&uarch, 256, 4096);
+    run.trace.replay(&mut core);
+    let report = core.finish();
+
+    assert!(report.profile.total_samples > 500, "too few samples to compare");
+    let sampled = report.profile.category_shares();
+    let exact = report.stats.category_shares();
+    for (c, &s) in sampled.iter() {
+        let d = (s - exact[c]).abs();
+        assert!(
+            d <= 0.02,
+            "{c:?}: sampled {:.2}% vs exact {:.2}% (diff {:.2}pp)",
+            s * 100.0,
+            exact[c] * 100.0,
+            d * 100.0
+        );
+    }
+}
+
+#[test]
+fn wall_clock_overhead_stays_under_five_percent() {
+    // Mid-scale workload, best-of-N timing of the full capture+replay
+    // pipeline with observability off vs on. Best-of filters scheduler
+    // noise; the absolute slack keeps the test honest on loaded CI boxes
+    // where a 5% relative bound on a fast run is within timer jitter.
+    let source = by_name(WORKLOAD).expect("workload").source(Scale::Small);
+    let uarch = UarchConfig::skylake();
+
+    let time_off = || {
+        let t = Instant::now();
+        let run = capture(&source, &rt_off()).expect("runs");
+        let stats = run.trace.simulate_simple(&uarch);
+        (t.elapsed(), stats.cycles)
+    };
+    let time_on = || {
+        let t = Instant::now();
+        let mut obs = Observability::new(ObsConfig::on());
+        let run = capture_observed(&source, &rt_on(), &mut obs).expect("runs");
+        let mut core = ObsCore::new(&uarch, 4096, 4096);
+        run.trace.replay(&mut core);
+        let report = core.finish();
+        (t.elapsed(), report.stats.cycles)
+    };
+
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut cycles_off = 0;
+    let mut cycles_on = 0;
+    for _ in 0..3 {
+        let (d, c) = time_off();
+        best_off = best_off.min(d);
+        cycles_off = c;
+        let (d, c) = time_on();
+        best_on = best_on.min(d);
+        cycles_on = c;
+    }
+
+    // The cycle totals agree regardless of the toggle...
+    assert_eq!(cycles_off, cycles_on, "observability changed simulated cycles");
+    // ...and the wall cost of observing stays under 5% (+ jitter slack).
+    let budget = best_off.mul_f64(1.05) + Duration::from_millis(50);
+    assert!(
+        best_on <= budget,
+        "observability overhead too high: off {best_off:?}, on {best_on:?} (budget {budget:?})"
+    );
+}
