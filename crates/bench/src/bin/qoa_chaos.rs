@@ -1,0 +1,457 @@
+//! `qoa-chaos`: the deterministic fault-injection sweep driver.
+//!
+//! For every (workload, run-time, seed) cell it measures a fault-free
+//! baseline, derives a seeded [`FaultPlan`] whose fault ticks land inside
+//! the baseline's bytecode horizon, re-runs the workload under
+//! [`capture_chaos`] — checkpoint/restore recovery armed — and asserts
+//! the chaos-engine invariants:
+//!
+//! 1. **No panic escapes**: every cell runs under [`run_isolated`]; a
+//!    caught panic is a violation, not a crash.
+//! 2. **Typed errors only**: a cell either completes or fails with the
+//!    same typed [`QoaError`] kind the baseline produced.
+//! 3. **Differential oracle**: any run that completes after injected
+//!    faults were recovered must be *byte-identical* to the baseline —
+//!    guest result, output, micro-op count, and every counter of the
+//!    simulated [`ExecutionStats`](qoa_uarch::ExecutionStats).
+//! 4. **Journal stays parseable**: every cell is recorded (v3 `"chaos"`
+//!    counters embedded) and the journal is re-opened at the end.
+//!
+//! JIT run-times additionally get one *degrade-mode* pass per seed:
+//! JIT faults deoptimize to the interpreter in place and the run must
+//! still complete with the baseline's guest result (the trace is
+//! legitimately different, so the oracle is not applied).
+//!
+//! Aggregated chaos counters are exported through the Prometheus text
+//! exposition (`--metrics FILE`), and the exposition is self-checked for
+//! the counter families CI gates on. Any violation exits nonzero.
+
+use qoa_chaos::{FaultKind, FaultPlan};
+use qoa_core::journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric};
+use qoa_core::report::Table;
+use qoa_core::runtime::{capture, CapturedRun, RuntimeConfig};
+use qoa_core::{capture_chaos, oracle_check, run_isolated, ChaosOptions, ChaosOutcome};
+use qoa_model::RuntimeKind;
+use qoa_obs::metrics::Registry;
+use qoa_obs::parse_exposition;
+use qoa_uarch::UarchConfig;
+use qoa_workloads::{Scale, Workload};
+use std::path::PathBuf;
+
+/// The tier-1 smoke subset: small, allocation- and call-diverse, and fast
+/// enough for CI at `tiny` scale.
+const SMOKE: [&str; 5] = ["go", "float", "richards", "tuple_gc", "unpack_seq"];
+
+/// Fault points per seeded plan.
+const POINTS_PER_PLAN: usize = 3;
+
+#[derive(Debug)]
+struct ChaosCli {
+    seeds: u64,
+    all_workloads: bool,
+    only_workload: Option<String>,
+    runtimes: Vec<RuntimeKind>,
+    scale: Scale,
+    checkpoint_every: Option<u64>,
+    metrics: Option<PathBuf>,
+    journal_dir: PathBuf,
+    fresh: bool,
+}
+
+impl Default for ChaosCli {
+    fn default() -> Self {
+        ChaosCli {
+            seeds: 4,
+            all_workloads: false,
+            only_workload: None,
+            runtimes: vec![RuntimeKind::CPython, RuntimeKind::PyPyJit],
+            scale: Scale::Tiny,
+            checkpoint_every: None,
+            metrics: None,
+            journal_dir: PathBuf::from("results"),
+            fresh: false,
+        }
+    }
+}
+
+fn parse_cli() -> ChaosCli {
+    let mut out = ChaosCli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = args.next().unwrap_or_default();
+                out.seeds = v.parse().expect("--seeds takes a count");
+            }
+            "--workloads" => {
+                let v = args.next().unwrap_or_default();
+                out.all_workloads = match v.as_str() {
+                    "smoke" => false,
+                    "all" => true,
+                    other => panic!("unknown workload set '{other}' (smoke|all)"),
+                };
+            }
+            "--workload" => out.only_workload = Some(args.next().unwrap_or_default()),
+            "--runtime" => {
+                let v = args.next().unwrap_or_default();
+                out.runtimes = match v.as_str() {
+                    "cpython" => vec![RuntimeKind::CPython],
+                    "pypy-nojit" => vec![RuntimeKind::PyPyNoJit],
+                    "pypy-jit" => vec![RuntimeKind::PyPyJit],
+                    "v8" => vec![RuntimeKind::V8],
+                    "all" => RuntimeKind::ALL.to_vec(),
+                    other => {
+                        panic!("unknown runtime '{other}' (cpython|pypy-nojit|pypy-jit|v8|all)")
+                    }
+                };
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                out.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale '{other}' (tiny|small|full)"),
+                };
+            }
+            "--checkpoint-every" => {
+                let v = args.next().unwrap_or_default();
+                out.checkpoint_every =
+                    Some(v.parse().expect("--checkpoint-every takes a bytecode count"));
+            }
+            "--metrics" => out.metrics = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--journal-dir" => out.journal_dir = PathBuf::from(args.next().unwrap_or_default()),
+            "--fresh" => out.fresh = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --seeds N  --workloads smoke|all  --workload NAME  \
+                     --runtime cpython|pypy-nojit|pypy-jit|v8|all  --scale tiny|small|full  \
+                     --checkpoint-every N  --metrics FILE  --journal-dir DIR  --fresh"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+    out
+}
+
+fn runtime_label(kind: RuntimeKind) -> &'static str {
+    match kind {
+        RuntimeKind::CPython => "cpython",
+        RuntimeKind::PyPyNoJit => "pypy-nojit",
+        RuntimeKind::PyPyJit => "pypy-jit",
+        RuntimeKind::V8 => "v8",
+    }
+}
+
+fn fault_kinds(kind: RuntimeKind) -> &'static [FaultKind] {
+    if matches!(kind, RuntimeKind::PyPyJit | RuntimeKind::V8) {
+        &FaultKind::ALL
+    } else {
+        &FaultKind::INTERP
+    }
+}
+
+/// One sweep cell's journal outcome plus its chaos counters.
+fn record(
+    journal: &mut Option<Journal>,
+    key: CellKey,
+    outcome: CellOutcome,
+    chaos: &ChaosOutcome,
+) {
+    if let Some(j) = journal {
+        if let Err(e) = j.record_with_chaos(key, outcome, Some(chaos.to_metrics())) {
+            eprintln!("journal write failed (continuing): {e}");
+        }
+    }
+}
+
+fn ok_metrics(run: &CapturedRun, chaos: &ChaosOutcome) -> CellMetrics {
+    let mut m = CellMetrics::new();
+    m.insert("bytecodes".into(), Metric::Int(run.vm.bytecodes as i64));
+    m.insert("trace_len".into(), Metric::Int(run.trace.len() as i64));
+    m.insert("faults_injected".into(), Metric::Int(chaos.faults_injected_total() as i64));
+    m.insert("recoveries".into(), Metric::Int(chaos.recoveries_total() as i64));
+    m
+}
+
+fn main() {
+    let cli = parse_cli();
+    let uarch = UarchConfig::skylake();
+    let suite = qoa_workloads::python_suite();
+    let workloads: Vec<&Workload> = if let Some(name) = &cli.only_workload {
+        suite.iter().filter(|w| w.name == name).collect()
+    } else if cli.all_workloads {
+        suite.iter().collect()
+    } else {
+        suite.iter().filter(|w| SMOKE.contains(&w.name)).collect()
+    };
+
+    let config = format!("scale={:?} seeds={}", cli.scale, cli.seeds);
+    let mut journal = match Journal::open(&cli.journal_dir, "qoa-chaos", config, cli.fresh) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("journal open failed (continuing without): {e}");
+            None
+        }
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut totals = ChaosOutcome::default();
+    let mut cells = 0u64;
+    let mut recovered_cells = 0u64;
+    let mut degrade_cells = 0u64;
+
+    eprintln!(
+        "chaos sweep: {} workloads x {} runtimes x {} seeds at {:?} scale",
+        workloads.len(),
+        cli.runtimes.len(),
+        cli.seeds,
+        cli.scale
+    );
+
+    for w in &workloads {
+        let source = w.source(cli.scale);
+        for &kind in &cli.runtimes {
+            let rt = RuntimeConfig::new(kind);
+            let baseline = run_isolated(|| capture(&source, &rt));
+            let (horizon, baseline_run) = match &baseline {
+                Ok(run) => (run.vm.bytecodes.max(1), Some(run)),
+                Err(f) => {
+                    eprintln!(
+                        "  {} / {}: baseline failed [{}]; chaos runs must agree",
+                        w.name,
+                        runtime_label(kind),
+                        f.error.kind()
+                    );
+                    (1_000_000, None)
+                }
+            };
+            let cadence = cli.checkpoint_every.unwrap_or_else(|| (horizon / 8).max(1024));
+            eprintln!("  {} / {} ({} bytecodes)", w.name, runtime_label(kind), horizon);
+
+            for seed in 0..cli.seeds {
+                cells += 1;
+                let cell = format!("{} / {} / seed {}", w.name, runtime_label(kind), seed);
+                let plan =
+                    FaultPlan::seeded(seed, horizon, POINTS_PER_PLAN, fault_kinds(kind));
+                let opts = ChaosOptions::new(plan).with_checkpoint_every(cadence);
+                let key = CellKey::new(
+                    w.name,
+                    runtime_label(kind),
+                    "seed",
+                    seed.to_string(),
+                );
+                match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
+                    Ok((run, chaos)) => {
+                        match baseline_run {
+                            Some(base) => {
+                                if let Some(div) = oracle_check(base, &run, &uarch) {
+                                    violations.push(format!("{cell}: oracle violated: {div}"));
+                                }
+                            }
+                            None => violations.push(format!(
+                                "{cell}: completed but the fault-free baseline failed"
+                            )),
+                        }
+                        if chaos.recoveries_total() > 0 {
+                            recovered_cells += 1;
+                        }
+                        record(
+                            &mut journal,
+                            key,
+                            CellOutcome::Ok(ok_metrics(&run, &chaos)),
+                            &chaos,
+                        );
+                        merge(&mut totals, &chaos);
+                    }
+                    Err(failure) => {
+                        let kind_tag = failure.error.kind();
+                        if kind_tag == "panic" {
+                            violations.push(format!("{cell}: panic escaped: {}", failure.error));
+                        } else if kind_tag == "injected" {
+                            violations.push(format!(
+                                "{cell}: injected fault surfaced unrecovered: {}",
+                                failure.error
+                            ));
+                        } else if let Ok(_base) = &baseline {
+                            violations.push(format!(
+                                "{cell}: failed [{kind_tag}] but the baseline completed: {}",
+                                failure.error
+                            ));
+                        } else if let Err(base) = &baseline {
+                            if base.error.kind() != kind_tag {
+                                violations.push(format!(
+                                    "{cell}: failed [{kind_tag}] but the baseline failed [{}]",
+                                    base.error.kind()
+                                ));
+                            }
+                        }
+                        let chaos = ChaosOutcome::default();
+                        record(
+                            &mut journal,
+                            key,
+                            CellOutcome::Failed {
+                                kind: kind_tag.to_string(),
+                                message: failure.error.to_string(),
+                                location: failure.error.location().map(str::to_string),
+                            },
+                            &chaos,
+                        );
+                    }
+                }
+
+                // Degrade-mode pass: JIT faults deopt in place; the run
+                // must still complete with the baseline's guest result.
+                if matches!(kind, RuntimeKind::PyPyJit | RuntimeKind::V8) {
+                    degrade_cells += 1;
+                    let plan = FaultPlan::seeded(
+                        seed,
+                        horizon,
+                        POINTS_PER_PLAN,
+                        &[FaultKind::JitCompileFault, FaultKind::TraceAbort],
+                    );
+                    let opts = ChaosOptions::new(plan)
+                        .with_checkpoint_every(cadence)
+                        .with_degrade_jit();
+                    let key = CellKey::new(
+                        w.name,
+                        runtime_label(kind),
+                        "degrade-seed",
+                        seed.to_string(),
+                    );
+                    match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
+                        Ok((run, chaos)) => {
+                            if let Some(base) = baseline_run {
+                                if base.result != run.result {
+                                    violations.push(format!(
+                                        "{cell} (degrade): guest result diverged: {:?} vs {:?}",
+                                        base.result, run.result
+                                    ));
+                                }
+                            }
+                            record(
+                                &mut journal,
+                                key,
+                                CellOutcome::Ok(ok_metrics(&run, &chaos)),
+                                &chaos,
+                            );
+                            merge(&mut totals, &chaos);
+                        }
+                        Err(failure) => {
+                            let kind_tag = failure.error.kind();
+                            if kind_tag == "panic" {
+                                violations
+                                    .push(format!("{cell} (degrade): panic escaped: {}", failure.error));
+                            } else if baseline.is_ok() {
+                                violations.push(format!(
+                                    "{cell} (degrade): failed [{kind_tag}]: {}",
+                                    failure.error
+                                ));
+                            }
+                            record(
+                                &mut journal,
+                                key,
+                                CellOutcome::Failed {
+                                    kind: kind_tag.to_string(),
+                                    message: failure.error.to_string(),
+                                    location: failure.error.location().map(str::to_string),
+                                },
+                                &ChaosOutcome::default(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Invariant 4: the journal must still parse after the sweep.
+    if let Some(j) = journal.take() {
+        let path = j.path().to_path_buf();
+        let config = format!("scale={:?} seeds={}", cli.scale, cli.seeds);
+        drop(j);
+        match Journal::open(&cli.journal_dir, "qoa-chaos", config, false) {
+            Ok(j) => println!("journal: {} ({} lines parse)", path.display(), j.len()),
+            Err(e) => violations.push(format!("journal no longer parses: {e}")),
+        }
+    }
+
+    // Export the aggregated counters and self-check the exposition.
+    let mut reg = Registry::new();
+    totals.export(&mut reg);
+    let exposition = reg.expose();
+    for name in [
+        "qoa_chaos_faults_injected_total",
+        "qoa_chaos_recoveries_total",
+        "qoa_chaos_checkpoints_written_total",
+    ] {
+        if !exposition.contains(name) {
+            violations.push(format!("metrics exposition is missing {name}"));
+        }
+    }
+    if let Err(e) = parse_exposition(&exposition) {
+        violations.push(format!("metrics exposition does not round-trip: {e}"));
+    }
+    if let Some(path) = &cli.metrics {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, &exposition)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("metrics: {} ({} bytes)", path.display(), exposition.len());
+    }
+
+    // Recovery-rate table.
+    let mut table = Table::new(
+        "Chaos sweep: injected faults and recovery rate by kind",
+        &["fault kind", "injected", "recovered", "rate"],
+    );
+    for (kind, injected) in &totals.injected {
+        let recovered = totals.recoveries.get(kind).copied().unwrap_or(0);
+        let rate = if *injected == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * recovered as f64 / *injected as f64)
+        };
+        table.row(vec![
+            (*kind).to_string(),
+            injected.to_string(),
+            recovered.to_string(),
+            rate,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "cells: {cells} chaos + {degrade_cells} degrade; {recovered_cells} recovered-and-verified; \
+         checkpoints {}, restores {}, verifier caught {} / missed {}",
+        totals.checkpoints_written, totals.restores, totals.verifier_caught, totals.verifier_missed
+    );
+
+    if violations.is_empty() {
+        println!("chaos: OK (no panics, typed errors only, differential oracle holds)");
+    } else {
+        for v in &violations {
+            eprintln!("chaos VIOLATION: {v}");
+        }
+        eprintln!("chaos: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}
+
+fn merge(totals: &mut ChaosOutcome, cell: &ChaosOutcome) {
+    for (k, n) in &cell.injected {
+        *totals.injected.entry(k).or_insert(0) += n;
+    }
+    for (k, n) in &cell.recoveries {
+        *totals.recoveries.entry(k).or_insert(0) += n;
+    }
+    totals.checkpoints_written += cell.checkpoints_written;
+    totals.restores += cell.restores;
+    totals.verifier_caught += cell.verifier_caught;
+    totals.verifier_missed += cell.verifier_missed;
+}

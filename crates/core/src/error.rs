@@ -44,6 +44,17 @@ pub enum QoaError {
     Panic {
         /// The panic payload, when it was a string.
         message: String,
+        /// `file:line:column` of the panic site, when the hook saw it.
+        /// Journaled so a chaos failure is diagnosable without rerunning.
+        location: Option<String>,
+    },
+    /// A fault injected by an armed chaos plan surfaced without being
+    /// recovered (no checkpoint to restore, or recovery disabled).
+    Injected {
+        /// [`qoa_chaos::FaultKind::name`] of the injected fault.
+        what: &'static str,
+        /// Bytecodes executed when it fired.
+        steps: u64,
     },
     /// Reading or writing the run journal failed.
     Journal {
@@ -66,7 +77,16 @@ impl QoaError {
             QoaError::DeadlineExceeded { .. } => "deadline",
             QoaError::OutOfMemory { .. } => "oom",
             QoaError::Panic { .. } => "panic",
+            QoaError::Injected { .. } => "injected",
             QoaError::Journal { .. } => "journal",
+        }
+    }
+
+    /// The failure's source location, when one was captured (panics only).
+    pub fn location(&self) -> Option<&str> {
+        match self {
+            QoaError::Panic { location, .. } => location.as_deref(),
+            _ => None,
         }
     }
 
@@ -97,7 +117,13 @@ impl std::fmt::Display for QoaError {
             QoaError::OutOfMemory { live_bytes, limit_bytes } => {
                 write!(f, "simulated OOM: {live_bytes} live bytes > {limit_bytes} byte cap")
             }
-            QoaError::Panic { message } => write!(f, "panicked: {message}"),
+            QoaError::Panic { message, location } => match location {
+                Some(at) => write!(f, "panicked at {at}: {message}"),
+                None => write!(f, "panicked: {message}"),
+            },
+            QoaError::Injected { what, steps } => {
+                write!(f, "injected fault `{what}` after {steps} bytecodes")
+            }
             QoaError::Journal { context, source } => {
                 write!(f, "journal I/O failed while {context}: {source}")
             }
@@ -126,6 +152,7 @@ impl From<VmError> for QoaError {
             VmError::OutOfMemory { live_bytes, limit_bytes } => {
                 QoaError::OutOfMemory { live_bytes, limit_bytes }
             }
+            VmError::Injected { what, steps } => QoaError::Injected { what, steps },
         }
     }
 }
@@ -163,7 +190,8 @@ mod tests {
     fn guest_fault_classification() {
         assert!(QoaError::Guest { message: "x".into(), line: 1 }.is_guest_fault());
         assert!(!QoaError::FuelExhausted { steps: 1 }.is_guest_fault());
-        assert!(!QoaError::Panic { message: "x".into() }.is_guest_fault());
+        assert!(!QoaError::Panic { message: "x".into(), location: None }.is_guest_fault());
+        assert!(!QoaError::Injected { what: "fuel", steps: 1 }.is_guest_fault());
     }
 
     #[test]

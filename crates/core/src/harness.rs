@@ -121,7 +121,7 @@ impl Harness {
                 self.cells_skipped += 1;
                 return Some(metrics.clone());
             }
-            Some(CellOutcome::Failed { kind, message }) => {
+            Some(CellOutcome::Failed { kind, message, .. }) => {
                 self.cells_skipped += 1;
                 self.failures.push(FailureNote {
                     key,
@@ -149,6 +149,7 @@ impl Harness {
                     CellOutcome::Failed {
                         kind: note.kind.clone(),
                         message: note.message.clone(),
+                        location: failure.error.location().map(str::to_string),
                     },
                 );
                 self.failures.push(note);
@@ -238,9 +239,12 @@ pub struct NurseryCell {
 }
 
 impl NurseryCell {
-    /// Cycles outside garbage collection.
+    /// Cycles outside garbage collection. Saturating: a journaled cell
+    /// written by a run that faulted between metric updates can carry
+    /// `gc_cycles > cycles`, and a report row must print as n/a rather
+    /// than take down the whole figure on underflow.
     pub fn non_gc_cycles(&self) -> u64 {
-        self.cycles - self.gc_cycles
+        self.cycles.saturating_sub(self.gc_cycles)
     }
 
     /// GC share of total time.

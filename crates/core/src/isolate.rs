@@ -8,8 +8,17 @@
 //! their typed errors — plus panics — into one uniform outcome.
 
 use crate::error::QoaError;
+use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// `file:line:column` of the most recent panic on this thread,
+    /// written by the suppressed hook while [`run_isolated`] is active.
+    /// Thread-local because the hook itself is process-global: a panic on
+    /// another thread records *its* location without clobbering ours.
+    static PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
 
 /// One failed measurement cell: the typed error plus how long the run
 /// held the harness before failing.
@@ -47,21 +56,29 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// The default panic hook is suppressed for the duration of the call so
 /// an isolated failure doesn't spray a backtrace over the report; the
-/// panic message is preserved in [`QoaError::Panic`].
+/// panic message — and the panic site's `file:line:column`, which only
+/// the hook can observe — are preserved in [`QoaError::Panic`].
 ///
 /// `AssertUnwindSafe` is sound here because the failed run's state (VM,
 /// trace buffer) is discarded wholesale — nothing torn is observed.
 pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, QoaError>) -> RunOutcome<T> {
     let start = Instant::now();
     let prev_hook = panic::take_hook();
-    panic::set_hook(Box::new(|_| {}));
+    panic::set_hook(Box::new(|info| {
+        let location = info.location().map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+        PANIC_LOCATION.with(|slot| *slot.borrow_mut() = location);
+    }));
+    PANIC_LOCATION.with(|slot| *slot.borrow_mut() = None);
     let result = panic::catch_unwind(AssertUnwindSafe(f));
     panic::set_hook(prev_hook);
     match result {
         Ok(Ok(v)) => Ok(v),
         Ok(Err(error)) => Err(RunFailure { error, wall: start.elapsed() }),
         Err(payload) => Err(RunFailure {
-            error: QoaError::Panic { message: panic_message(payload) },
+            error: QoaError::Panic {
+                message: panic_message(payload),
+                location: PANIC_LOCATION.with(|slot| slot.borrow_mut().take()),
+            },
             wall: start.elapsed(),
         }),
     }
@@ -90,6 +107,14 @@ mod tests {
         let failure = out.unwrap_err();
         assert_eq!(failure.error.kind(), "panic");
         assert!(failure.error.to_string().contains("boom at cell 3"));
+    }
+
+    #[test]
+    fn panic_location_is_captured() {
+        let out: RunOutcome<()> = run_isolated(|| panic!("located"));
+        let failure = out.unwrap_err();
+        let loc = failure.error.location().expect("location captured");
+        assert!(loc.contains("isolate.rs"), "unexpected location {loc}");
     }
 
     #[test]

@@ -24,11 +24,14 @@ use std::path::{Path, PathBuf};
 /// * v1 (unversioned lines): figure/config/key/status/metrics.
 /// * v2: adds the explicit `"version"` field and the optional `"obs"`
 ///   object — a flattened metrics-registry snapshot for the cell.
+/// * v3: adds the optional `"chaos"` object (fault-injection and
+///   checkpoint/restore counters for the cell) and the optional
+///   `"location"` field on failed lines (panic site `file:line:column`).
 ///
 /// Lines without a `version` field are read as v1; lines with a version
 /// above [`JOURNAL_VERSION`] are skipped (the cell reruns) rather than
 /// misread.
-pub const JOURNAL_VERSION: i64 = 2;
+pub const JOURNAL_VERSION: i64 = 3;
 
 /// One journaled measurement value.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +113,9 @@ pub enum CellOutcome {
         kind: String,
         /// Rendered error message.
         message: String,
+        /// Panic site (`file:line:column`) when the failure was a caught
+        /// panic whose hook saw a location. (v3)
+        location: Option<String>,
     },
 }
 
@@ -123,6 +129,9 @@ pub struct Journal {
     /// Per-cell observability snapshots (v2 `"obs"` field), kept beside
     /// the outcome so old readers that only know `metrics` still work.
     obs: BTreeMap<CellKey, CellMetrics>,
+    /// Per-cell chaos counters (v3 `"chaos"` field): faults injected,
+    /// recoveries by kind, checkpoints written, restores.
+    chaos: BTreeMap<CellKey, CellMetrics>,
 }
 
 impl Journal {
@@ -150,6 +159,7 @@ impl Journal {
             config,
             entries: BTreeMap::new(),
             obs: BTreeMap::new(),
+            chaos: BTreeMap::new(),
         };
         if fresh || !journal.path.exists() {
             return Ok(journal);
@@ -159,9 +169,12 @@ impl Journal {
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             // A malformed line (old format, manual edit) is skipped, not
             // fatal: the cell simply reruns.
-            if let Some((key, outcome, obs)) = journal.parse_line(line) {
+            if let Some((key, outcome, obs, chaos)) = journal.parse_line(line) {
                 if let Some(snapshot) = obs {
                     journal.obs.insert(key.clone(), snapshot);
+                }
+                if let Some(counters) = chaos {
+                    journal.chaos.insert(key.clone(), counters);
                 }
                 journal.entries.insert(key, outcome);
             }
@@ -225,9 +238,40 @@ impl Journal {
         self.persist()
     }
 
+    /// Records a completed cell with chaos-engine counters (faults
+    /// injected, recoveries, checkpoints — the line's v3 `"chaos"` object)
+    /// and persists the journal atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QoaError::Journal`] when the temp file cannot be written
+    /// or renamed into place.
+    pub fn record_with_chaos(
+        &mut self,
+        key: CellKey,
+        outcome: CellOutcome,
+        chaos: Option<CellMetrics>,
+    ) -> Result<(), QoaError> {
+        match chaos {
+            Some(counters) => {
+                self.chaos.insert(key.clone(), counters);
+            }
+            None => {
+                self.chaos.remove(&key);
+            }
+        }
+        self.entries.insert(key, outcome);
+        self.persist()
+    }
+
     /// The observability snapshot recorded with a cell, if any.
     pub fn obs_snapshot(&self, key: &CellKey) -> Option<&CellMetrics> {
         self.obs.get(key)
+    }
+
+    /// The chaos counters recorded with a cell, if any.
+    pub fn chaos_snapshot(&self, key: &CellKey) -> Option<&CellMetrics> {
+        self.chaos.get(key)
     }
 
     fn persist(&self) -> Result<(), QoaError> {
@@ -277,23 +321,35 @@ impl Journal {
                 out.push_str("\"status\":\"ok\",\"metrics\":");
                 encode_metrics(out, metrics);
             }
-            CellOutcome::Failed { kind, message } => {
+            CellOutcome::Failed { kind, message, location } => {
                 out.push_str("\"status\":\"failed\",\"kind\":");
                 encode_str(out, kind);
                 out.push_str(",\"error\":");
                 encode_str(out, message);
+                if let Some(at) = location {
+                    out.push_str(",\"location\":");
+                    encode_str(out, at);
+                }
             }
         }
         if let Some(snapshot) = self.obs.get(key) {
             out.push_str(",\"obs\":");
             encode_metrics(out, snapshot);
         }
+        if let Some(counters) = self.chaos.get(key) {
+            out.push_str(",\"chaos\":");
+            encode_metrics(out, counters);
+        }
         out.push_str("}\n");
     }
 
     // ---- decoding --------------------------------------------------------
 
-    fn parse_line(&self, line: &str) -> Option<(CellKey, CellOutcome, Option<CellMetrics>)> {
+    #[allow(clippy::type_complexity)]
+    fn parse_line(
+        &self,
+        line: &str,
+    ) -> Option<(CellKey, CellOutcome, Option<CellMetrics>, Option<CellMetrics>)> {
         let fields = parse_object(line)?;
         if fields.get("figure")?.str()? != self.figure
             || fields.get("config")?.str()? != self.config
@@ -321,6 +377,10 @@ impl Journal {
             "failed" => CellOutcome::Failed {
                 kind: fields.get("kind")?.str()?.to_string(),
                 message: fields.get("error")?.str()?.to_string(),
+                location: match fields.get("location") {
+                    Some(v) => Some(v.str()?.to_string()),
+                    None => None,
+                },
             },
             _ => return None,
         };
@@ -329,7 +389,12 @@ impl Journal {
             Some(_) => return None,
             None => None,
         };
-        Some((key, outcome, obs))
+        let chaos = match fields.get("chaos") {
+            Some(Json::Object(raw)) => Some(parse_metrics(raw)?),
+            Some(_) => return None,
+            None => None,
+        };
+        Some((key, outcome, obs, chaos))
     }
 }
 
@@ -563,7 +628,11 @@ mod tests {
             j.record(key.clone(), CellOutcome::Ok(sample_metrics())).expect("record");
             j.record(
                 CellKey::new("telco", "PyPyJit", "nursery", "1048576"),
-                CellOutcome::Failed { kind: "panic".into(), message: "boom\nline2".into() },
+                CellOutcome::Failed {
+                    kind: "panic".into(),
+                    message: "boom\nline2".into(),
+                    location: Some("crates/vm/src/interp.rs:241:9".into()),
+                },
             )
             .expect("record");
         }
@@ -572,6 +641,10 @@ mod tests {
         assert_eq!(j.get(&key), Some(&CellOutcome::Ok(sample_metrics())));
         let failed = j.get(&CellKey::new("telco", "PyPyJit", "nursery", "1048576"));
         assert!(matches!(failed, Some(CellOutcome::Failed { kind, .. }) if kind == "panic"));
+        assert!(matches!(
+            failed,
+            Some(CellOutcome::Failed { location: Some(at), .. }) if at.contains("interp.rs:241")
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -668,10 +741,50 @@ mod tests {
         let j = Journal::open(&dir, "prof", "cfg", false).expect("reopen");
         assert_eq!(j.get(&key), Some(&CellOutcome::Ok(sample_metrics())));
         assert_eq!(j.obs_snapshot(&key), Some(&obs));
-        // The line self-describes as v2.
+        // The line self-describes with the current version.
         let text = std::fs::read_to_string(j.path()).expect("read");
-        assert!(text.contains("\"version\":2,"), "line: {text}");
+        assert!(text.contains("\"version\":3,"), "line: {text}");
         assert!(text.contains("\"obs\":{"), "line: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_snapshots_round_trip() {
+        let dir = tmp_dir("chaos");
+        let key = CellKey::new("go", "CPython", "seed", "7");
+        let mut chaos = CellMetrics::new();
+        chaos.insert("faults_injected_total".into(), Metric::Int(3));
+        chaos.insert("recoveries_total{kind=\"fuel\"}".into(), Metric::Int(2));
+        chaos.insert("checkpoints_written_total".into(), Metric::Int(11));
+        {
+            let mut j = Journal::open(&dir, "chaos", "cfg", false).expect("open");
+            j.record_with_chaos(key.clone(), CellOutcome::Ok(sample_metrics()), Some(chaos.clone()))
+                .expect("record");
+        }
+        let j = Journal::open(&dir, "chaos", "cfg", false).expect("reopen");
+        assert_eq!(j.get(&key), Some(&CellOutcome::Ok(sample_metrics())));
+        assert_eq!(j.chaos_snapshot(&key), Some(&chaos));
+        let text = std::fs::read_to_string(j.path()).expect("read");
+        assert!(text.contains("\"chaos\":{"), "line: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_lines_without_chaos_or_location_are_still_read() {
+        let dir = tmp_dir("v2compat");
+        let path = dir.join("fig10.journal.jsonl");
+        let v2 = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"version\":2,\
+                  \"workload\":\"go\",\"runtime\":\"PyPyJit\",\"param\":\"nursery\",\
+                  \"value\":\"4096\",\"status\":\"failed\",\"kind\":\"panic\",\
+                  \"error\":\"boom\"}\n";
+        std::fs::write(&path, v2).expect("write");
+        let j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+        let key = CellKey::new("go", "PyPyJit", "nursery", "4096");
+        let Some(CellOutcome::Failed { kind, location, .. }) = j.get(&key) else {
+            panic!("v2 line not honored: {:?}", j.get(&key));
+        };
+        assert_eq!(kind, "panic");
+        assert_eq!(location.as_deref(), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod attribution;
+pub mod chaos;
 pub mod error;
 pub mod harness;
 pub mod isolate;
@@ -44,6 +45,7 @@ pub mod runtime;
 pub mod sweeps;
 
 pub use attribution::{attribute_suite, attribute_workload, average_shares, Breakdown};
+pub use chaos::{capture_chaos, oracle_check, stats_divergence, ChaosOptions, ChaosOutcome};
 pub use error::QoaError;
 pub use harness::{
     best_nursery_cell, breakdown_cell, nursery_cell, nursery_cells, nursery_cells_tagged,

@@ -81,7 +81,7 @@ impl RuntimeConfig {
         self
     }
 
-    fn jit_config(&self, enabled: bool) -> JitConfig {
+    pub(crate) fn jit_config(&self, enabled: bool) -> JitConfig {
         let base = if self.kind == RuntimeKind::V8 {
             JitConfig::v8()
         } else {

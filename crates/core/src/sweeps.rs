@@ -198,7 +198,9 @@ pub struct NurseryPoint {
 impl NurseryPoint {
     /// Cycles outside garbage collection (Fig. 11's "Non-GC" component).
     pub fn non_gc_cycles(&self) -> u64 {
-        self.cycles - self.gc_cycles
+        // Saturating for the same reason as `NurseryCell::non_gc_cycles`:
+        // fault-affected journal data must degrade to n/a, not panic.
+        self.cycles.saturating_sub(self.gc_cycles)
     }
 
     /// GC share of total time (Fig. 13's metric).

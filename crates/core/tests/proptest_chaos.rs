@@ -1,0 +1,145 @@
+//! Property-based tests for the chaos engine: random fault plans against
+//! random small workloads must uphold the engine's three invariants —
+//! no panic escapes, failures are typed, and any run that completes
+//! after recovery is byte-identical to the fault-free baseline — and a
+//! mid-run snapshot must resume into exactly the trace the uninterrupted
+//! machine produces.
+
+use proptest::prelude::*;
+use qoa_chaos::{FaultKind, FaultPlan, Snapshot};
+use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_core::{capture_chaos, oracle_check, run_isolated, stats_divergence, ChaosOptions};
+use qoa_model::RuntimeKind;
+use qoa_uarch::{TraceBuffer, UarchConfig};
+use qoa_vm::{StepEvent, Vm, VmConfig};
+
+/// Deterministic, terminating mini-workloads: enough shape diversity to
+/// reach every injection site (allocation, calls, hot loops) while
+/// staying fast under a debug build.
+fn program(template: u8, n: u64) -> String {
+    match template % 4 {
+        0 => format!("t = 0\nfor i in range({n}):\n    t = t + i * 2\nresult = t\n"),
+        1 => format!(
+            "xs = []\nfor i in range({n}):\n    xs.append((i, i + 1))\nresult = len(xs)\n"
+        ),
+        2 => format!("s = 0\nwhile s < {n}:\n    s = s + 3\nresult = s\n"),
+        _ => format!(
+            "def f(x):\n    return x + 1\nt = 0\nfor i in range({n}):\n    t = f(t)\nresult = t\n"
+        ),
+    }
+}
+
+fn runtime_strategy() -> impl Strategy<Value = RuntimeKind> {
+    prop_oneof![
+        2 => Just(RuntimeKind::CPython),
+        1 => Just(RuntimeKind::PyPyNoJit),
+        1 => Just(RuntimeKind::PyPyJit),
+    ]
+}
+
+fn fault_kinds(kind: RuntimeKind) -> &'static [FaultKind] {
+    if matches!(kind, RuntimeKind::PyPyJit | RuntimeKind::V8) {
+        &FaultKind::ALL
+    } else {
+        &FaultKind::INTERP
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariants 1–3: random plans, random workloads, random cadences.
+    #[test]
+    fn random_fault_plans_recover_byte_identically(
+        template in any::<u8>(),
+        n in 200u64..1500,
+        seed in any::<u64>(),
+        points in 1usize..4,
+        cadence in prop_oneof![Just(256u64), Just(1024), Just(8192)],
+        runtime in runtime_strategy(),
+    ) {
+        let source = program(template, n);
+        let rt = RuntimeConfig::new(runtime);
+        let baseline = capture(&source, &rt).expect("baseline runs");
+        // Fault ticks land inside (and slightly past) the baseline run;
+        // points beyond the final bytecode simply never fire.
+        let horizon = baseline.vm.bytecodes + baseline.vm.bytecodes / 4 + 1;
+        let plan = FaultPlan::seeded(seed, horizon, points, fault_kinds(runtime));
+        let opts = ChaosOptions::new(plan).with_checkpoint_every(cadence);
+
+        match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
+            Ok((run, out)) => {
+                let uarch = UarchConfig::skylake();
+                prop_assert_eq!(
+                    oracle_check(&baseline, &run, &uarch),
+                    None,
+                    "oracle violated (injected {:?})",
+                    out.injected
+                );
+                prop_assert_eq!(out.faults_injected_total(), out.recoveries_total());
+            }
+            Err(failure) => {
+                // Invariant 1: never a panic. Invariant 2: the baseline
+                // completed, so the chaos run must too — any typed error
+                // here is a recovery bug worth failing loudly on.
+                prop_assert!(
+                    false,
+                    "chaos run failed [{}]: {}",
+                    failure.error.kind(),
+                    failure.error
+                );
+            }
+        }
+    }
+
+    /// Snapshot round-trip: checkpoint at a random point, then both the
+    /// original machine and the restored copy must produce the same
+    /// remaining cycle trace.
+    #[test]
+    fn snapshot_roundtrip_resumes_into_an_identical_trace(
+        template in any::<u8>(),
+        n in 100u64..800,
+        split in 1u64..5000,
+    ) {
+        let source = program(template, n);
+        let code = qoa_frontend::compile(&source).expect("compiles");
+
+        let finish = |mut vm: Vm<TraceBuffer>| {
+            loop {
+                if matches!(vm.step().expect("steps"), StepEvent::Done) {
+                    break;
+                }
+            }
+            let result = vm.global_display("result");
+            let (trace, _) = vm.finish();
+            (trace, result)
+        };
+
+        let mut vm = Vm::new(VmConfig::default(), TraceBuffer::new());
+        vm.load_program(&code);
+        let mut done_early = false;
+        for _ in 0..split {
+            if matches!(vm.step().expect("steps"), StepEvent::Done) {
+                done_early = true;
+                break;
+            }
+        }
+        if done_early {
+            // The random split fell past the end of the run; nothing to
+            // checkpoint mid-flight.
+            return Ok(());
+        }
+
+        let snap = Snapshot::capture(vm.steps(), &vm);
+        let restored = snap.restore().expect("version matches");
+        let (trace_a, result_a) = finish(vm);
+        let (trace_b, result_b) = finish(restored);
+
+        prop_assert_eq!(result_a, result_b);
+        prop_assert_eq!(trace_a.len(), trace_b.len());
+        let uarch = UarchConfig::skylake();
+        let a = trace_a.simulate_simple(&uarch);
+        let b = trace_b.simulate_simple(&uarch);
+        prop_assert_eq!(stats_divergence(&a, &b), None);
+    }
+}

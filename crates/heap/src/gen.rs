@@ -123,7 +123,7 @@ struct Record {
 }
 
 /// The generational heap.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GenHeap {
     cfg: GcConfig,
     nursery_bump: u64,

@@ -48,7 +48,7 @@ struct Record {
 }
 
 /// The reference-counting interpreter's heap.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RcHeap {
     /// Free lists per size class (addresses of freed blocks).
     free: Vec<Vec<u64>>,

@@ -144,7 +144,7 @@ pub struct JitStats {
 /// A bytecode location: (code identity, bytecode index).
 type Loc = (usize, usize);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Fragment {
     steps: Vec<Loc>,
     code_base: u64,
@@ -154,7 +154,7 @@ struct Fragment {
     fail_counts: HashMap<(usize, Loc), u32>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LoopTraces {
     fragments: Vec<Fragment>,
     blacklisted: bool,
@@ -162,6 +162,7 @@ struct LoopTraces {
     hopeless_exits: HashSet<(usize, usize, Loc)>,
 }
 
+#[derive(Debug, Clone)]
 enum DriverState {
     Interp,
     Recording {
@@ -180,6 +181,11 @@ enum DriverState {
 
 /// The PyPy-model run-time: interpreter + generational GC + tracing JIT
 /// with bridge compilation.
+///
+/// Like [`Vm`], the whole run-time is `Clone` (when the sink is): the
+/// driver state machine, trace book-keeping, and the underlying machine
+/// snapshot and restore together for chaos checkpoint/restore.
+#[derive(Clone)]
 pub struct PyPyVm<S: OpSink> {
     /// The underlying VM (public for inspection of globals, stats, output).
     pub vm: Vm<S>,
@@ -235,6 +241,22 @@ impl<S: OpSink> PyPyVm<S> {
     /// Total bytes of simulated JIT code emitted.
     pub fn jit_code_bytes(&self) -> u64 {
         self.jit_code_bump - mem::JIT_CODE_BASE
+    }
+
+    /// Bytecodes executed so far (see [`Vm::steps`]).
+    pub fn steps(&self) -> u64 {
+        self.vm.steps()
+    }
+
+    /// Arms a chaos plan on the underlying machine (see [`Vm::arm_chaos`]).
+    pub fn arm_chaos(&mut self, chaos: qoa_chaos::ChaosState) {
+        self.vm.arm_chaos(chaos);
+    }
+
+    /// Takes the record of the most recent injected fault (see
+    /// [`Vm::take_injected`]).
+    pub fn take_injected(&mut self) -> Option<qoa_chaos::FaultRecord> {
+        self.vm.take_injected()
     }
 
     /// Runs the program to completion.
@@ -316,6 +338,21 @@ impl<S: OpSink> PyPyVm<S> {
             return Ok(true);
         };
         if loc == header && !steps.is_empty() {
+            // Injected transient compile failure: the backend refuses this
+            // recording. The loop is *not* blacklisted — its counter stays
+            // hot, so a later attempt retries the compile, which is the
+            // graceful-degradation path (interpreter keeps running either
+            // way). In surface mode the fault propagates so the harness
+            // can restore a checkpoint instead.
+            if let Some(rec) = self.vm.chaos_poll(qoa_chaos::FaultKind::JitCompileFault) {
+                self.stats.aborted_recordings += 1;
+                self.state = DriverState::Interp;
+                if self.vm.chaos_degrade_jit() {
+                    self.vm.chaos_note_recovery();
+                    return Ok(false);
+                }
+                return Err(VmError::Injected { what: rec.kind.name(), steps: self.vm.steps() });
+            }
             // The path closed back to the loop header: compile it.
             self.finish_fragment(header, parent, steps);
             self.state = DriverState::Interp;
@@ -366,6 +403,22 @@ impl<S: OpSink> PyPyVm<S> {
         idx: usize,
     ) -> Result<bool, VmError> {
         let Some(loc) = self.vm.location() else { return Ok(true) };
+        // Injected mid-trace abort: the compiled code hits a synthetic
+        // failure and must deoptimize. The deopt leaves the interpreter
+        // state fully materialized, so in degrade mode the run simply
+        // continues interpreting (a phase change the sink records); in
+        // surface mode the harness restores a checkpoint.
+        if let Some(rec) = self.vm.chaos_poll(qoa_chaos::FaultKind::TraceAbort) {
+            self.vm.emit_deopt();
+            self.vm.set_cost_mode(CostMode::Interp);
+            self.stats.deopts += 1;
+            self.state = DriverState::Interp;
+            if self.vm.chaos_degrade_jit() {
+                self.vm.chaos_note_recovery();
+                return Ok(false);
+            }
+            return Err(VmError::Injected { what: rec.kind.name(), steps: self.vm.steps() });
+        }
         let expected = {
             let lt = self
                 .loops

@@ -5,7 +5,11 @@ use crate::cache::CacheStats;
 use qoa_model::{CategoryMap, PhaseMap};
 
 /// Cycle- and instruction-level result of simulating one run.
-#[derive(Debug, Clone, Default)]
+///
+/// Every field is an exact integer counter, so `==` is the byte-identical
+/// comparison the chaos engine's differential oracle is specified in
+/// terms of.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionStats {
     /// Total simulated cycles.
     pub cycles: u64,

@@ -255,6 +255,18 @@ impl<S: OpSink> Vm<S> {
                 }
             }
         }
+        // Chaos step boundary: the fault clock ticks on executed bytecodes
+        // (never wall time), and step-class injections surface through the
+        // same variants their organic counterparts use.
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.on_step();
+            if chaos.poll(qoa_chaos::FaultKind::FuelTrip).is_some() {
+                return Err(VmError::FuelExhausted { steps: self.steps });
+            }
+            if chaos.poll(qoa_chaos::FaultKind::DeadlineTrip).is_some() {
+                return Err(VmError::DeadlineExceeded { steps: self.steps });
+            }
+        }
         self.steps += 1;
         self.stats.bytecodes += 1;
 

@@ -199,7 +199,7 @@ const ALL_NATIVES: &[(NativeFn, &str, &str)] = &[
 ];
 
 /// Registry of native function objects and built-in type method tables.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NativeRegistry {
     methods: HashMap<(&'static str, &'static str), ObjRef>,
     /// Deterministic PRNG state for the `rand*` module.

@@ -15,6 +15,7 @@
 use crate::dict::{DictObj, Key};
 use crate::native::NativeRegistry;
 use crate::object::{Obj, ObjKind, ObjRef};
+use qoa_chaos::{ChaosState, FaultKind, FaultRecord};
 use qoa_frontend::{CodeObject, Const, Opcode};
 use qoa_heap::{GcConfig, GcStats, GenHeap, ObjId, RcHeap, RcStats, Tracer};
 use qoa_model::{mem, Category, Emitter, MicroOp, OpKind, OpSink, Pc, Phase};
@@ -110,6 +111,17 @@ pub enum VmError {
         /// The configured cap.
         limit_bytes: u64,
     },
+    /// A fault injected by an armed chaos plan that has no organic
+    /// counterpart (JIT compile failure, mid-trace abort). Step-class
+    /// injections reuse the organic variants; this one exists so the
+    /// experiment layer can tell a surfaced synthetic fault apart even
+    /// without consulting the chaos state.
+    Injected {
+        /// [`qoa_chaos::FaultKind::name`] of the injected fault.
+        what: &'static str,
+        /// Bytecodes executed when it fired.
+        steps: u64,
+    },
 }
 
 impl VmError {
@@ -138,6 +150,9 @@ impl std::fmt::Display for VmError {
             }
             VmError::OutOfMemory { live_bytes, limit_bytes } => {
                 write!(f, "simulated OOM: {live_bytes} live bytes > {limit_bytes} byte cap")
+            }
+            VmError::Injected { what, steps } => {
+                write!(f, "injected fault `{what}` after {steps} bytecodes")
             }
         }
     }
@@ -192,7 +207,7 @@ pub struct Block {
 }
 
 /// An activation record.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Frame {
     /// The executing code object.
     pub code: Rc<CodeObject>,
@@ -252,6 +267,7 @@ impl Default for VmStats {
     }
 }
 
+#[derive(Clone)]
 pub(crate) enum HeapImpl {
     Rc(RcHeap),
     Gen(GenHeap),
@@ -262,6 +278,14 @@ pub(crate) enum HeapImpl {
 /// Generic over the micro-op sink `S`, so the same execution can be counted
 /// ([`qoa_model::CountingSink`]), captured ([`qoa_uarch::TraceBuffer`]
 /// replays) or simulated cycle-by-cycle.
+///
+/// The whole machine is `Clone` (when the sink is): a clone is a complete
+/// mid-run snapshot — interpreter, heap, *and* attribution state — which
+/// is what the chaos engine's checkpoint/restore recovery is built on.
+/// Guest objects are slab-indexed and code objects are shared `Rc`s whose
+/// identity keys (`code_key`) stay valid across the clone, so a restored
+/// machine re-executes bit-identically.
+#[derive(Clone)]
 pub struct Vm<S: OpSink> {
     pub(crate) sink: S,
     pub(crate) cfg: VmConfig,
@@ -296,6 +320,13 @@ pub struct Vm<S: OpSink> {
     /// A fault detected mid-instruction (e.g. simulated OOM during an
     /// allocation); surfaced as the result of the next [`Vm::step`].
     pub(crate) pending_fault: Option<VmError>,
+    /// Armed fault-injection state (`None` when chaos is off; the hooks
+    /// then cost one branch per site and emit nothing).
+    pub(crate) chaos: Option<ChaosState>,
+    /// Whether the one emergency major collection allowed per
+    /// cap-exceed event has already run (reset when usage drops back
+    /// under the cap).
+    emergency_gc_used: bool,
     /// Modeled C-call nesting depth (for C-stack addresses).
     pub(crate) c_depth: u32,
     /// Captured `print` output.
@@ -313,6 +344,7 @@ pub struct Vm<S: OpSink> {
 }
 
 /// Registered metadata for one code object.
+#[derive(Clone)]
 pub(crate) struct CodeMeta {
     /// Constants realized as (immortal) guest objects.
     pub consts: Vec<ObjRef>,
@@ -366,6 +398,8 @@ impl<S: OpSink> Vm<S> {
             stats: VmStats::default(),
             steps: 0,
             pending_fault: None,
+            chaos: None,
+            emergency_gc_used: false,
             c_depth: 0,
             output: Vec::new(),
             result: None,
@@ -406,6 +440,57 @@ impl<S: OpSink> Vm<S> {
     /// Lines captured from the guest's `print`.
     pub fn output(&self) -> &[String] {
         &self.output
+    }
+
+    /// Bytecodes executed so far (the chaos engine's fault clock mirrors
+    /// this counter).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    // ---- fault injection -----------------------------------------------------
+
+    /// Arms a chaos plan. With chaos disarmed (the default) every hook
+    /// below is a single `None` branch and the simulation is bit-identical
+    /// to a build without the engine.
+    pub fn arm_chaos(&mut self, chaos: ChaosState) {
+        self.chaos = Some(chaos);
+    }
+
+    /// The armed chaos state, if any.
+    pub fn chaos(&self) -> Option<&ChaosState> {
+        self.chaos.as_ref()
+    }
+
+    /// Mutable access to the armed chaos state (the experiment layer uses
+    /// this to disarm a consumed fault point after restoring a snapshot).
+    pub fn chaos_mut(&mut self) -> Option<&mut ChaosState> {
+        self.chaos.as_mut()
+    }
+
+    /// Polls the armed plan for a due fault of `kind`. `None` when chaos
+    /// is off or no point is due.
+    pub fn chaos_poll(&mut self, kind: FaultKind) -> Option<FaultRecord> {
+        self.chaos.as_mut()?.poll(kind)
+    }
+
+    /// Whether JIT faults should degrade in place instead of surfacing.
+    pub fn chaos_degrade_jit(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.degrade_jit())
+    }
+
+    /// Notes a fault recovered in place (degrade mode).
+    pub fn chaos_note_recovery(&mut self) {
+        if let Some(c) = self.chaos.as_mut() {
+            c.note_in_vm_recovery();
+        }
+    }
+
+    /// Takes the record of the most recent injected fault. The experiment
+    /// layer calls this after an error to tell injected faults (recover by
+    /// restore) apart from organic ones (surface to the caller).
+    pub fn take_injected(&mut self) -> Option<FaultRecord> {
+        self.chaos.as_mut()?.take_last_injected()
     }
 
     /// Whether the per-dispatch guard checks are elided (true only after
@@ -664,6 +749,18 @@ impl<S: OpSink> Vm<S> {
 
     /// Gives a (possibly virtual) object a simulated allocation.
     pub(crate) fn alloc_backing(&mut self, r: ObjRef, size: u64) {
+        // Injected allocation failure: one emergency collection (the
+        // recovery attempt the real allocator would make), then the
+        // allocation proceeds — allocation stays infallible — and the
+        // simulated OOM surfaces at the next step boundary.
+        let injected = self
+            .chaos
+            .as_mut()
+            .and_then(|c| c.poll(FaultKind::AllocFault))
+            .is_some();
+        if injected && matches!(self.heap, HeapImpl::Gen(_)) {
+            self.minor_gc();
+        }
         match self.cfg.heap {
             HeapMode::Rc => {
                 let Vm { heap, sink, phase, .. } = self;
@@ -695,25 +792,53 @@ impl<S: OpSink> Vm<S> {
             }
         }
         self.check_heap_cap();
+        if injected && self.pending_fault.is_none() {
+            let live = self.live_heap_bytes();
+            self.pending_fault = Some(VmError::OutOfMemory {
+                live_bytes: live,
+                limit_bytes: if self.cfg.max_heap_bytes == 0 {
+                    live
+                } else {
+                    self.cfg.max_heap_bytes
+                },
+            });
+        }
+    }
+
+    fn live_heap_bytes(&self) -> u64 {
+        match &self.heap {
+            HeapImpl::Rc(h) => h.stats().live_bytes,
+            HeapImpl::Gen(h) => h.live_bytes(),
+        }
     }
 
     /// Flags a pending [`VmError::OutOfMemory`] when the simulated live
     /// heap exceeds the configured cap. Allocation itself stays infallible;
-    /// the fault surfaces at the next [`Vm::step`] boundary.
+    /// the fault surfaces at the next [`Vm::step`] boundary. Under the
+    /// generational heap, one emergency major collection runs first — if
+    /// it brings usage back under the cap the run degrades gracefully
+    /// instead of dying.
     fn check_heap_cap(&mut self) {
         if self.cfg.max_heap_bytes == 0 || self.pending_fault.is_some() {
             return;
         }
-        let live = match &self.heap {
-            HeapImpl::Rc(h) => h.stats().live_bytes,
-            HeapImpl::Gen(h) => h.live_bytes(),
-        };
-        if live > self.cfg.max_heap_bytes {
-            self.pending_fault = Some(VmError::OutOfMemory {
-                live_bytes: live,
-                limit_bytes: self.cfg.max_heap_bytes,
-            });
+        let mut live = self.live_heap_bytes();
+        if live <= self.cfg.max_heap_bytes {
+            self.emergency_gc_used = false;
+            return;
         }
+        if matches!(self.heap, HeapImpl::Gen(_)) && !self.emergency_gc_used {
+            self.emergency_gc_used = true;
+            self.major_gc();
+            live = self.live_heap_bytes();
+            if live <= self.cfg.max_heap_bytes {
+                return;
+            }
+        }
+        self.pending_fault = Some(VmError::OutOfMemory {
+            live_bytes: live,
+            limit_bytes: self.cfg.max_heap_bytes,
+        });
     }
 
     /// Materializes a virtual (trace-register) object into the heap, e.g.

@@ -6,6 +6,7 @@
 //! figure of *Quantitative Overhead Analysis for Python* (IISWC 2018).
 
 pub use qoa_analysis as analysis;
+pub use qoa_chaos as chaos;
 pub use qoa_core as core;
 pub use qoa_frontend as frontend;
 pub use qoa_heap as heap;
