@@ -11,12 +11,13 @@
 //! 3. **Nursery policy** — static half-of-LLC vs. maximum vs. best-per-app
 //!    (the Fig. 17 policy comparison as a single table).
 
-use qoa_bench::{cli, emit, harness, Cli, NA};
-use qoa_core::harness::{best_nursery_cell, nursery_cells, Harness};
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, Cli, NA};
+use qoa_core::harness::{best_nursery_cell, capture_cell, nursery_cells, nursery_spec, Harness};
 use qoa_core::journal::{CellKey, CellMetrics, Metric};
 use qoa_core::report::{f2, f3, pct, Table};
 use qoa_core::runtime::{capture, RuntimeConfig};
 use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED};
+use qoa_core::SupervisedCell;
 use qoa_jit::JitConfig;
 use qoa_model::{Category, OpKind, RuntimeKind};
 use qoa_uarch::UarchConfig;
@@ -25,10 +26,96 @@ use qoa_workloads::by_name;
 fn main() {
     let cli = cli();
     let mut h = harness(&cli, "ablation");
+    prewarm_cells(&cli, &mut h);
     jit_stage_ablation(&cli, &mut h);
     btb_ablation(&cli, &mut h);
     nursery_policy_ablation(&cli, &mut h);
     std::process::exit(h.finish());
+}
+
+/// Runs every ablation cell through the supervised executor up front; the
+/// per-study render loops below then answer from the journal.
+fn prewarm_cells(cli: &Cli, h: &mut Harness) {
+    let chaos = cell_chaos(cli);
+    let scale = cli.scale;
+    let mut specs = Vec::new();
+
+    // Ablation 1: JIT pipeline stages. The PyPyVm is driven directly, so
+    // these cells run without fault injection.
+    let base = JitConfig { nursery_size: 512 << 10, ..JitConfig::default() };
+    let stages = [
+        ("interp-only", JitConfig { enabled: false, ..base }),
+        ("no-bridges", JitConfig { bridge_threshold: u32::MAX, ..base }),
+        ("full", base),
+    ];
+    for name in ["eparse", "go", "richards", "fannkuch"] {
+        let w = by_name(name).expect("workload");
+        for (tag, cfg) in stages {
+            let key = CellKey::new(name, "PyPyJit", "jit-stage", tag);
+            specs.push(SupervisedCell::new(key, move |deadline| {
+                let uarch = UarchConfig::skylake();
+                let cfg = JitConfig { deadline, ..cfg };
+                let code = qoa_frontend::compile(&w.source(scale))?;
+                let mut vm = qoa_jit::PyPyVm::new(cfg, qoa_uarch::TraceBuffer::new());
+                vm.load_program(&code);
+                vm.run()?;
+                let (trace, _) = vm.vm.finish();
+                let cycles = trace.simulate_ooo(&uarch).cycles;
+                let mut m = CellMetrics::new();
+                m.insert("cycles".into(), Metric::Int(cycles as i64));
+                Ok(m)
+            }));
+        }
+    }
+
+    // Ablation 2: BTB capacity.
+    for name in ["richards", "deltablue", "nbody"] {
+        let w = by_name(name).expect("workload");
+        let key = CellKey::new(name, "CPython", "btb", "ablation");
+        let mkey = key.clone();
+        specs.push(SupervisedCell::new(key, move |deadline| {
+            let rt = RuntimeConfig::new(RuntimeKind::CPython).with_deadline(deadline);
+            let run = capture_cell(&w.source(scale), &rt, chaos, &mkey)?;
+            let mut ccall_ops = 0u64;
+            let mut ccall_indirect = 0u64;
+            for op in run.trace.ops() {
+                if op.category == Category::CFunctionCall {
+                    ccall_ops += 1;
+                    if matches!(op.kind, OpKind::Call { indirect: true, .. } | OpKind::Ret) {
+                        ccall_indirect += 1;
+                    }
+                }
+            }
+            let mut cfg_tiny = UarchConfig::skylake();
+            cfg_tiny.branch.btb_entries = 16;
+            let mut cfg_huge = UarchConfig::skylake();
+            cfg_huge.branch.btb_entries = 1 << 16;
+            let mut m = CellMetrics::new();
+            m.insert("cpi_tiny".into(), Metric::Num(run.trace.simulate_ooo(&cfg_tiny).cpi()));
+            m.insert(
+                "cpi_base".into(),
+                Metric::Num(run.trace.simulate_ooo(&UarchConfig::skylake()).cpi()),
+            );
+            m.insert("cpi_huge".into(), Metric::Num(run.trace.simulate_ooo(&cfg_huge).cpi()));
+            m.insert(
+                "indirect_share".into(),
+                Metric::Num(ccall_indirect as f64 / ccall_ops.max(1) as f64),
+            );
+            Ok(m)
+        }));
+    }
+
+    // Ablation 3: nursery policy.
+    let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
+    let uarch = UarchConfig::skylake();
+    for name in ["spitfire", "unpack_seq", "html5lib", "telco"] {
+        let w = by_name(name).expect("workload");
+        for &n in NURSERY_SIZES_SCALED.iter() {
+            specs.push(nursery_spec(w, scale, &rt, &uarch, n, "", chaos));
+        }
+    }
+
+    prewarm(cli, h, specs);
 }
 
 fn jit_stage_ablation(cli: &Cli, h: &mut Harness) {

@@ -4,9 +4,9 @@
 //! interpreter-operation categories, both as % of total execution cycles
 //! on the simple core, plus the AVG row and the paper's headline scalars.
 
-use qoa_bench::{cli, emit, harness, limit};
+use qoa_bench::{cell_chaos, cli, emit, harness, limit, prewarm};
 use qoa_core::attribution::{average_shares, Breakdown};
-use qoa_core::harness::breakdown_cell;
+use qoa_core::harness::{breakdown_cell, breakdown_spec};
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_model::{Category, CategoryMap, RuntimeKind};
@@ -34,6 +34,12 @@ fn main() {
     let suite = limit(&cli, qoa_workloads::python_suite());
     let rt = RuntimeConfig::new(RuntimeKind::CPython);
     let uarch = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    prewarm(
+        &cli,
+        &mut h,
+        suite.iter().map(|&w| breakdown_spec(w, cli.scale, &rt, &uarch, chaos)).collect(),
+    );
     let mut breakdowns: Vec<Breakdown> = Vec::new();
     for w in &suite {
         eprintln!("running {}...", w.name);

@@ -8,10 +8,11 @@
 //! cycles the verifier's `Verified` token saves over the guarded
 //! dispatch path.
 
-use qoa_bench::{cli, emit, harness, limit};
+use qoa_bench::{cell_chaos, cli, emit, harness, limit, prewarm};
+use qoa_core::harness::{capture_cell, CellChaos};
 use qoa_core::report::Table;
 use qoa_core::runtime::RuntimeConfig;
-use qoa_core::{capture, Breakdown, CellKey, CellMetrics, Harness, Metric};
+use qoa_core::{Breakdown, CellKey, CellMetrics, Harness, Metric, QoaError, SupervisedCell};
 use qoa_model::{Category, CategoryMap, RuntimeKind};
 use qoa_uarch::UarchConfig;
 use qoa_workloads::{Scale, Workload};
@@ -26,6 +27,55 @@ struct StaticCell {
     cycles_guarded: u64,
 }
 
+fn static_key(w: &Workload, rt: &RuntimeConfig) -> CellKey {
+    CellKey::new(w.name, format!("{:?}", rt.kind), "static-attribution", "simple-core")
+}
+
+fn measure_static(
+    w: &Workload,
+    scale: Scale,
+    rt: RuntimeConfig,
+    uarch: &UarchConfig,
+    deadline: Option<std::time::Instant>,
+    chaos: Option<CellChaos>,
+    key: &CellKey,
+) -> Result<CellMetrics, QoaError> {
+    let src = w.source(scale);
+    let code = qoa_frontend::compile(&src)?;
+    let stat = qoa_analysis::annotate::static_shares(&code);
+    let elided = capture_cell(&src, &rt.with_deadline(deadline), chaos, key)?;
+    let dyn_stats = elided.trace.simulate_simple(uarch);
+    let b = Breakdown::from_stats(w.name, &dyn_stats);
+    let guarded =
+        capture_cell(&src, &rt.with_check_elision(false).with_deadline(deadline), chaos, key)?;
+    let g_stats = guarded.trace.simulate_simple(uarch);
+    let mut m = CellMetrics::new();
+    m.insert("cycles.elided".into(), Metric::Int(dyn_stats.cycles as i64));
+    m.insert("cycles.guarded".into(), Metric::Int(g_stats.cycles as i64));
+    for c in Category::ALL {
+        m.insert(format!("static.{c:?}"), Metric::Num(stat[c]));
+        m.insert(format!("dynamic.{c:?}"), Metric::Num(b.shares[c]));
+        m.insert(format!("delta.{c:?}"), Metric::Num(b.shares[c] - stat[c]));
+    }
+    Ok(m)
+}
+
+fn static_spec(
+    w: &'static Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+    chaos: Option<CellChaos>,
+) -> SupervisedCell<CellMetrics> {
+    let key = static_key(w, rt);
+    let rt = *rt;
+    let uarch = uarch.clone();
+    let mkey = key.clone();
+    SupervisedCell::new(key, move |deadline| {
+        measure_static(w, scale, rt, &uarch, deadline, chaos, &mkey)
+    })
+}
+
 fn static_cell(
     h: &mut Harness,
     w: &Workload,
@@ -33,26 +83,10 @@ fn static_cell(
     rt: &RuntimeConfig,
     uarch: &UarchConfig,
 ) -> Option<StaticCell> {
-    let key = CellKey::new(w.name, format!("{:?}", rt.kind), "static-attribution", "simple-core");
-    let metrics = h.cell(key, |deadline| {
-        let src = w.source(scale);
-        let code = qoa_frontend::compile(&src)?;
-        let stat = qoa_analysis::annotate::static_shares(&code);
-        let elided = capture(&src, &rt.with_deadline(deadline))?;
-        let dyn_stats = elided.trace.simulate_simple(uarch);
-        let b = Breakdown::from_stats(w.name, &dyn_stats);
-        let guarded = capture(&src, &rt.with_check_elision(false).with_deadline(deadline))?;
-        let g_stats = guarded.trace.simulate_simple(uarch);
-        let mut m = CellMetrics::new();
-        m.insert("cycles.elided".into(), Metric::Int(dyn_stats.cycles as i64));
-        m.insert("cycles.guarded".into(), Metric::Int(g_stats.cycles as i64));
-        for c in Category::ALL {
-            m.insert(format!("static.{c:?}"), Metric::Num(stat[c]));
-            m.insert(format!("dynamic.{c:?}"), Metric::Num(b.shares[c]));
-            m.insert(format!("delta.{c:?}"), Metric::Num(b.shares[c] - stat[c]));
-        }
-        Ok(m)
-    })?;
+    let key = static_key(w, rt);
+    let mkey = key.clone();
+    let metrics =
+        h.cell(key, |deadline| measure_static(w, scale, *rt, uarch, deadline, None, &mkey))?;
     let share = |prefix: &str| {
         CategoryMap::from_fn(|c| {
             metrics.get(&format!("{prefix}.{c:?}")).and_then(Metric::as_f64).unwrap_or(0.0)
@@ -99,6 +133,12 @@ fn main() {
     let suite = limit(&cli, qoa_workloads::python_suite());
     let rt = RuntimeConfig::new(RuntimeKind::CPython);
     let uarch = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    prewarm(
+        &cli,
+        &mut h,
+        suite.iter().map(|&w| static_spec(w, cli.scale, &rt, &uarch, chaos)).collect(),
+    );
     let mut rows: Vec<StaticCell> = Vec::new();
     for w in &suite {
         eprintln!("running {}...", w.name);

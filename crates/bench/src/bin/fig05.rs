@@ -1,8 +1,8 @@
 //! Fig. 5: C function call overhead for the PyPy-model run-time (JIT on),
 //! per benchmark, with the geometric mean the paper reports (7.5% avg).
 
-use qoa_bench::{cli, emit, harness, limit, NA};
-use qoa_core::harness::breakdown_cell;
+use qoa_bench::{cell_chaos, cli, emit, harness, limit, prewarm, NA};
+use qoa_core::harness::{breakdown_cell, breakdown_spec};
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_model::{Category, RuntimeKind};
@@ -18,6 +18,12 @@ fn main() {
     );
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     let uarch = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    prewarm(
+        &cli,
+        &mut h,
+        suite.iter().map(|&w| breakdown_spec(w, cli.scale, &rt, &uarch, chaos)).collect(),
+    );
     let mut shares = Vec::new();
     for w in &suite {
         eprintln!("running {}...", w.name);

@@ -6,8 +6,8 @@
 //! the OOO core at every sweep point. Defaults to the paper's Fig. 8
 //! benchmark subset; pass `--all` for the full 48.
 
-use qoa_bench::{cli, emit, harness, sweep_subset, Cli, NA};
-use qoa_core::harness::sweep_param_cell;
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, Cli, NA};
+use qoa_core::harness::{shared_trace_cache, sweep_param_cell, sweep_param_spec};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{SweepParam, SCALED_DEFAULT_NURSERY};
@@ -42,6 +42,19 @@ fn main() {
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG8_BENCHMARKS);
     let runtimes = [RuntimeKind::CPython, RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit];
     let base = UarchConfig::skylake();
+
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &kind in &runtimes {
+        let rt = RuntimeConfig::new(kind).with_nursery(SCALED_DEFAULT_NURSERY);
+        for &w in &suite {
+            let cache = shared_trace_cache();
+            for &param in SweepParam::ALL.iter() {
+                specs.push(sweep_param_spec(w, cli.scale, &rt, &base, param, &cache, chaos));
+            }
+        }
+    }
+    prewarm(&cli, &mut h, specs);
 
     // series[param][runtime]; the capture for a (benchmark, runtime) pair
     // is shared across all six parameters via the trace cache.

@@ -1,8 +1,8 @@
 //! Fig. 8: per-benchmark CPI bars under the microarchitecture sweeps,
 //! for PyPy with JIT on the paper's eight-benchmark subset.
 
-use qoa_bench::{cli, emit, harness, sweep_subset, NA};
-use qoa_core::harness::{sweep_param_cell, SweepCellPoint};
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, NA};
+use qoa_core::harness::{shared_trace_cache, sweep_param_cell, sweep_param_spec, SweepCellPoint};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{SweepParam, SCALED_DEFAULT_NURSERY};
@@ -16,6 +16,15 @@ fn main() {
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG8_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit).with_nursery(SCALED_DEFAULT_NURSERY);
     let base = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &w in &suite {
+        let cache = shared_trace_cache();
+        for &param in SweepParam::ALL.iter() {
+            specs.push(sweep_param_spec(w, cli.scale, &rt, &base, param, &cache, chaos));
+        }
+    }
+    prewarm(&cli, &mut h, specs);
 
     // swept[workload][param] — the capture for a benchmark is shared
     // across the six parameters via the trace cache.

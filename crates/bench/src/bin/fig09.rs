@@ -1,8 +1,8 @@
 //! Fig. 9: microarchitecture sweeps for the V8 preset over the
 //! JetStream-analog suite (average CPI line per parameter).
 
-use qoa_bench::{cli, emit, harness, sweep_subset, NA};
-use qoa_core::harness::sweep_param_cell;
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, NA};
+use qoa_core::harness::{shared_trace_cache, sweep_param_cell, sweep_param_spec};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{SweepParam, SCALED_DEFAULT_NURSERY};
@@ -27,6 +27,15 @@ fn main() {
     let suite = sweep_subset(&cli, qoa_workloads::jetstream_suite(), &SUBSET);
     let rt = RuntimeConfig::new(RuntimeKind::V8).with_nursery(SCALED_DEFAULT_NURSERY);
     let base = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &w in &suite {
+        let cache = shared_trace_cache();
+        for &param in SweepParam::ALL.iter() {
+            specs.push(sweep_param_spec(w, cli.scale, &rt, &base, param, &cache, chaos));
+        }
+    }
+    prewarm(&cli, &mut h, specs);
 
     // sums[param][point]; each benchmark's capture is shared across the
     // six parameters via the trace cache.

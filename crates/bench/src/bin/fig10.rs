@@ -2,8 +2,8 @@
 //! 2 MB last-level cache). The paper's cliff: once the nursery outgrows
 //! the cache, the miss rate jumps by roughly 2.4×.
 
-use qoa_bench::{cli, emit, harness, sweep_subset, NA};
-use qoa_core::harness::nursery_cells;
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, NA};
+use qoa_core::harness::{nursery_cells, nursery_spec};
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
@@ -17,6 +17,14 @@ fn main() {
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     let uarch = UarchConfig::skylake(); // 2 MB LLC
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &w in &suite {
+        for &n in NURSERY_SIZES.iter() {
+            specs.push(nursery_spec(w, cli.scale, &rt, &uarch, n, "", chaos));
+        }
+    }
+    prewarm(&cli, &mut h, specs);
 
     let mut cols: Vec<String> = vec!["series".into()];
     cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));

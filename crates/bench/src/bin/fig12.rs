@@ -2,8 +2,8 @@
 //! four configurations — PyPy w/o JIT at a 2 MB LLC, and PyPy w/ JIT at
 //! 2/4/8 MB LLCs — each normalized to its own 1 MB-nursery run.
 
-use qoa_bench::{cli, emit, harness, sweep_subset, NA};
-use qoa_core::harness::nursery_cells_tagged;
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, NA};
+use qoa_core::harness::{nursery_cells_tagged, nursery_spec};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
@@ -25,6 +25,20 @@ fn main() {
         .iter()
         .position(|&b| b == (1 << 20))
         .expect("1MB nursery is in the sweep");
+
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for (_, kind, llc) in configs {
+        let rt = RuntimeConfig::new(kind);
+        let uarch = UarchConfig::skylake().with_llc_size(llc);
+        let tag = format!("@llc={}", format_bytes(llc));
+        for &w in &suite {
+            for &n in NURSERY_SIZES.iter() {
+                specs.push(nursery_spec(w, cli.scale, &rt, &uarch, n, &tag, chaos));
+            }
+        }
+    }
+    prewarm(&cli, &mut h, specs);
 
     let mut cols: Vec<String> = vec!["configuration".into()];
     cols.extend(NURSERY_SIZES.iter().map(|&b| format_bytes(b)));

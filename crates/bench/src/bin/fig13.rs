@@ -2,10 +2,12 @@
 //! per benchmark, PyPy without and with JIT (paper: the average GC share
 //! grows ~4.6x — from 3% to 14% — when the JIT removes mutator work).
 
-use qoa_bench::{cli, emit, harness, limit, NA};
+use qoa_bench::{cell_chaos, cli, emit, harness, limit, prewarm, NA};
+use qoa_core::harness::capture_cell;
 use qoa_core::journal::{CellKey, CellMetrics, Metric};
 use qoa_core::report::{pct, Table};
 use qoa_core::runtime::{capture, RuntimeConfig};
+use qoa_core::SupervisedCell;
 // Fig. 13 uses a smaller scaled nursery so collections are frequent
 // enough to measure on laptop-scale workload instances.
 const FIG13_NURSERY: u64 = 256 << 10;
@@ -17,6 +19,32 @@ fn main() {
     let mut h = harness(&cli, "fig13");
     let suite = limit(&cli, qoa_workloads::python_suite());
     let uarch = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &w in &suite {
+        for kind in [RuntimeKind::PyPyNoJit, RuntimeKind::PyPyJit] {
+            let key = CellKey::new(
+                w.name,
+                format!("{kind:?}"),
+                "nursery",
+                FIG13_NURSERY.to_string(),
+            );
+            let mkey = key.clone();
+            let uarch = uarch.clone();
+            let scale = cli.scale;
+            specs.push(SupervisedCell::new(key, move |deadline| {
+                let rt = RuntimeConfig::new(kind)
+                    .with_nursery(FIG13_NURSERY)
+                    .with_deadline(deadline);
+                let run = capture_cell(&w.source(scale), &rt, chaos, &mkey)?;
+                let stats = run.trace.simulate_ooo(&uarch);
+                let mut m = CellMetrics::new();
+                m.insert("gc_share".into(), Metric::Num(stats.gc_share()));
+                Ok(m)
+            }));
+        }
+    }
+    prewarm(&cli, &mut h, specs);
     let mut t = Table::new(
         "Fig. 13: GC time as % of execution time (PyPy)",
         &["benchmark", "w/o JIT", "w/ JIT"],

@@ -1,8 +1,8 @@
 //! Fig. 14: per-benchmark normalized execution time across nursery sizes,
 //! PyPy **with** JIT, on the paper's eight-benchmark subset.
 
-use qoa_bench::{cli, emit, harness, sweep_subset, NA};
-use qoa_core::harness::nursery_cells;
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, NA};
+use qoa_core::harness::{nursery_cells, nursery_spec};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
@@ -24,6 +24,14 @@ pub fn run(kind: RuntimeKind, figure: &str, title: &str) {
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(kind);
     let uarch = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &w in &suite {
+        for &n in NURSERY_SIZES.iter() {
+            specs.push(nursery_spec(w, cli.scale, &rt, &uarch, n, "", chaos));
+        }
+    }
+    prewarm(&cli, &mut h, specs);
     let baseline_idx = NURSERY_SIZES
         .iter()
         .position(|&b| b == (1 << 20))

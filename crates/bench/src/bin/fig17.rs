@@ -3,8 +3,8 @@
 //! half-of-cache (1 MB) baseline — plus the paper's two headline
 //! averages: best-per-app (-21.4%) vs max-nursery-for-all (-9.8%).
 
-use qoa_bench::{cli, emit, harness, sweep_subset, NA};
-use qoa_core::harness::{best_nursery_cell, nursery_cells};
+use qoa_bench::{cell_chaos, cli, emit, harness, prewarm, sweep_subset, NA};
+use qoa_core::harness::{best_nursery_cell, nursery_cells, nursery_spec};
 use qoa_core::report::{f3, Table};
 use qoa_core::runtime::RuntimeConfig;
 use qoa_core::sweeps::{format_bytes, NURSERY_SIZES_SCALED as NURSERY_SIZES};
@@ -18,6 +18,14 @@ fn main() {
     let suite = sweep_subset(&cli, qoa_workloads::python_suite(), &FIG14_BENCHMARKS);
     let rt = RuntimeConfig::new(RuntimeKind::PyPyJit);
     let uarch = UarchConfig::skylake();
+    let chaos = cell_chaos(&cli);
+    let mut specs = Vec::new();
+    for &w in &suite {
+        for &n in NURSERY_SIZES.iter() {
+            specs.push(nursery_spec(w, cli.scale, &rt, &uarch, n, "", chaos));
+        }
+    }
+    prewarm(&cli, &mut h, specs);
     let baseline_idx = NURSERY_SIZES
         .iter()
         .position(|&b| b == (1 << 20))

@@ -30,7 +30,10 @@ use qoa_chaos::{FaultKind, FaultPlan};
 use qoa_core::journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric};
 use qoa_core::report::Table;
 use qoa_core::runtime::{capture, CapturedRun, RuntimeConfig};
-use qoa_core::{capture_chaos, oracle_check, run_isolated, ChaosOptions, ChaosOutcome};
+use qoa_core::{
+    available_jobs, capture_chaos, fault_kinds_for, oracle_check, run_isolated, run_supervised,
+    CellVerdict, ChaosOptions, ChaosOutcome, ExecutorOptions, SupervisedCell,
+};
 use qoa_model::RuntimeKind;
 use qoa_obs::metrics::Registry;
 use qoa_obs::parse_exposition;
@@ -56,6 +59,7 @@ struct ChaosCli {
     metrics: Option<PathBuf>,
     journal_dir: PathBuf,
     fresh: bool,
+    jobs: usize,
 }
 
 impl Default for ChaosCli {
@@ -70,6 +74,7 @@ impl Default for ChaosCli {
             metrics: None,
             journal_dir: PathBuf::from("results"),
             fresh: false,
+            jobs: available_jobs(),
         }
     }
 }
@@ -122,11 +127,15 @@ fn parse_cli() -> ChaosCli {
             "--metrics" => out.metrics = Some(PathBuf::from(args.next().unwrap_or_default())),
             "--journal-dir" => out.journal_dir = PathBuf::from(args.next().unwrap_or_default()),
             "--fresh" => out.fresh = true,
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                out.jobs = v.parse().expect("--jobs takes a thread count");
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --seeds N  --workloads smoke|all  --workload NAME  \
                      --runtime cpython|pypy-nojit|pypy-jit|v8|all  --scale tiny|small|full  \
-                     --checkpoint-every N  --metrics FILE  --journal-dir DIR  --fresh"
+                     --checkpoint-every N  --metrics FILE  --journal-dir DIR  --fresh  --jobs N"
                 );
                 std::process::exit(0);
             }
@@ -145,26 +154,24 @@ fn runtime_label(kind: RuntimeKind) -> &'static str {
     }
 }
 
-fn fault_kinds(kind: RuntimeKind) -> &'static [FaultKind] {
-    if matches!(kind, RuntimeKind::PyPyJit | RuntimeKind::V8) {
-        &FaultKind::ALL
-    } else {
-        &FaultKind::INTERP
-    }
+/// Everything one (workload, runtime) pair produces: journal records in
+/// seed order, oracle/typing violations, and the aggregated counters.
+/// Pairs run concurrently under the supervised executor; the committed
+/// order (submission order) keeps the journal deterministic for any
+/// `--jobs` count.
+#[derive(Default)]
+struct PairReport {
+    records: Vec<(CellKey, CellOutcome, CellMetrics)>,
+    violations: Vec<String>,
+    totals: ChaosOutcome,
+    cells: u64,
+    recovered_cells: u64,
+    degrade_cells: u64,
 }
 
 /// One sweep cell's journal outcome plus its chaos counters.
-fn record(
-    journal: &mut Option<Journal>,
-    key: CellKey,
-    outcome: CellOutcome,
-    chaos: &ChaosOutcome,
-) {
-    if let Some(j) = journal {
-        if let Err(e) = j.record_with_chaos(key, outcome, Some(chaos.to_metrics())) {
-            eprintln!("journal write failed (continuing): {e}");
-        }
-    }
+fn record(report: &mut PairReport, key: CellKey, outcome: CellOutcome, chaos: &ChaosOutcome) {
+    report.records.push((key, outcome, chaos.to_metrics()));
 }
 
 fn ok_metrics(run: &CapturedRun, chaos: &ChaosOutcome) -> CellMetrics {
@@ -176,11 +183,154 @@ fn ok_metrics(run: &CapturedRun, chaos: &ChaosOutcome) -> CellMetrics {
     m
 }
 
+/// The full chaos sweep for one (workload, runtime) pair: fault-free
+/// baseline, `seeds` seeded plans, and the JIT degrade passes.
+fn run_pair(
+    w: &'static Workload,
+    kind: RuntimeKind,
+    seeds: u64,
+    scale: Scale,
+    checkpoint_every: Option<u64>,
+    uarch: &UarchConfig,
+) -> PairReport {
+    let mut report = PairReport::default();
+    let source = w.source(scale);
+    let rt = RuntimeConfig::new(kind);
+    let baseline = run_isolated(|| capture(&source, &rt));
+    let (horizon, baseline_run) = match &baseline {
+        Ok(run) => (run.vm.bytecodes.max(1), Some(run)),
+        Err(f) => {
+            eprintln!(
+                "  {} / {}: baseline failed [{}]; chaos runs must agree",
+                w.name,
+                runtime_label(kind),
+                f.error.kind()
+            );
+            (1_000_000, None)
+        }
+    };
+    let cadence = checkpoint_every.unwrap_or_else(|| (horizon / 8).max(1024));
+    eprintln!("  {} / {} ({} bytecodes)", w.name, runtime_label(kind), horizon);
+
+    for seed in 0..seeds {
+        report.cells += 1;
+        let cell = format!("{} / {} / seed {}", w.name, runtime_label(kind), seed);
+        let plan = FaultPlan::seeded(seed, horizon, POINTS_PER_PLAN, fault_kinds_for(kind));
+        let opts = ChaosOptions::new(plan).with_checkpoint_every(cadence);
+        let key = CellKey::new(w.name, runtime_label(kind), "seed", seed.to_string());
+        match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
+            Ok((run, chaos)) => {
+                match baseline_run {
+                    Some(base) => {
+                        if let Some(div) = oracle_check(base, &run, uarch) {
+                            report.violations.push(format!("{cell}: oracle violated: {div}"));
+                        }
+                    }
+                    None => report
+                        .violations
+                        .push(format!("{cell}: completed but the fault-free baseline failed")),
+                }
+                if chaos.recoveries_total() > 0 {
+                    report.recovered_cells += 1;
+                }
+                record(&mut report, key, CellOutcome::Ok(ok_metrics(&run, &chaos)), &chaos);
+                merge(&mut report.totals, &chaos);
+            }
+            Err(failure) => {
+                let kind_tag = failure.error.kind();
+                if kind_tag == "panic" {
+                    report.violations.push(format!("{cell}: panic escaped: {}", failure.error));
+                } else if kind_tag == "injected" {
+                    report.violations.push(format!(
+                        "{cell}: injected fault surfaced unrecovered: {}",
+                        failure.error
+                    ));
+                } else if let Ok(_base) = &baseline {
+                    report.violations.push(format!(
+                        "{cell}: failed [{kind_tag}] but the baseline completed: {}",
+                        failure.error
+                    ));
+                } else if let Err(base) = &baseline {
+                    if base.error.kind() != kind_tag {
+                        report.violations.push(format!(
+                            "{cell}: failed [{kind_tag}] but the baseline failed [{}]",
+                            base.error.kind()
+                        ));
+                    }
+                }
+                let chaos = ChaosOutcome::default();
+                record(
+                    &mut report,
+                    key,
+                    CellOutcome::Failed {
+                        kind: kind_tag.to_string(),
+                        message: failure.error.to_string(),
+                        location: failure.error.location().map(str::to_string),
+                    },
+                    &chaos,
+                );
+            }
+        }
+
+        // Degrade-mode pass: JIT faults deopt in place; the run must
+        // still complete with the baseline's guest result.
+        if matches!(kind, RuntimeKind::PyPyJit | RuntimeKind::V8) {
+            report.degrade_cells += 1;
+            let plan = FaultPlan::seeded(
+                seed,
+                horizon,
+                POINTS_PER_PLAN,
+                &[FaultKind::JitCompileFault, FaultKind::TraceAbort],
+            );
+            let opts = ChaosOptions::new(plan).with_checkpoint_every(cadence).with_degrade_jit();
+            let key = CellKey::new(w.name, runtime_label(kind), "degrade-seed", seed.to_string());
+            match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
+                Ok((run, chaos)) => {
+                    if let Some(base) = baseline_run {
+                        if base.result != run.result {
+                            report.violations.push(format!(
+                                "{cell} (degrade): guest result diverged: {:?} vs {:?}",
+                                base.result, run.result
+                            ));
+                        }
+                    }
+                    record(&mut report, key, CellOutcome::Ok(ok_metrics(&run, &chaos)), &chaos);
+                    merge(&mut report.totals, &chaos);
+                }
+                Err(failure) => {
+                    let kind_tag = failure.error.kind();
+                    if kind_tag == "panic" {
+                        report
+                            .violations
+                            .push(format!("{cell} (degrade): panic escaped: {}", failure.error));
+                    } else if baseline.is_ok() {
+                        report.violations.push(format!(
+                            "{cell} (degrade): failed [{kind_tag}]: {}",
+                            failure.error
+                        ));
+                    }
+                    record(
+                        &mut report,
+                        key,
+                        CellOutcome::Failed {
+                            kind: kind_tag.to_string(),
+                            message: failure.error.to_string(),
+                            location: failure.error.location().map(str::to_string),
+                        },
+                        &ChaosOutcome::default(),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
 fn main() {
     let cli = parse_cli();
     let uarch = UarchConfig::skylake();
     let suite = qoa_workloads::python_suite();
-    let workloads: Vec<&Workload> = if let Some(name) = &cli.only_workload {
+    let workloads: Vec<&'static Workload> = if let Some(name) = &cli.only_workload {
         suite.iter().filter(|w| w.name == name).collect()
     } else if cli.all_workloads {
         suite.iter().collect()
@@ -204,165 +354,56 @@ fn main() {
     let mut degrade_cells = 0u64;
 
     eprintln!(
-        "chaos sweep: {} workloads x {} runtimes x {} seeds at {:?} scale",
+        "chaos sweep: {} workloads x {} runtimes x {} seeds at {:?} scale ({} jobs)",
         workloads.len(),
         cli.runtimes.len(),
         cli.seeds,
-        cli.scale
+        cli.scale,
+        cli.jobs.max(1)
     );
 
-    for w in &workloads {
-        let source = w.source(cli.scale);
+    // Fan the (workload, runtime) pairs out over the supervised executor.
+    // A pair's report is self-contained; the in-order commit makes the
+    // journal and the violation list identical for any jobs count.
+    let mut specs = Vec::new();
+    for &w in &workloads {
         for &kind in &cli.runtimes {
-            let rt = RuntimeConfig::new(kind);
-            let baseline = run_isolated(|| capture(&source, &rt));
-            let (horizon, baseline_run) = match &baseline {
-                Ok(run) => (run.vm.bytecodes.max(1), Some(run)),
-                Err(f) => {
-                    eprintln!(
-                        "  {} / {}: baseline failed [{}]; chaos runs must agree",
-                        w.name,
-                        runtime_label(kind),
-                        f.error.kind()
-                    );
-                    (1_000_000, None)
-                }
-            };
-            let cadence = cli.checkpoint_every.unwrap_or_else(|| (horizon / 8).max(1024));
-            eprintln!("  {} / {} ({} bytecodes)", w.name, runtime_label(kind), horizon);
-
-            for seed in 0..cli.seeds {
-                cells += 1;
-                let cell = format!("{} / {} / seed {}", w.name, runtime_label(kind), seed);
-                let plan =
-                    FaultPlan::seeded(seed, horizon, POINTS_PER_PLAN, fault_kinds(kind));
-                let opts = ChaosOptions::new(plan).with_checkpoint_every(cadence);
-                let key = CellKey::new(
-                    w.name,
-                    runtime_label(kind),
-                    "seed",
-                    seed.to_string(),
-                );
-                match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
-                    Ok((run, chaos)) => {
-                        match baseline_run {
-                            Some(base) => {
-                                if let Some(div) = oracle_check(base, &run, &uarch) {
-                                    violations.push(format!("{cell}: oracle violated: {div}"));
-                                }
-                            }
-                            None => violations.push(format!(
-                                "{cell}: completed but the fault-free baseline failed"
-                            )),
-                        }
-                        if chaos.recoveries_total() > 0 {
-                            recovered_cells += 1;
-                        }
-                        record(
-                            &mut journal,
-                            key,
-                            CellOutcome::Ok(ok_metrics(&run, &chaos)),
-                            &chaos,
-                        );
-                        merge(&mut totals, &chaos);
-                    }
-                    Err(failure) => {
-                        let kind_tag = failure.error.kind();
-                        if kind_tag == "panic" {
-                            violations.push(format!("{cell}: panic escaped: {}", failure.error));
-                        } else if kind_tag == "injected" {
-                            violations.push(format!(
-                                "{cell}: injected fault surfaced unrecovered: {}",
-                                failure.error
-                            ));
-                        } else if let Ok(_base) = &baseline {
-                            violations.push(format!(
-                                "{cell}: failed [{kind_tag}] but the baseline completed: {}",
-                                failure.error
-                            ));
-                        } else if let Err(base) = &baseline {
-                            if base.error.kind() != kind_tag {
-                                violations.push(format!(
-                                    "{cell}: failed [{kind_tag}] but the baseline failed [{}]",
-                                    base.error.kind()
-                                ));
-                            }
-                        }
-                        let chaos = ChaosOutcome::default();
-                        record(
-                            &mut journal,
-                            key,
-                            CellOutcome::Failed {
-                                kind: kind_tag.to_string(),
-                                message: failure.error.to_string(),
-                                location: failure.error.location().map(str::to_string),
-                            },
-                            &chaos,
-                        );
-                    }
-                }
-
-                // Degrade-mode pass: JIT faults deopt in place; the run
-                // must still complete with the baseline's guest result.
-                if matches!(kind, RuntimeKind::PyPyJit | RuntimeKind::V8) {
-                    degrade_cells += 1;
-                    let plan = FaultPlan::seeded(
-                        seed,
-                        horizon,
-                        POINTS_PER_PLAN,
-                        &[FaultKind::JitCompileFault, FaultKind::TraceAbort],
-                    );
-                    let opts = ChaosOptions::new(plan)
-                        .with_checkpoint_every(cadence)
-                        .with_degrade_jit();
-                    let key = CellKey::new(
-                        w.name,
-                        runtime_label(kind),
-                        "degrade-seed",
-                        seed.to_string(),
-                    );
-                    match run_isolated(|| capture_chaos(&source, &rt, &opts)) {
-                        Ok((run, chaos)) => {
-                            if let Some(base) = baseline_run {
-                                if base.result != run.result {
-                                    violations.push(format!(
-                                        "{cell} (degrade): guest result diverged: {:?} vs {:?}",
-                                        base.result, run.result
-                                    ));
-                                }
-                            }
-                            record(
-                                &mut journal,
-                                key,
-                                CellOutcome::Ok(ok_metrics(&run, &chaos)),
-                                &chaos,
-                            );
-                            merge(&mut totals, &chaos);
-                        }
-                        Err(failure) => {
-                            let kind_tag = failure.error.kind();
-                            if kind_tag == "panic" {
-                                violations
-                                    .push(format!("{cell} (degrade): panic escaped: {}", failure.error));
-                            } else if baseline.is_ok() {
-                                violations.push(format!(
-                                    "{cell} (degrade): failed [{kind_tag}]: {}",
-                                    failure.error
-                                ));
-                            }
-                            record(
-                                &mut journal,
-                                key,
-                                CellOutcome::Failed {
-                                    kind: kind_tag.to_string(),
-                                    message: failure.error.to_string(),
-                                    location: failure.error.location().map(str::to_string),
-                                },
-                                &ChaosOutcome::default(),
-                            );
+            let key =
+                CellKey::new(w.name, runtime_label(kind), "chaos-pair", format!("{:?}", cli.scale));
+            let seeds = cli.seeds;
+            let scale = cli.scale;
+            let checkpoint_every = cli.checkpoint_every;
+            let uarch = uarch.clone();
+            specs.push(SupervisedCell::new(key, move |_deadline| {
+                Ok(run_pair(w, kind, seeds, scale, checkpoint_every, &uarch))
+            }));
+        }
+    }
+    let (committed, _stats) = run_supervised(specs, &ExecutorOptions::new(cli.jobs.max(1)));
+    for c in committed {
+        match c.verdict {
+            CellVerdict::Ok { value: rep, .. } => {
+                for (key, outcome, chaos_metrics) in rep.records {
+                    if let Some(j) = &mut journal {
+                        if let Err(e) = j.record_with_chaos(key, outcome, Some(chaos_metrics)) {
+                            eprintln!("journal write failed (continuing): {e}");
                         }
                     }
                 }
+                violations.extend(rep.violations);
+                merge(&mut totals, &rep.totals);
+                cells += rep.cells;
+                recovered_cells += rep.recovered_cells;
+                degrade_cells += rep.degrade_cells;
+            }
+            CellVerdict::Failed { kind, message, .. } => {
+                violations.push(format!("{}: pair sweep failed [{kind}]: {message}", c.key));
+            }
+            CellVerdict::Shed { reason } => {
+                violations.push(format!("{}: pair sweep shed ({})", c.key, reason.name()));
+            }
+            CellVerdict::Lost { .. } => {
+                violations.push(format!("{}: pair sweep lost to a hung worker", c.key));
             }
         }
     }

@@ -15,9 +15,24 @@
 //! * `--max-failure-rate F` — failure rate (0–1) above which the binary
 //!   exits nonzero (default 0.25).
 //! * `--journal-dir DIR` — where run journals live (default `results/`).
+//! * `--jobs N` — worker threads for the supervised parallel executor
+//!   (default: available parallelism). `--jobs 1` runs the same
+//!   supervision pipeline on a single worker; outcomes are identical for
+//!   any jobs count by the executor's determinism contract.
+//! * `--seed N` — executor seed (retry backoff schedules; default 0).
+//! * `--budget N` — admission budget in cell cost units; cells beyond it
+//!   are shed lowest-priority-first (recorded `shed`, not `failed`).
+//! * `--chaos-seed N` — run every prewarmed cell under a seeded chaos
+//!   fault plan (recovered faults; measured results stay identical to
+//!   fault-free runs by the differential oracle).
+//! * `--exec-metrics` — print the executor's scheduler counters to
+//!   stderr as Prometheus text exposition after the prewarm pass.
 
+use qoa_core::harness::CellChaos;
 use qoa_core::report::Table;
-use qoa_core::{Harness, HarnessOptions};
+use qoa_core::{
+    available_jobs, CellMetrics, ExecutorOptions, Harness, HarnessOptions, SupervisedCell,
+};
 use qoa_workloads::{Scale, Workload};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -41,6 +56,16 @@ pub struct Cli {
     pub max_failure_rate: f64,
     /// Journal directory.
     pub journal_dir: PathBuf,
+    /// Worker threads for the supervised parallel executor.
+    pub jobs: usize,
+    /// Executor seed (deterministic retry backoff schedules).
+    pub seed: u64,
+    /// Admission budget in cell cost units (`None` = admit everything).
+    pub budget: Option<u64>,
+    /// Seed for per-cell chaos fault plans during prewarm.
+    pub chaos_seed: Option<u64>,
+    /// Print executor scheduler metrics to stderr after prewarm.
+    pub exec_metrics: bool,
 }
 
 impl Default for Cli {
@@ -54,6 +79,11 @@ impl Default for Cli {
             deadline_secs: None,
             max_failure_rate: 0.25,
             journal_dir: PathBuf::from("results"),
+            jobs: available_jobs(),
+            seed: 0,
+            budget: None,
+            chaos_seed: None,
+            exec_metrics: false,
         }
     }
 }
@@ -116,10 +146,28 @@ pub fn cli() -> Cli {
             "--journal-dir" => {
                 out.journal_dir = PathBuf::from(args.next().unwrap_or_default());
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                out.jobs = v.parse().expect("--jobs takes a thread count");
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                out.seed = v.parse().expect("--seed takes an integer");
+            }
+            "--budget" => {
+                let v = args.next().unwrap_or_default();
+                out.budget = Some(v.parse().expect("--budget takes a cost total"));
+            }
+            "--chaos-seed" => {
+                let v = args.next().unwrap_or_default();
+                out.chaos_seed = Some(v.parse().expect("--chaos-seed takes an integer"));
+            }
+            "--exec-metrics" => out.exec_metrics = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale tiny|small|full  --subset N  --all  --csv  --fresh  \
-                     --deadline-secs N  --max-failure-rate F  --journal-dir DIR"
+                     --deadline-secs N  --max-failure-rate F  --journal-dir DIR  --jobs N  \
+                     --seed N  --budget N  --chaos-seed N  --exec-metrics"
                 );
                 std::process::exit(0);
             }
@@ -127,6 +175,33 @@ pub fn cli() -> Cli {
         }
     }
     out
+}
+
+/// The executor configuration implied by the CLI: thread count, seed,
+/// budget, and the per-cell deadline (which also arms the watchdog).
+pub fn executor_options(cli: &Cli) -> ExecutorOptions {
+    let mut opts = ExecutorOptions::new(cli.jobs.max(1));
+    opts.seed = cli.seed;
+    opts.budget = cli.budget;
+    opts.cell_deadline = cli.deadline_secs.map(Duration::from_secs);
+    opts
+}
+
+/// The per-cell chaos configuration implied by `--chaos-seed`, if any.
+pub fn cell_chaos(cli: &Cli) -> Option<CellChaos> {
+    cli.chaos_seed.map(|seed| CellChaos { seed, horizon: 20_000, points: 3 })
+}
+
+/// Runs the figure's cell specs through the supervised parallel executor
+/// (journaling every outcome, so the sequential render loop that follows
+/// answers each cell from the journal) and honours `--exec-metrics`.
+pub fn prewarm(cli: &Cli, h: &mut Harness, specs: Vec<SupervisedCell<CellMetrics>>) {
+    let stats = h.prewarm(specs, &executor_options(cli));
+    if cli.exec_metrics {
+        let mut reg = qoa_obs::metrics::Registry::new();
+        stats.export(&mut reg);
+        eprint!("{}", reg.expose());
+    }
 }
 
 /// Applies the subset limit to a suite.

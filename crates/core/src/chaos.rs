@@ -286,6 +286,19 @@ fn corrupt_code(code: &CodeObject, seed: u64) -> CodeObject {
     bad
 }
 
+/// The fault kinds a run-time can meaningfully absorb: JIT run-times
+/// get the full set (including compile faults and trace aborts),
+/// interpreter-only run-times the interpreter subset. Seeded plans built
+/// for supervised chaos cells use this so a `CPython` cell never wastes
+/// injection points on JIT-only faults that can't fire.
+pub fn fault_kinds_for(kind: RuntimeKind) -> &'static [FaultKind] {
+    if kind.has_jit() {
+        &FaultKind::ALL
+    } else {
+        &FaultKind::INTERP
+    }
+}
+
 /// Runs `source` under `rt` with the fault plan in `opts` armed,
 /// recovering injected faults so that — when the run completes — the
 /// captured trace is byte-identical to a fault-free [`capture`].

@@ -96,6 +96,17 @@ impl QoaError {
         matches!(self, QoaError::Compile(_) | QoaError::Verify(_) | QoaError::Guest { .. })
     }
 
+    /// True for failures worth retrying: a caught panic (possibly a
+    /// transient harness bug or environmental hiccup) and a wall-clock
+    /// deadline miss (machine load, not the cell itself). Everything
+    /// deterministic — guest faults, verification failures, fuel and
+    /// simulated-OOM cutoffs, unrecovered injected faults — reproduces
+    /// identically on retry, so the supervised executor does not waste
+    /// attempts on it.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, QoaError::Panic { .. } | QoaError::DeadlineExceeded { .. })
+    }
+
     /// Journal I/O failure with context.
     pub fn journal(context: impl Into<String>, source: std::io::Error) -> Self {
         QoaError::Journal { context: context.into(), source }
@@ -192,6 +203,18 @@ mod tests {
         assert!(!QoaError::FuelExhausted { steps: 1 }.is_guest_fault());
         assert!(!QoaError::Panic { message: "x".into(), location: None }.is_guest_fault());
         assert!(!QoaError::Injected { what: "fuel", steps: 1 }.is_guest_fault());
+    }
+
+    #[test]
+    fn transient_classification_drives_retry_policy() {
+        // Retryable: panics and deadline misses.
+        assert!(QoaError::Panic { message: "x".into(), location: None }.is_transient());
+        assert!(QoaError::DeadlineExceeded { steps: 9 }.is_transient());
+        // Deterministic: reproduce identically, never retried.
+        assert!(!QoaError::Guest { message: "x".into(), line: 1 }.is_transient());
+        assert!(!QoaError::FuelExhausted { steps: 1 }.is_transient());
+        assert!(!QoaError::OutOfMemory { live_bytes: 2, limit_bytes: 1 }.is_transient());
+        assert!(!QoaError::Injected { what: "fuel", steps: 1 }.is_transient());
     }
 
     #[test]

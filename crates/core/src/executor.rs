@@ -1,0 +1,1378 @@
+//! The supervised parallel sweep executor.
+//!
+//! A figure is a grid of hundreds of independent (workload × runtime ×
+//! parameter) cells. [`run_supervised`] executes such a batch on a pool
+//! of N worker threads — each cell isolated through
+//! [`run_isolated`](crate::isolate::run_isolated) — under four layers of
+//! supervision:
+//!
+//! * **Retry with seeded backoff** — a cell whose failure is classified
+//!   transient by [`QoaError::is_transient`] (caught panics, wall-clock
+//!   deadline misses) is retried up to [`RetryPolicy::max_attempts`]
+//!   times, sleeping an exponentially growing, jittered delay between
+//!   attempts. The whole schedule is a pure function of the executor
+//!   seed and the cell key, so a rerun retries on exactly the same
+//!   schedule regardless of thread interleaving.
+//! * **Per-runtime circuit breakers** — K consecutive committed failures
+//!   for one runtime open its breaker; subsequent cells of that runtime
+//!   are shed (recorded as `shed`, not `failed`) until a cooldown has
+//!   passed, then a single probe cell runs half-open and decides whether
+//!   the breaker closes again.
+//! * **Admission control / load shedding** — when a batch cost budget is
+//!   configured, the gate admits cells highest-priority-first and sheds
+//!   the rest up front, again as `shed`, never `failed`.
+//! * **A watchdog** — when cells carry a wall-clock deadline, a watchdog
+//!   thread scans the worker pool; a worker stuck past its cell's
+//!   deadline plus a grace period has the cell marked **lost**, the
+//!   worker abandoned (never joined), and a replacement worker spawned —
+//!   the process and the rest of the sweep keep going.
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed and batch, the committed outcome of every cell is
+//! identical regardless of `jobs` and of scheduling order. The executor
+//! achieves this by splitting *execution* from *commitment*: workers run
+//! cells speculatively in any order, but outcomes are **committed
+//! strictly in submission order**, and all supervision state that couples
+//! cells together — the circuit breakers — advances only at commit time,
+//! driven purely by the (deterministic) per-cell results. A worker may
+//! consult the committed breaker board to *skip* running a cell whose
+//! runtime looks open, but that is an execution-saving hint only: if the
+//! commit pass disagrees, the cell is re-dispatched and run for real. The
+//! one exception is the watchdog: losing a cell depends on wall-clock
+//! behaviour, which is inherently nondeterministic — watchdog supervision
+//! only activates when a wall-clock cell deadline is configured, which is
+//! itself a nondeterministic mode.
+
+use crate::error::QoaError;
+use crate::isolate::run_isolated;
+use crate::journal::CellKey;
+use qoa_obs::metrics::Registry;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard if a worker panicked while
+/// holding it (supervision state stays usable; the poisoned cell itself
+/// was already isolated).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Worker threads available on this machine (the `--jobs` default).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+// ---- deterministic scheduling RNG -----------------------------------------
+
+/// FNV-1a over a cell key's display form: the per-cell seed component.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Derives a per-cell seed from a batch seed and the cell's key: a pure
+/// function of the two, so any thread deriving it for the same cell gets
+/// the same value. Used to seed per-cell chaos fault plans.
+pub fn cell_seed(seed: u64, key: &CellKey) -> u64 {
+    SplitMix64::new(seed ^ fnv1a(&key.to_string())).next()
+}
+
+/// SplitMix64: tiny, deterministic, and good enough for backoff jitter.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---- retry policy ----------------------------------------------------------
+
+/// Retry policy for transiently failing cells.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Times a cell may run in total (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Upper clamp on the exponential term (applied before jitter).
+    pub cap: Duration,
+    /// Jitter fraction `j` in `[0, 1]`: each delay is scaled by a factor
+    /// drawn uniformly from `[1 - j, 1 + j]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The backoff delay slept after failed attempt `attempt` (1-based).
+    ///
+    /// A pure function of `(seed, key, attempt)`: thread interleaving,
+    /// sibling cells, and wall time never influence the schedule.
+    pub fn backoff(&self, seed: u64, key: &CellKey, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let mut rng =
+            SplitMix64::new(seed ^ fnv1a(&key.to_string()) ^ (u64::from(attempt) << 32));
+        let factor = 1.0 - jitter + 2.0 * jitter * rng.next_f64();
+        exp.mul_f64(factor)
+    }
+
+    /// The full deterministic retry schedule for one cell: the delay
+    /// slept after each failed attempt `1..max_attempts`.
+    pub fn schedule(&self, seed: u64, key: &CellKey) -> Vec<Duration> {
+        (1..self.max_attempts).map(|attempt| self.backoff(seed, key, attempt)).collect()
+    }
+}
+
+// ---- circuit breaker -------------------------------------------------------
+
+/// Circuit-breaker tuning for one runtime.
+#[derive(Debug, Clone)]
+pub struct BreakerOptions {
+    /// Consecutive committed failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Cells shed while open before the breaker half-opens and probes.
+    pub cooldown_sheds: u32,
+}
+
+impl Default for BreakerOptions {
+    fn default() -> Self {
+        BreakerOptions { failure_threshold: 5, cooldown_sheds: 8 }
+    }
+}
+
+/// The classic three-state breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: cells run, consecutive failures are counted.
+    Closed,
+    /// Tripped: cells of this runtime are shed without running.
+    Open,
+    /// Cooled down: the next cell runs as a probe and decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The journal/metrics label (`closed`, `open`, `half-open`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One runtime's breaker, advanced only by the ordered commit pass.
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    sheds_while_open: u32,
+    opts: BreakerOptions,
+}
+
+impl Breaker {
+    fn new(opts: BreakerOptions) -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            sheds_while_open: 0,
+            opts,
+        }
+    }
+
+    /// A committed success: closes a half-open breaker, resets the
+    /// failure streak.
+    fn on_success(&mut self) -> Option<BreakerState> {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            return Some(self.state);
+        }
+        None
+    }
+
+    /// A committed failure: trips a closed breaker at the threshold and
+    /// re-opens a half-open one immediately.
+    fn on_failure(&mut self) -> Option<BreakerState> {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.opts.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.sheds_while_open = 0;
+                    return Some(self.state);
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.sheds_while_open = 0;
+                Some(self.state)
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// A cell shed while open: after the cooldown, half-open for a probe.
+    fn on_shed(&mut self) -> Option<BreakerState> {
+        if self.state == BreakerState::Open {
+            self.sheds_while_open += 1;
+            if self.sheds_while_open >= self.opts.cooldown_sheds {
+                self.state = BreakerState::HalfOpen;
+                return Some(self.state);
+            }
+        }
+        None
+    }
+}
+
+// ---- options, cells, verdicts ---------------------------------------------
+
+/// How to run one supervised batch.
+#[derive(Debug, Clone)]
+pub struct ExecutorOptions {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Seed for the deterministic retry schedules.
+    pub seed: u64,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-runtime circuit-breaker tuning.
+    pub breaker: BreakerOptions,
+    /// Admission budget in cell cost units (`None` = admit everything).
+    pub budget: Option<u64>,
+    /// Per-attempt wall-clock deadline handed to each cell. Also arms
+    /// the watchdog: a worker stuck past `deadline + watchdog_grace` has
+    /// its cell marked lost.
+    pub cell_deadline: Option<Duration>,
+    /// Watchdog slack past the cell deadline before a worker is declared
+    /// hung.
+    pub watchdog_grace: Duration,
+    /// Bounded work-queue capacity (0 = `4 × jobs`).
+    pub queue_capacity: usize,
+}
+
+impl ExecutorOptions {
+    /// Defaults for `jobs` worker threads.
+    pub fn new(jobs: usize) -> ExecutorOptions {
+        ExecutorOptions {
+            jobs,
+            seed: 0,
+            retry: RetryPolicy::default(),
+            breaker: BreakerOptions::default(),
+            budget: None,
+            cell_deadline: None,
+            watchdog_grace: Duration::from_secs(2),
+            queue_capacity: 0,
+        }
+    }
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        ExecutorOptions::new(available_jobs())
+    }
+}
+
+/// The measurement closure of one cell. `FnMut` because retries re-run
+/// it; each invocation receives that attempt's absolute deadline.
+pub type CellJobFn<T> = Box<dyn FnMut(Option<Instant>) -> Result<T, QoaError> + Send>;
+
+/// One cell submitted to the executor.
+pub struct SupervisedCell<T> {
+    /// Journal identity of the cell.
+    pub key: CellKey,
+    /// Circuit-breaker group (defaults to the key's runtime).
+    pub runtime: String,
+    /// Admission priority: higher survives the budget gate longer.
+    pub priority: i64,
+    /// Admission cost in budget units.
+    pub cost: u64,
+    /// The measurement itself.
+    pub job: CellJobFn<T>,
+}
+
+impl<T> SupervisedCell<T> {
+    /// A cell with default priority 0 and cost 1, grouped by the key's
+    /// runtime.
+    pub fn new(
+        key: CellKey,
+        job: impl FnMut(Option<Instant>) -> Result<T, QoaError> + Send + 'static,
+    ) -> SupervisedCell<T> {
+        let runtime = key.runtime.clone();
+        SupervisedCell { key, runtime, priority: 0, cost: 1, job: Box::new(job) }
+    }
+
+    /// Returns the cell with its admission priority set.
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns the cell with its admission cost set.
+    pub fn with_cost(mut self, cost: u64) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl<T> std::fmt::Debug for SupervisedCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedCell")
+            .field("key", &self.key)
+            .field("runtime", &self.runtime)
+            .field("priority", &self.priority)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a cell was shed instead of run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission budget was exhausted by higher-priority cells.
+    Budget,
+    /// The cell's runtime circuit breaker was open at commit time.
+    Breaker,
+}
+
+impl ShedReason {
+    /// The journal/metrics label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::Budget => "budget",
+            ShedReason::Breaker => "breaker",
+        }
+    }
+}
+
+/// The committed outcome of one supervised cell.
+#[derive(Debug)]
+pub enum CellVerdict<T> {
+    /// The cell succeeded (possibly after retries).
+    Ok {
+        /// The measurement.
+        value: T,
+        /// Times the cell ran.
+        attempts: u32,
+    },
+    /// The cell failed after exhausting its retry budget (or with a
+    /// non-transient error on the first attempt).
+    Failed {
+        /// [`QoaError::kind`] tag.
+        kind: String,
+        /// Rendered error.
+        message: String,
+        /// Panic site, when captured.
+        location: Option<String>,
+        /// Times the cell ran.
+        attempts: u32,
+    },
+    /// Admission was denied; the cell never produced a result.
+    Shed {
+        /// Which gate declined it.
+        reason: ShedReason,
+    },
+    /// The watchdog declared the worker hung past the cell deadline.
+    Lost {
+        /// Attempts started before the worker was abandoned.
+        attempts: u32,
+    },
+}
+
+/// One cell's commit record, in submission order.
+#[derive(Debug)]
+pub struct CommittedCell<T> {
+    /// The cell's journal identity.
+    pub key: CellKey,
+    /// Its breaker group.
+    pub runtime: String,
+    /// The outcome.
+    pub verdict: CellVerdict<T>,
+    /// The runtime breaker state the commit decision was made under.
+    pub breaker: BreakerState,
+}
+
+// ---- scheduler statistics --------------------------------------------------
+
+/// Counters describing what the supervisor did, exported through
+/// `qoa-obs` under the `qoa_executor_*` metric families.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Worker threads the batch ran on.
+    pub jobs: u64,
+    /// Cells submitted.
+    pub cells_submitted: u64,
+    /// Cells committed successful.
+    pub cells_ok: u64,
+    /// Cells committed failed.
+    pub cells_failed: u64,
+    /// Cells shed by the admission budget gate.
+    pub cells_shed_budget: u64,
+    /// Cells shed by an open circuit breaker.
+    pub cells_shed_breaker: u64,
+    /// Cells lost to hung workers.
+    pub cells_lost: u64,
+    /// Total cell executions (first attempts + retries).
+    pub attempts: u64,
+    /// Retries alone.
+    pub retries: u64,
+    /// Breaker transitions into open.
+    pub breaker_opened: u64,
+    /// Breaker transitions into half-open.
+    pub breaker_half_opened: u64,
+    /// Breaker transitions into closed (successful probes).
+    pub breaker_closed: u64,
+    /// Deepest the bounded work queue got.
+    pub queue_depth_peak: u64,
+    /// Speculative results discarded because the ordered commit shed or
+    /// lost the cell first.
+    pub speculative_discards: u64,
+    /// Breaker-skip hints that the commit pass overruled (cell was
+    /// re-dispatched and run for real).
+    pub redispatches: u64,
+}
+
+impl ExecutorStats {
+    /// Exports the counters into a metrics registry under the same
+    /// conventions the chaos and VM layers use.
+    pub fn export(&self, reg: &mut Registry) {
+        let jobs = reg.gauge("qoa_executor_jobs", "Worker threads in the supervised executor");
+        reg.set(jobs, self.jobs as f64);
+        for (outcome, n) in [
+            ("ok", self.cells_ok),
+            ("failed", self.cells_failed),
+            ("shed_budget", self.cells_shed_budget),
+            ("shed_breaker", self.cells_shed_breaker),
+            ("lost", self.cells_lost),
+        ] {
+            let id = reg.labeled_counter(
+                "qoa_executor_cells_total",
+                "Supervised cells committed, by outcome",
+                "outcome",
+                outcome,
+            );
+            reg.add(id, n);
+        }
+        let attempts =
+            reg.counter("qoa_executor_attempts_total", "Cell executions including retries");
+        reg.add(attempts, self.attempts);
+        let retries = reg.counter("qoa_executor_retries_total", "Cell retries after transient failures");
+        reg.add(retries, self.retries);
+        for (state, n) in [
+            ("open", self.breaker_opened),
+            ("half-open", self.breaker_half_opened),
+            ("closed", self.breaker_closed),
+        ] {
+            let id = reg.labeled_counter(
+                "qoa_executor_breaker_transitions_total",
+                "Circuit-breaker state transitions, by destination state",
+                "to",
+                state,
+            );
+            reg.add(id, n);
+        }
+        let depth = reg.gauge(
+            "qoa_executor_queue_depth_peak",
+            "Deepest the bounded work queue got during the batch",
+        );
+        reg.set(depth, self.queue_depth_peak as f64);
+        let discards = reg.counter(
+            "qoa_executor_speculative_discards_total",
+            "Speculative results discarded by the ordered commit pass",
+        );
+        reg.add(discards, self.speculative_discards);
+        let redispatches = reg.counter(
+            "qoa_executor_redispatches_total",
+            "Breaker-skip hints overruled by the commit pass",
+        );
+        reg.add(redispatches, self.redispatches);
+    }
+}
+
+// ---- shared executor state -------------------------------------------------
+
+/// Immutable per-cell metadata workers and the committer both read.
+struct CellMeta {
+    key: CellKey,
+    runtime: String,
+    runtime_idx: usize,
+}
+
+struct WorkItem {
+    index: usize,
+    /// A forced item must run even if the breaker board looks open (the
+    /// commit pass decided it needs the real result).
+    forced: bool,
+}
+
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    /// False once the batch is fully committed: workers drain and exit.
+    open: bool,
+    depth_peak: usize,
+}
+
+/// A hung-worker watch entry.
+#[derive(Default)]
+struct WatchSlot {
+    /// `(cell index, watch deadline, attempts started)` while a job runs.
+    in_flight: Option<(usize, Option<Instant>, u32)>,
+    /// Set by the watchdog: the worker is considered hung; it must exit
+    /// after its current job and its results are ignored.
+    abandoned: bool,
+}
+
+enum WorkerVerdict<T> {
+    Ok { value: T, attempts: u32 },
+    Failed { kind: String, message: String, location: Option<String>, attempts: u32 },
+    /// Skipped on an open-breaker hint; the job is still in its slot.
+    NotRun,
+    /// Declared hung by the watchdog.
+    Lost { attempts: u32 },
+}
+
+struct Report<T> {
+    index: usize,
+    verdict: WorkerVerdict<T>,
+}
+
+struct Shared<T> {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    /// Each cell's job, taken by the worker that runs it.
+    slots: Vec<Mutex<Option<CellJobFn<T>>>>,
+    meta: Vec<CellMeta>,
+    /// Committed-state hint per runtime: true while the breaker is open.
+    breaker_open: Vec<AtomicBool>,
+    /// Set once a cell commits: a queued item for it is stale, skip it.
+    done: Vec<AtomicBool>,
+    watch: Mutex<Vec<WatchSlot>>,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+}
+
+#[derive(Clone)]
+struct WorkerOpts {
+    retry: RetryPolicy,
+    seed: u64,
+    cell_deadline: Option<Duration>,
+    watchdog_grace: Duration,
+}
+
+struct WorkerHandle {
+    wid: usize,
+    handle: std::thread::JoinHandle<()>,
+}
+
+fn spawn_worker<T: Send + 'static>(
+    shared: &Arc<Shared<T>>,
+    opts: &WorkerOpts,
+    tx: &Sender<Report<T>>,
+    handles: &Arc<Mutex<Vec<WorkerHandle>>>,
+) {
+    let wid = {
+        let mut watch = lock(&shared.watch);
+        watch.push(WatchSlot::default());
+        watch.len() - 1
+    };
+    let shared = Arc::clone(shared);
+    let opts = opts.clone();
+    let tx = tx.clone();
+    let handle = std::thread::spawn(move || worker_loop(&shared, wid, &opts, &tx));
+    lock(handles).push(WorkerHandle { wid, handle });
+}
+
+fn worker_loop<T: Send>(
+    shared: &Arc<Shared<T>>,
+    wid: usize,
+    opts: &WorkerOpts,
+    tx: &Sender<Report<T>>,
+) {
+    loop {
+        // Pull the next work item from the bounded queue.
+        let item = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    break item;
+                }
+                if !q.open {
+                    return;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let meta = &shared.meta[item.index];
+        if shared.done[item.index].load(Ordering::Acquire) {
+            continue; // committed (shed) while queued; nothing to do
+        }
+        // Work-saving hint only: the committed breaker may disagree, in
+        // which case the committer re-dispatches this cell as forced.
+        if !item.forced && shared.breaker_open[meta.runtime_idx].load(Ordering::Relaxed) {
+            let _ = tx.send(Report { index: item.index, verdict: WorkerVerdict::NotRun });
+            continue;
+        }
+        let Some(mut job) = lock(&shared.slots[item.index]).take() else {
+            continue; // another worker already ran it (stale duplicate)
+        };
+        let mut attempts = 0u32;
+        let verdict = loop {
+            attempts += 1;
+            shared.attempts.fetch_add(1, Ordering::Relaxed);
+            let deadline = opts.cell_deadline.map(|d| Instant::now() + d);
+            {
+                let mut watch = lock(&shared.watch);
+                watch[wid].in_flight =
+                    Some((item.index, deadline.map(|d| d + opts.watchdog_grace), attempts));
+            }
+            let outcome = run_isolated(|| job(deadline));
+            {
+                let mut watch = lock(&shared.watch);
+                watch[wid].in_flight = None;
+            }
+            match outcome {
+                Ok(value) => break WorkerVerdict::Ok { value, attempts },
+                Err(failure) => {
+                    if failure.error.is_transient() && attempts < opts.retry.max_attempts {
+                        shared.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(opts.retry.backoff(opts.seed, &meta.key, attempts));
+                        continue;
+                    }
+                    break WorkerVerdict::Failed {
+                        kind: failure.error.kind().to_string(),
+                        message: failure.error.to_string(),
+                        location: failure.error.location().map(str::to_string),
+                        attempts,
+                    };
+                }
+            }
+        };
+        let _ = tx.send(Report { index: item.index, verdict });
+        if lock(&shared.watch)[wid].abandoned {
+            return; // a replacement already took over this worker's seat
+        }
+    }
+}
+
+/// The watchdog: scans worker in-flight slots and declares cells lost
+/// when a worker overruns its deadline plus grace. Abandons the hung
+/// worker (its eventual result is ignored, its thread never joined) and
+/// spawns a replacement so pool capacity is maintained.
+fn watchdog_loop<T: Send + 'static>(
+    shared: &Arc<Shared<T>>,
+    opts: &WorkerOpts,
+    tx: &Sender<Report<T>>,
+    handles: &Arc<Mutex<Vec<WorkerHandle>>>,
+    stop: &Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(10));
+        let now = Instant::now();
+        let mut lost: Vec<(usize, u32)> = Vec::new();
+        {
+            let mut watch = lock(&shared.watch);
+            for slot in watch.iter_mut() {
+                if slot.abandoned {
+                    continue;
+                }
+                if let Some((index, Some(deadline), attempts)) = slot.in_flight {
+                    if now > deadline {
+                        slot.abandoned = true;
+                        lost.push((index, attempts));
+                    }
+                }
+            }
+        }
+        for (index, attempts) in lost {
+            let _ = tx.send(Report { index, verdict: WorkerVerdict::Lost { attempts } });
+            spawn_worker(shared, opts, tx, handles);
+        }
+    }
+}
+
+// ---- the executor ----------------------------------------------------------
+
+/// Runs a batch of supervised cells and returns every cell's committed
+/// outcome **in submission order**, plus the scheduler statistics.
+///
+/// See the module docs for the supervision layers and the determinism
+/// contract.
+pub fn run_supervised<T: Send + 'static>(
+    cells: Vec<SupervisedCell<T>>,
+    opts: &ExecutorOptions,
+) -> (Vec<CommittedCell<T>>, ExecutorStats) {
+    let n = cells.len();
+    let jobs = opts.jobs.max(1);
+    let mut stats = ExecutorStats {
+        jobs: jobs as u64,
+        cells_submitted: n as u64,
+        ..ExecutorStats::default()
+    };
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Admission pass: highest priority first (ties broken by submission
+    // order), shedding whatever the budget cannot carry.
+    let mut admitted = vec![true; n];
+    if let Some(budget) = opts.budget {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(cells[i].priority), i));
+        let mut used = 0u64;
+        for &i in &order {
+            let cost = cells[i].cost;
+            if used.saturating_add(cost) <= budget {
+                used = used.saturating_add(cost);
+            } else {
+                admitted[i] = false;
+            }
+        }
+    }
+
+    // Runtime → breaker index.
+    let mut runtime_idx: BTreeMap<String, usize> = BTreeMap::new();
+    for cell in &cells {
+        let next = runtime_idx.len();
+        runtime_idx.entry(cell.runtime.clone()).or_insert(next);
+    }
+    let runtimes = runtime_idx.len();
+
+    // Split the cells into shared metadata + job slots.
+    let mut meta = Vec::with_capacity(n);
+    let mut slots = Vec::with_capacity(n);
+    for cell in cells {
+        meta.push(CellMeta {
+            runtime_idx: runtime_idx[&cell.runtime],
+            key: cell.key,
+            runtime: cell.runtime,
+        });
+        slots.push(Mutex::new(Some(cell.job)));
+    }
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(QueueState {
+            items: VecDeque::new(),
+            open: true,
+            depth_peak: 0,
+        }),
+        available: Condvar::new(),
+        slots,
+        meta,
+        breaker_open: (0..runtimes).map(|_| AtomicBool::new(false)).collect(),
+        done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        watch: Mutex::new(Vec::new()),
+        attempts: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+    });
+    let worker_opts = WorkerOpts {
+        retry: opts.retry.clone(),
+        seed: opts.seed,
+        cell_deadline: opts.cell_deadline,
+        watchdog_grace: opts.watchdog_grace,
+    };
+    let (tx, rx): (Sender<Report<T>>, Receiver<Report<T>>) = mpsc::channel();
+    let handles: Arc<Mutex<Vec<WorkerHandle>>> = Arc::new(Mutex::new(Vec::new()));
+    for _ in 0..jobs {
+        spawn_worker(&shared, &worker_opts, &tx, &handles);
+    }
+    let watchdog_stop = Arc::new(AtomicBool::new(false));
+    let watchdog = opts.cell_deadline.map(|_| {
+        let shared = Arc::clone(&shared);
+        let worker_opts = worker_opts.clone();
+        let tx = tx.clone();
+        let handles = Arc::clone(&handles);
+        let stop = Arc::clone(&watchdog_stop);
+        std::thread::spawn(move || watchdog_loop(&shared, &worker_opts, &tx, &handles, &stop))
+    });
+    drop(tx); // committer holds no sender: disconnect == all workers gone
+
+    let committed = commit_loop(&shared, &rx, &admitted, opts, &mut stats);
+
+    // Shutdown: close the queue, wake everyone, stop the watchdog, and
+    // join every worker that wasn't abandoned as hung.
+    {
+        let mut q = lock(&shared.queue);
+        q.items.clear();
+        q.open = false;
+    }
+    shared.available.notify_all();
+    watchdog_stop.store(true, Ordering::Release);
+    if let Some(handle) = watchdog {
+        let _ = handle.join();
+    }
+    let handles = std::mem::take(&mut *lock(&handles));
+    for WorkerHandle { wid, handle } in handles {
+        let abandoned = lock(&shared.watch).get(wid).is_some_and(|s| s.abandoned);
+        if !abandoned {
+            let _ = handle.join();
+        }
+    }
+
+    stats.attempts = shared.attempts.load(Ordering::Relaxed);
+    stats.retries = shared.retries.load(Ordering::Relaxed);
+    stats.queue_depth_peak = lock(&shared.queue).depth_peak as u64;
+    (committed, stats)
+}
+
+/// The ordered commit pass: feeds the bounded queue, pumps worker
+/// reports, and commits outcomes strictly in submission order, advancing
+/// the circuit breakers only here.
+fn commit_loop<T: Send>(
+    shared: &Arc<Shared<T>>,
+    rx: &Receiver<Report<T>>,
+    admitted: &[bool],
+    opts: &ExecutorOptions,
+    stats: &mut ExecutorStats,
+) -> Vec<CommittedCell<T>> {
+    let n = shared.meta.len();
+    let capacity =
+        if opts.queue_capacity == 0 { opts.jobs.max(1) * 4 } else { opts.queue_capacity }.max(1);
+    let mut breakers: Vec<Breaker> =
+        shared.breaker_open.iter().map(|_| Breaker::new(opts.breaker.clone())).collect();
+    let mut committed: Vec<Option<CommittedCell<T>>> = (0..n).map(|_| None).collect();
+    let mut ready: BTreeMap<usize, WorkerVerdict<T>> = BTreeMap::new();
+    let mut pending_dispatch: VecDeque<usize> =
+        (0..n).filter(|&i| admitted[i]).collect();
+    let mut next = 0usize;
+
+    let note_transition = |stats: &mut ExecutorStats, to: Option<BreakerState>| match to {
+        Some(BreakerState::Open) => stats.breaker_opened += 1,
+        Some(BreakerState::HalfOpen) => stats.breaker_half_opened += 1,
+        Some(BreakerState::Closed) => stats.breaker_closed += 1,
+        None => {}
+    };
+
+    while next < n {
+        // Top up the bounded queue without blocking.
+        {
+            let mut q = lock(&shared.queue);
+            let mut fed = false;
+            while q.items.len() < capacity {
+                let Some(i) = pending_dispatch.pop_front() else { break };
+                if committed[i].is_some() {
+                    continue; // shed while still queued for dispatch
+                }
+                q.items.push_back(WorkItem { index: i, forced: false });
+                fed = true;
+            }
+            let depth = q.items.len();
+            q.depth_peak = q.depth_peak.max(depth);
+            drop(q);
+            if fed {
+                shared.available.notify_all();
+            }
+        }
+
+        // Commit as far as the available results allow.
+        let mut blocked = false;
+        while next < n && !blocked {
+            let meta = &shared.meta[next];
+            let ridx = meta.runtime_idx;
+            if !admitted[next] {
+                committed[next] = Some(CommittedCell {
+                    key: meta.key.clone(),
+                    runtime: meta.runtime.clone(),
+                    verdict: CellVerdict::Shed { reason: ShedReason::Budget },
+                    breaker: breakers[ridx].state,
+                });
+                shared.done[next].store(true, Ordering::Release);
+                stats.cells_shed_budget += 1;
+                if ready.remove(&next).is_some() {
+                    stats.speculative_discards += 1;
+                }
+                next += 1;
+                continue;
+            }
+            match breakers[ridx].state {
+                BreakerState::Open => {
+                    committed[next] = Some(CommittedCell {
+                        key: meta.key.clone(),
+                        runtime: meta.runtime.clone(),
+                        verdict: CellVerdict::Shed { reason: ShedReason::Breaker },
+                        breaker: BreakerState::Open,
+                    });
+                    shared.done[next].store(true, Ordering::Release);
+                    stats.cells_shed_breaker += 1;
+                    if matches!(
+                        ready.remove(&next),
+                        Some(WorkerVerdict::Ok { .. } | WorkerVerdict::Failed { .. })
+                    ) {
+                        stats.speculative_discards += 1;
+                    }
+                    let transition = breakers[ridx].on_shed();
+                    note_transition(stats, transition);
+                    if transition == Some(BreakerState::HalfOpen) {
+                        shared.breaker_open[ridx].store(false, Ordering::Relaxed);
+                    }
+                    next += 1;
+                }
+                BreakerState::Closed | BreakerState::HalfOpen => {
+                    let state = breakers[ridx].state;
+                    match ready.remove(&next) {
+                        None => blocked = true,
+                        Some(WorkerVerdict::NotRun) => {
+                            // The skip hint was wrong (or the breaker has
+                            // since closed): run the cell for real.
+                            stats.redispatches += 1;
+                            let mut q = lock(&shared.queue);
+                            q.items.push_front(WorkItem { index: next, forced: true });
+                            let depth = q.items.len();
+                            q.depth_peak = q.depth_peak.max(depth);
+                            drop(q);
+                            shared.available.notify_all();
+                            blocked = true;
+                        }
+                        Some(WorkerVerdict::Ok { value, attempts }) => {
+                            let transition = breakers[ridx].on_success();
+                            note_transition(stats, transition);
+                            committed[next] = Some(CommittedCell {
+                                key: meta.key.clone(),
+                                runtime: meta.runtime.clone(),
+                                verdict: CellVerdict::Ok { value, attempts },
+                                breaker: state,
+                            });
+                            shared.done[next].store(true, Ordering::Release);
+                            stats.cells_ok += 1;
+                            next += 1;
+                        }
+                        Some(WorkerVerdict::Failed { kind, message, location, attempts }) => {
+                            let transition = breakers[ridx].on_failure();
+                            note_transition(stats, transition);
+                            if transition == Some(BreakerState::Open) {
+                                shared.breaker_open[ridx].store(true, Ordering::Relaxed);
+                            }
+                            committed[next] = Some(CommittedCell {
+                                key: meta.key.clone(),
+                                runtime: meta.runtime.clone(),
+                                verdict: CellVerdict::Failed { kind, message, location, attempts },
+                                breaker: state,
+                            });
+                            shared.done[next].store(true, Ordering::Release);
+                            stats.cells_failed += 1;
+                            next += 1;
+                        }
+                        Some(WorkerVerdict::Lost { attempts }) => {
+                            // A hung worker counts as a failure for the
+                            // breaker: a hanging runtime should trip it.
+                            let transition = breakers[ridx].on_failure();
+                            note_transition(stats, transition);
+                            if transition == Some(BreakerState::Open) {
+                                shared.breaker_open[ridx].store(true, Ordering::Relaxed);
+                            }
+                            committed[next] = Some(CommittedCell {
+                                key: meta.key.clone(),
+                                runtime: meta.runtime.clone(),
+                                verdict: CellVerdict::Lost { attempts },
+                                breaker: state,
+                            });
+                            shared.done[next].store(true, Ordering::Release);
+                            stats.cells_lost += 1;
+                            next += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if next >= n {
+            break;
+        }
+
+        // Pump worker reports: block briefly for the one we need, then
+        // drain whatever else arrived.
+        let mut absorb = |report: Report<T>, ready: &mut BTreeMap<usize, WorkerVerdict<T>>| {
+            if committed[report.index].is_some() {
+                if matches!(
+                    report.verdict,
+                    WorkerVerdict::Ok { .. } | WorkerVerdict::Failed { .. }
+                ) {
+                    stats.speculative_discards += 1;
+                }
+                return;
+            }
+            // First verdict wins (a real result racing a Lost marker is
+            // only possible in wall-clock deadline mode).
+            ready.entry(report.index).or_insert(report.verdict);
+        };
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(report) => absorb(report, &mut ready),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every worker died (all abandoned and exited). Nothing
+                // more can arrive: mark the rest lost so the sweep still
+                // terminates with a full journal.
+                for (i, slot) in committed.iter().enumerate().skip(next) {
+                    if slot.is_none() && !ready.contains_key(&i) {
+                        ready.insert(i, WorkerVerdict::Lost { attempts: 0 });
+                    }
+                }
+            }
+        }
+        while let Ok(report) = rx.try_recv() {
+            absorb(report, &mut ready);
+        }
+    }
+
+    committed.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(w: &str, rt: &str, v: u32) -> CellKey {
+        CellKey::new(w, rt, "p", v.to_string())
+    }
+
+    fn quick_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(2),
+            jitter: 0.5,
+        }
+    }
+
+    /// Renders a committed batch into a compact signature for parity
+    /// assertions (value payloads included).
+    fn signature(committed: &[CommittedCell<u64>]) -> Vec<String> {
+        committed
+            .iter()
+            .map(|c| {
+                let v = match &c.verdict {
+                    CellVerdict::Ok { value, attempts } => format!("ok({value})x{attempts}"),
+                    CellVerdict::Failed { kind, attempts, .. } => format!("fail({kind})x{attempts}"),
+                    CellVerdict::Shed { reason } => format!("shed({})", reason.name()),
+                    CellVerdict::Lost { .. } => "lost".to_string(),
+                };
+                format!("{}={v}@{}", c.key, c.breaker.name())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_jitter_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            jitter: 0.3,
+        };
+        let k = key("go", "CPython", 1);
+        let a = policy.schedule(42, &k);
+        let b = policy.schedule(42, &k);
+        assert_eq!(a, b, "same seed + key must give the same schedule");
+        let c = policy.schedule(43, &k);
+        assert_ne!(a, c, "a different seed must perturb the schedule");
+        for (i, delay) in a.iter().enumerate() {
+            let exp = policy
+                .base
+                .saturating_mul(1 << i)
+                .min(policy.cap);
+            let lo = exp.mul_f64(1.0 - policy.jitter);
+            let hi = exp.mul_f64(1.0 + policy.jitter);
+            assert!(
+                *delay >= lo && *delay <= hi,
+                "attempt {}: {delay:?} outside [{lo:?}, {hi:?}]",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn successful_batch_commits_in_submission_order() {
+        let cells: Vec<SupervisedCell<u64>> = (0..20)
+            .map(|i| SupervisedCell::new(key("w", "CPython", i), move |_| Ok(u64::from(i))))
+            .collect();
+        let (committed, stats) = run_supervised(cells, &ExecutorOptions::new(4));
+        assert_eq!(committed.len(), 20);
+        for (i, c) in committed.iter().enumerate() {
+            assert_eq!(c.key.value, i.to_string());
+            assert!(matches!(c.verdict, CellVerdict::Ok { value, attempts: 1 } if value == i as u64));
+        }
+        assert_eq!(stats.cells_ok, 20);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn transient_failures_retry_and_recover() {
+        use std::sync::atomic::AtomicU32;
+        let flaky = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&flaky);
+        let cells = vec![SupervisedCell::new(key("w", "CPython", 0), move |_| {
+            if f.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient hiccup");
+            }
+            Ok(7u64)
+        })];
+        let mut opts = ExecutorOptions::new(2);
+        opts.retry = quick_retry();
+        let (committed, stats) = run_supervised(cells, &opts);
+        assert!(matches!(committed[0].verdict, CellVerdict::Ok { value: 7, attempts: 3 }));
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.attempts, 3);
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        let cells = vec![SupervisedCell::new(key("w", "CPython", 0), move |_| {
+            Err::<u64, _>(QoaError::FuelExhausted { steps: 5 })
+        })];
+        let mut opts = ExecutorOptions::new(2);
+        opts.retry = quick_retry();
+        let (committed, stats) = run_supervised(cells, &opts);
+        assert!(matches!(
+            &committed[0].verdict,
+            CellVerdict::Failed { kind, attempts: 1, .. } if kind == "fuel"
+        ));
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn budget_gate_sheds_lowest_priority_first() {
+        let mut cells: Vec<SupervisedCell<u64>> = Vec::new();
+        for i in 0..4u32 {
+            cells.push(
+                SupervisedCell::new(key("low", "CPython", i), move |_| Ok(u64::from(i)))
+                    .with_priority(1)
+                    .with_cost(2),
+            );
+        }
+        for i in 0..2u32 {
+            cells.push(
+                SupervisedCell::new(key("high", "CPython", i), move |_| Ok(u64::from(i)))
+                    .with_priority(9)
+                    .with_cost(2),
+            );
+        }
+        let mut opts = ExecutorOptions::new(3);
+        opts.budget = Some(8); // room for both high (4) + two low (4)
+        let (committed, stats) = run_supervised(cells, &opts);
+        assert_eq!(stats.cells_shed_budget, 2);
+        // The two *last-submitted* low-priority cells are the ones shed.
+        for c in &committed {
+            let shed = matches!(c.verdict, CellVerdict::Shed { reason: ShedReason::Budget });
+            let expect_shed = c.key.workload == "low" && c.key.value.parse::<u32>().ok() >= Some(2);
+            assert_eq!(shed, expect_shed, "unexpected admission for {}", c.key);
+        }
+    }
+
+    #[test]
+    fn breaker_opens_sheds_probes_and_closes() {
+        // Runtime "flaky": 3 failures trip the breaker (threshold 3),
+        // 2 sheds cool it down, then the probe succeeds and closes it.
+        let mut cells: Vec<SupervisedCell<u64>> = Vec::new();
+        for i in 0..3u32 {
+            cells.push(SupervisedCell::new(key("w", "flaky", i), move |_| {
+                Err(QoaError::Guest { message: "bad".into(), line: 1 })
+            }));
+        }
+        for i in 3..5u32 {
+            cells.push(SupervisedCell::new(key("w", "flaky", i), move |_| Ok(u64::from(i))));
+        }
+        // Probe + one post-recovery cell.
+        for i in 5..7u32 {
+            cells.push(SupervisedCell::new(key("w", "flaky", i), move |_| Ok(u64::from(i))));
+        }
+        // An innocent bystander runtime is never affected.
+        cells.push(SupervisedCell::new(key("w", "steady", 0), move |_| Ok(100)));
+        let mut opts = ExecutorOptions::new(4);
+        opts.breaker = BreakerOptions { failure_threshold: 3, cooldown_sheds: 2 };
+        let (committed, stats) = run_supervised(cells, &opts);
+        let sig = signature(&committed);
+        assert_eq!(
+            sig,
+            vec![
+                "w/flaky p=0=fail(guest)x1@closed",
+                "w/flaky p=1=fail(guest)x1@closed",
+                "w/flaky p=2=fail(guest)x1@closed",
+                "w/flaky p=3=shed(breaker)@open",
+                "w/flaky p=4=shed(breaker)@open",
+                "w/flaky p=5=ok(5)x1@half-open",
+                "w/flaky p=6=ok(6)x1@closed",
+                "w/steady p=0=ok(100)x1@closed",
+            ],
+            "full breaker lifecycle"
+        );
+        assert_eq!(stats.breaker_opened, 1);
+        assert_eq!(stats.breaker_half_opened, 1);
+        assert_eq!(stats.breaker_closed, 1);
+        assert_eq!(stats.cells_shed_breaker, 2);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let mut cells: Vec<SupervisedCell<u64>> = Vec::new();
+        for i in 0..2u32 {
+            cells.push(SupervisedCell::new(key("w", "rt", i), move |_| {
+                Err(QoaError::Guest { message: "bad".into(), line: 1 })
+            }));
+        }
+        cells.push(SupervisedCell::new(key("w", "rt", 2), move |_| Ok(0))); // shed
+        cells.push(SupervisedCell::new(key("w", "rt", 3), move |_| {
+            Err(QoaError::Guest { message: "still bad".into(), line: 1 }) // failing probe
+        }));
+        cells.push(SupervisedCell::new(key("w", "rt", 4), move |_| Ok(0))); // shed again
+        let mut opts = ExecutorOptions::new(2);
+        opts.breaker = BreakerOptions { failure_threshold: 2, cooldown_sheds: 1 };
+        let (committed, stats) = run_supervised(cells, &opts);
+        let sig = signature(&committed);
+        assert_eq!(
+            sig,
+            vec![
+                "w/rt p=0=fail(guest)x1@closed",
+                "w/rt p=1=fail(guest)x1@closed",
+                "w/rt p=2=shed(breaker)@open",
+                "w/rt p=3=fail(guest)x1@half-open",
+                "w/rt p=4=shed(breaker)@open",
+            ]
+        );
+        assert_eq!(stats.breaker_opened, 2, "initial trip + failed probe");
+    }
+
+    #[test]
+    fn outcomes_are_identical_across_job_counts() {
+        // A mixed batch: successes, deterministic failures tripping a
+        // breaker, a second healthy runtime, and budget shedding.
+        let build = || {
+            let mut cells: Vec<SupervisedCell<u64>> = Vec::new();
+            for i in 0..24u32 {
+                let rt = if i % 3 == 0 { "flaky" } else { "steady" };
+                cells.push(
+                    SupervisedCell::new(key("w", rt, i), move |_| {
+                        if i % 3 == 0 {
+                            Err(QoaError::Guest { message: format!("bad {i}"), line: 1 })
+                        } else {
+                            Ok(u64::from(i) * 10)
+                        }
+                    })
+                    .with_priority(i64::from(i % 5))
+                    .with_cost(1),
+                );
+            }
+            cells
+        };
+        let mut opts = ExecutorOptions::new(1);
+        opts.breaker = BreakerOptions { failure_threshold: 2, cooldown_sheds: 2 };
+        opts.budget = Some(20);
+        opts.seed = 7;
+        let (sequential, seq_stats) = run_supervised(build(), &opts);
+        opts.jobs = 4;
+        let (parallel, par_stats) = run_supervised(build(), &opts);
+        assert_eq!(
+            signature(&sequential),
+            signature(&parallel),
+            "jobs=1 and jobs=4 must commit identical outcomes"
+        );
+        // Outcome counters agree too (speculation counters may differ).
+        assert_eq!(seq_stats.cells_ok, par_stats.cells_ok);
+        assert_eq!(seq_stats.cells_failed, par_stats.cells_failed);
+        assert_eq!(seq_stats.cells_shed_budget, par_stats.cells_shed_budget);
+        assert_eq!(seq_stats.cells_shed_breaker, par_stats.cells_shed_breaker);
+        assert_eq!(seq_stats.breaker_opened, par_stats.breaker_opened);
+    }
+
+    #[test]
+    fn watchdog_marks_hung_cells_lost_and_the_sweep_survives() {
+        let mut cells: Vec<SupervisedCell<u64>> = Vec::new();
+        cells.push(SupervisedCell::new(key("w", "rt", 0), move |_| {
+            // A genuine hang: ignores its deadline entirely.
+            std::thread::sleep(Duration::from_millis(400));
+            Ok(0)
+        }));
+        for i in 1..4u32 {
+            cells.push(SupervisedCell::new(key("w", "rt", i), move |_| Ok(u64::from(i))));
+        }
+        let mut opts = ExecutorOptions::new(1); // single worker: the hang blocks everything
+        opts.cell_deadline = Some(Duration::from_millis(30));
+        opts.watchdog_grace = Duration::from_millis(20);
+        opts.retry = RetryPolicy::none();
+        let (committed, stats) = run_supervised(cells, &opts);
+        assert!(
+            matches!(committed[0].verdict, CellVerdict::Lost { .. }),
+            "hung cell must be lost, got {:?}",
+            committed[0].verdict
+        );
+        for c in &committed[1..] {
+            assert!(
+                matches!(c.verdict, CellVerdict::Ok { .. }),
+                "replacement worker must finish the batch, got {:?} for {}",
+                c.verdict,
+                c.key
+            );
+        }
+        assert_eq!(stats.cells_lost, 1);
+        assert_eq!(stats.cells_ok, 3);
+    }
+
+    #[test]
+    fn stats_export_exposes_breaker_transitions() {
+        let cells: Vec<SupervisedCell<u64>> = (0..4)
+            .map(|i| {
+                SupervisedCell::new(key("w", "rt", i), move |_| {
+                    Err(QoaError::Guest { message: "storm".into(), line: 1 })
+                })
+            })
+            .collect();
+        let mut opts = ExecutorOptions::new(2);
+        opts.breaker = BreakerOptions { failure_threshold: 2, cooldown_sheds: 99 };
+        let (_, stats) = run_supervised(cells, &opts);
+        assert_eq!(stats.breaker_opened, 1);
+        let mut reg = Registry::new();
+        stats.export(&mut reg);
+        let text = reg.expose();
+        assert!(
+            text.contains("qoa_executor_breaker_transitions_total{to=\"open\"} 1"),
+            "breaker-open event must be observable in the exposition:\n{text}"
+        );
+        assert!(text.contains("qoa_executor_cells_total{outcome=\"failed\"} 2"), "{text}");
+        assert!(text.contains("qoa_executor_cells_total{outcome=\"shed_breaker\"} 2"), "{text}");
+        qoa_obs::parse_exposition(&text).expect("exposition round-trips");
+    }
+}

@@ -16,17 +16,23 @@
 //! and returns a process exit code: nonzero only when the failure rate
 //! exceeds the configured threshold.
 
+use crate::chaos::{capture_chaos, fault_kinds_for, ChaosOptions};
 use crate::error::QoaError;
+use crate::executor::{
+    cell_seed, run_supervised, CellVerdict, ExecutorOptions, ExecutorStats, SupervisedCell,
+};
 use crate::isolate::run_isolated;
-use crate::journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric};
-use crate::runtime::{capture, RuntimeConfig};
+use crate::journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric, Supervision};
+use crate::runtime::{capture, CapturedRun, RuntimeConfig};
 use crate::sweeps::SweepParam;
 use crate::Breakdown;
+use qoa_chaos::FaultPlan;
 use qoa_model::{Category, CategoryMap, Phase};
 use qoa_uarch::{TraceBuffer, UarchConfig};
 use qoa_workloads::{Scale, Workload};
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Harness construction options (one per figure binary invocation).
@@ -81,6 +87,10 @@ pub struct Harness {
     cells_total: usize,
     cells_skipped: usize,
     failures: Vec<FailureNote>,
+    /// Cells the supervised executor declined (budget gate or open
+    /// circuit breaker), with the shed reason. Not failures: they don't
+    /// count toward the failure-rate exit gate.
+    shed: Vec<(CellKey, String)>,
     journal_error: Option<QoaError>,
 }
 
@@ -100,6 +110,7 @@ impl Harness {
             cells_total: 0,
             cells_skipped: 0,
             failures: Vec::new(),
+            shed: Vec::new(),
             journal_error: None,
         })
     }
@@ -128,6 +139,11 @@ impl Harness {
                     kind: kind.clone(),
                     message: message.clone(),
                 });
+                return None;
+            }
+            Some(CellOutcome::Shed { reason }) => {
+                self.cells_skipped += 1;
+                self.shed.push((key, reason.clone()));
                 return None;
             }
             None => {}
@@ -167,6 +183,71 @@ impl Harness {
         }
     }
 
+    /// Runs a batch of cell specs through the supervised parallel
+    /// executor and journals every committed outcome, so the figure's
+    /// subsequent (sequential) render loop answers each cell from the
+    /// journal without re-running anything.
+    ///
+    /// Specs whose cells the journal already holds are dropped up front —
+    /// a resumed sweep only prewarms what is still missing. When `opts`
+    /// carries no cell deadline, the harness's own per-cell deadline is
+    /// used (which also arms the hung-worker watchdog).
+    ///
+    /// Outcome mapping into the journal:
+    ///
+    /// * success → `ok` with the attempt count and breaker state;
+    /// * failure (after retries) → `failed`, same metadata;
+    /// * shed by the budget gate or an open breaker → `shed` (not a
+    ///   failure; excluded from the failure-rate exit gate, rerun with
+    ///   `--fresh` to measure);
+    /// * lost to a hung worker → `failed` with kind `lost`.
+    ///
+    /// Returns the scheduler statistics for optional metrics export.
+    pub fn prewarm(
+        &mut self,
+        specs: Vec<SupervisedCell<CellMetrics>>,
+        opts: &ExecutorOptions,
+    ) -> ExecutorStats {
+        let todo: Vec<SupervisedCell<CellMetrics>> =
+            specs.into_iter().filter(|s| self.journal.get(&s.key).is_none()).collect();
+        let mut exec = opts.clone();
+        if exec.cell_deadline.is_none() {
+            exec.cell_deadline = self.deadline;
+        }
+        let (committed, stats) = run_supervised(todo, &exec);
+        for cell in committed {
+            let breaker = cell.breaker.name().to_string();
+            let (outcome, attempts) = match cell.verdict {
+                CellVerdict::Ok { value, attempts } => (CellOutcome::Ok(value), attempts),
+                CellVerdict::Failed { kind, message, location, attempts } => {
+                    (CellOutcome::Failed { kind, message, location }, attempts)
+                }
+                CellVerdict::Shed { reason } => {
+                    (CellOutcome::Shed { reason: reason.name().to_string() }, 0)
+                }
+                CellVerdict::Lost { attempts } => (
+                    CellOutcome::Failed {
+                        kind: "lost".to_string(),
+                        message: "worker hung past the cell deadline; abandoned by the watchdog"
+                            .to_string(),
+                        location: None,
+                    },
+                    attempts,
+                ),
+            };
+            if self.journal_error.is_none() {
+                if let Err(e) = self.journal.record_supervised(
+                    cell.key,
+                    outcome,
+                    Supervision { attempts, breaker },
+                ) {
+                    self.journal_error = Some(e);
+                }
+            }
+        }
+        stats
+    }
+
     /// Cells presented so far (run or skipped).
     pub fn cells_total(&self) -> usize {
         self.cells_total
@@ -180,6 +261,11 @@ impl Harness {
     /// Failures observed so far (including journaled ones).
     pub fn failures(&self) -> &[FailureNote] {
         &self.failures
+    }
+
+    /// Cells the supervised executor shed (budget gate, open breaker).
+    pub fn shed(&self) -> &[(CellKey, String)] {
+        &self.shed
     }
 
     /// Prints the failure annotations and returns the process exit code:
@@ -197,6 +283,17 @@ impl Harness {
             );
             for note in &self.failures {
                 println!("  {}: [{}] {}", note.key, note.kind, note.message);
+            }
+        }
+        if !self.shed.is_empty() {
+            println!(
+                "-- {} of {} cells shed by the supervisor (not failures; rerun with --fresh or a \
+                 lighter load to measure them) --",
+                self.shed.len(),
+                self.cells_total
+            );
+            for (key, reason) in &self.shed {
+                println!("  {key}: shed ({reason})");
             }
         }
         let rate = if self.cells_total == 0 {
@@ -220,6 +317,121 @@ fn metric_i64(m: &CellMetrics, name: &str) -> Option<i64> {
 
 fn metric_f64(m: &CellMetrics, name: &str) -> Option<f64> {
     m.get(name)?.as_f64()
+}
+
+// ---- shared measurement bodies ---------------------------------------------
+//
+// Each figure cell exists in two forms — the sequential `*_cell` wrapper
+// (journal-resumable, used by the render loop) and the `*_spec` builder
+// (a `Send + 'static` closure for the supervised parallel executor). Both
+// call the same `measure_*` body, so a cell measures identically no
+// matter which path ran it.
+
+/// Per-cell fault injection for supervised prewarm: when set, every cell
+/// captures under a chaos plan seeded from `(seed, cell key)` — a pure
+/// function of the two, so the plan is identical regardless of which
+/// worker runs the cell. Recovered runs produce traces byte-identical to
+/// fault-free capture (the differential oracle), which is how the
+/// executor's determinism contract is validated under fault load.
+#[derive(Debug, Clone, Copy)]
+pub struct CellChaos {
+    /// Batch chaos seed, mixed with each cell's key.
+    pub seed: u64,
+    /// Fault-tick horizon in executed bytecodes.
+    pub horizon: u64,
+    /// Maximum injection points per plan.
+    pub points: usize,
+}
+
+/// Captures `source` under `rt`, plainly or under a seeded per-cell
+/// fault plan.
+///
+/// This is the capture primitive behind the spec builders; binaries with
+/// bespoke cells use it directly so `--chaos-seed` covers them too. The
+/// plan seed depends only on the batch seed and the cell key, so the
+/// schedule is identical for any worker count.
+pub fn capture_cell(
+    source: &str,
+    rt: &RuntimeConfig,
+    chaos: Option<CellChaos>,
+    key: &CellKey,
+) -> Result<CapturedRun, QoaError> {
+    match chaos {
+        None => capture(source, rt),
+        Some(c) => {
+            let plan = FaultPlan::seeded(
+                cell_seed(c.seed, key),
+                c.horizon,
+                c.points,
+                fault_kinds_for(rt.kind),
+            );
+            let (run, _outcome) = capture_chaos(source, rt, &ChaosOptions::new(plan))?;
+            Ok(run)
+        }
+    }
+}
+
+fn measure_nursery(
+    w: &Workload,
+    scale: Scale,
+    rt: RuntimeConfig, // nursery already applied
+    uarch: &UarchConfig,
+    deadline: Option<Instant>,
+    chaos: Option<CellChaos>,
+    key: &CellKey,
+) -> Result<CellMetrics, QoaError> {
+    let rt = rt.with_deadline(deadline);
+    let run = capture_cell(&w.source(scale), &rt, chaos, key)?;
+    let stats = run.trace.simulate_ooo(uarch);
+    let mut m = CellMetrics::new();
+    m.insert("cycles".into(), Metric::Int(stats.cycles as i64));
+    m.insert(
+        "gc_cycles".into(),
+        Metric::Int(
+            (stats.cycles_by_phase[Phase::GcMinor] + stats.cycles_by_phase[Phase::GcMajor]) as i64,
+        ),
+    );
+    m.insert("llc_miss_rate".into(), Metric::Num(stats.llc.miss_rate()));
+    m.insert("minor_collections".into(), Metric::Int(run.vm.gc.minor_collections as i64));
+    Ok(m)
+}
+
+fn measure_breakdown(
+    w: &Workload,
+    scale: Scale,
+    rt: RuntimeConfig,
+    uarch: &UarchConfig,
+    deadline: Option<Instant>,
+    chaos: Option<CellChaos>,
+    key: &CellKey,
+) -> Result<CellMetrics, QoaError> {
+    let rt = rt.with_deadline(deadline);
+    let run = capture_cell(&w.source(scale), &rt, chaos, key)?;
+    let stats = run.trace.simulate_simple(uarch);
+    let b = Breakdown::from_stats(w.name, &stats);
+    let mut m = CellMetrics::new();
+    m.insert("cycles".into(), Metric::Int(b.cycles as i64));
+    m.insert("instructions".into(), Metric::Int(b.instructions as i64));
+    for c in Category::ALL {
+        m.insert(format!("share.{c:?}"), Metric::Num(b.shares[c]));
+    }
+    Ok(m)
+}
+
+/// Replays one captured trace across a parameter sweep and flattens the
+/// points into journal metrics.
+fn sweep_metrics(trace: &TraceBuffer, param: SweepParam, base: &UarchConfig) -> CellMetrics {
+    let mut m = CellMetrics::new();
+    for p in crate::sweeps::sweep_trace(trace, param, base) {
+        m.insert(format!("cpi@{}", p.value), Metric::Num(p.cpi));
+        m.insert(format!("interp@{}", p.value), Metric::Num(p.phase_cpi[Phase::Interpreter]));
+        m.insert(
+            format!("gc@{}", p.value),
+            Metric::Num(p.phase_cpi[Phase::GcMinor] + p.phase_cpi[Phase::GcMajor]),
+        );
+        m.insert(format!("jit@{}", p.value), Metric::Num(p.phase_cpi[Phase::JitCode]));
+    }
+    m
 }
 
 /// One journaled nursery-sweep point: the [`NurseryPoint`]
@@ -287,27 +499,37 @@ pub fn nursery_cell(
         format!("nursery{tag}"),
         nursery.to_string(),
     );
+    let mkey = key.clone();
     let metrics = h.cell(key, |deadline| {
-        let rt = rt.with_nursery(nursery).with_deadline(deadline);
-        let run = capture(&w.source(scale), &rt)?;
-        let stats = run.trace.simulate_ooo(uarch);
-        let mut m = CellMetrics::new();
-        m.insert("cycles".into(), Metric::Int(stats.cycles as i64));
-        m.insert(
-            "gc_cycles".into(),
-            Metric::Int(
-                (stats.cycles_by_phase[Phase::GcMinor] + stats.cycles_by_phase[Phase::GcMajor])
-                    as i64,
-            ),
-        );
-        m.insert("llc_miss_rate".into(), Metric::Num(stats.llc.miss_rate()));
-        m.insert(
-            "minor_collections".into(),
-            Metric::Int(run.vm.gc.minor_collections as i64),
-        );
-        Ok(m)
+        measure_nursery(w, scale, rt.with_nursery(nursery), uarch, deadline, None, &mkey)
     })?;
     NurseryCell::from_metrics(nursery, &metrics)
+}
+
+/// The parallel-executor form of [`nursery_cell`]: the same key and the
+/// same measurement body, packaged as a supervised cell spec for
+/// [`Harness::prewarm`].
+pub fn nursery_spec(
+    w: &'static Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+    nursery: u64,
+    tag: &str,
+    chaos: Option<CellChaos>,
+) -> SupervisedCell<CellMetrics> {
+    let key = CellKey::new(
+        w.name,
+        format!("{:?}", rt.kind),
+        format!("nursery{tag}"),
+        nursery.to_string(),
+    );
+    let rt = rt.with_nursery(nursery);
+    let uarch = uarch.clone();
+    let mkey = key.clone();
+    SupervisedCell::new(key, move |deadline| {
+        measure_nursery(w, scale, rt, &uarch, deadline, chaos, &mkey)
+    })
 }
 
 /// Runs (or resumes) a whole nursery sweep, one isolated cell per size.
@@ -350,18 +572,9 @@ pub fn breakdown_cell(
     uarch: &UarchConfig,
 ) -> Option<Breakdown> {
     let key = CellKey::new(w.name, format!("{:?}", rt.kind), "attribution", "simple-core");
+    let mkey = key.clone();
     let metrics = h.cell(key, |deadline| {
-        let rt = rt.with_deadline(deadline);
-        let run = capture(&w.source(scale), &rt)?;
-        let stats = run.trace.simulate_simple(uarch);
-        let b = Breakdown::from_stats(w.name, &stats);
-        let mut m = CellMetrics::new();
-        m.insert("cycles".into(), Metric::Int(b.cycles as i64));
-        m.insert("instructions".into(), Metric::Int(b.instructions as i64));
-        for c in Category::ALL {
-            m.insert(format!("share.{c:?}"), Metric::Num(b.shares[c]));
-        }
-        Ok(m)
+        measure_breakdown(w, scale, *rt, uarch, deadline, None, &mkey)
     })?;
     let shares = CategoryMap::from_fn(|c| {
         metric_f64(&metrics, &format!("share.{c:?}")).unwrap_or(0.0)
@@ -371,6 +584,23 @@ pub fn breakdown_cell(
         shares,
         cycles: metric_i64(&metrics, "cycles")? as u64,
         instructions: metric_i64(&metrics, "instructions")? as u64,
+    })
+}
+
+/// The parallel-executor form of [`breakdown_cell`].
+pub fn breakdown_spec(
+    w: &'static Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    uarch: &UarchConfig,
+    chaos: Option<CellChaos>,
+) -> SupervisedCell<CellMetrics> {
+    let key = CellKey::new(w.name, format!("{:?}", rt.kind), "attribution", "simple-core");
+    let rt = *rt;
+    let uarch = uarch.clone();
+    let mkey = key.clone();
+    SupervisedCell::new(key, move |deadline| {
+        measure_breakdown(w, scale, rt, &uarch, deadline, chaos, &mkey)
     })
 }
 
@@ -406,31 +636,19 @@ pub fn sweep_param_cell(
     trace_cache: &mut Option<Rc<TraceBuffer>>,
 ) -> Option<Vec<SweepCellPoint>> {
     let key = CellKey::new(w.name, format!("{:?}", rt.kind), format!("{param:?}"), "sweep");
+    let mkey = key.clone();
     let metrics = h.cell(key, |deadline| {
         let trace = match trace_cache {
             Some(t) => Rc::clone(t),
             None => {
                 let rt = rt.with_deadline(deadline);
-                let run = capture(&w.source(scale), &rt)?;
+                let run = capture_cell(&w.source(scale), &rt, None, &mkey)?;
                 let t = Rc::new(run.trace);
                 *trace_cache = Some(Rc::clone(&t));
                 t
             }
         };
-        let mut m = CellMetrics::new();
-        for p in crate::sweeps::sweep_trace(&trace, param, base) {
-            m.insert(format!("cpi@{}", p.value), Metric::Num(p.cpi));
-            m.insert(
-                format!("interp@{}", p.value),
-                Metric::Num(p.phase_cpi[Phase::Interpreter]),
-            );
-            m.insert(
-                format!("gc@{}", p.value),
-                Metric::Num(p.phase_cpi[Phase::GcMinor] + p.phase_cpi[Phase::GcMajor]),
-            );
-            m.insert(format!("jit@{}", p.value), Metric::Num(p.phase_cpi[Phase::JitCode]));
-        }
-        Ok(m)
+        Ok(sweep_metrics(&trace, param, base))
     })?;
     param
         .values()
@@ -445,6 +663,53 @@ pub fn sweep_param_cell(
             })
         })
         .collect()
+}
+
+/// The cross-thread trace cache shared by the sweep specs of one
+/// (workload, runtime) pair: whichever worker reaches the pair first
+/// captures the trace, the other parameters replay it. Capture is
+/// deterministic, so the cached trace is identical no matter which cell
+/// won the race.
+pub type SharedTraceCache = Arc<Mutex<Option<Arc<TraceBuffer>>>>;
+
+/// A fresh, empty [`SharedTraceCache`].
+pub fn shared_trace_cache() -> SharedTraceCache {
+    Arc::new(Mutex::new(None))
+}
+
+/// The parallel-executor form of [`sweep_param_cell`]: same key, same
+/// measurement, with the per-pair capture shared through `trace_cache`.
+pub fn sweep_param_spec(
+    w: &'static Workload,
+    scale: Scale,
+    rt: &RuntimeConfig,
+    base: &UarchConfig,
+    param: SweepParam,
+    trace_cache: &SharedTraceCache,
+    chaos: Option<CellChaos>,
+) -> SupervisedCell<CellMetrics> {
+    let key = CellKey::new(w.name, format!("{:?}", rt.kind), format!("{param:?}"), "sweep");
+    let rt = *rt;
+    let base = base.clone();
+    let cache = Arc::clone(trace_cache);
+    let mkey = key.clone();
+    SupervisedCell::new(key, move |deadline| {
+        // Holding the lock across capture also deduplicates it: sibling
+        // params of the same pair wait instead of re-capturing.
+        let mut slot = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let trace = match &*slot {
+            Some(t) => Arc::clone(t),
+            None => {
+                let rt = rt.with_deadline(deadline);
+                let run = capture_cell(&w.source(scale), &rt, chaos, &mkey)?;
+                let t = Arc::new(run.trace);
+                *slot = Some(Arc::clone(&t));
+                t
+            }
+        };
+        drop(slot);
+        Ok(sweep_metrics(&trace, param, &base))
+    })
 }
 
 #[cfg(test)]

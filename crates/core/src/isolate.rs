@@ -6,18 +6,57 @@
 //! whole sweep. Wall-clock deadlines and fuel budgets are enforced
 //! *inside* the VM (see [`qoa_vm::VmConfig`]); this layer only converts
 //! their typed errors — plus panics — into one uniform outcome.
+//!
+//! The panic hook is installed **once** for the whole process (the first
+//! time any thread enters [`run_isolated`]) and routes per-panic state
+//! through thread-locals. The earlier design swapped the process-global
+//! hook around every call, which raced under concurrent `run_isolated`:
+//! thread A's `take_hook` could capture thread B's suppression hook as
+//! "previous" and re-install it permanently, silencing panics forever —
+//! or restore the default hook while B's cell was still isolated,
+//! spraying a backtrace and dropping B's panic location. The parallel
+//! sweep executor runs many isolated cells concurrently, so the hook must
+//! be installation-order independent.
 
 use crate::error::QoaError;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
 use std::time::{Duration, Instant};
 
 thread_local! {
     /// `file:line:column` of the most recent panic on this thread,
-    /// written by the suppressed hook while [`run_isolated`] is active.
+    /// written by the suppressing hook while [`run_isolated`] is active.
     /// Thread-local because the hook itself is process-global: a panic on
     /// another thread records *its* location without clobbering ours.
     static PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+
+    /// Whether this thread is currently inside [`run_isolated`]. The
+    /// process-global hook suppresses output only for isolated threads;
+    /// everyone else still gets the pre-existing hook's behaviour.
+    static ISOLATED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the process-global isolation-aware panic hook exactly once.
+///
+/// The previously installed hook (normally std's backtrace printer) is
+/// captured and delegated to for panics on threads that are *not* inside
+/// [`run_isolated`], so isolation never changes behaviour for the rest of
+/// the process.
+fn install_hook_once() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if ISOLATED.with(Cell::get) {
+                let location =
+                    info.location().map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                PANIC_LOCATION.with(|slot| *slot.borrow_mut() = location);
+            } else {
+                previous(info);
+            }
+        }));
+    });
 }
 
 /// One failed measurement cell: the typed error plus how long the run
@@ -41,14 +80,41 @@ impl std::fmt::Display for RunFailure {
 pub type RunOutcome<T> = Result<T, RunFailure>;
 
 /// Renders a panic payload into a message.
+///
+/// `&str` and `String` payloads (every `panic!` with a message) pass
+/// through verbatim. Boxed errors thrown via `panic_any` render through
+/// their `Display`. Anything else is described by the best type evidence
+/// a type-erased payload can offer: a probe across the common primitive
+/// payload types, falling back to the payload's `TypeId` (the `dyn Any`
+/// contract exposes no type *name* for arbitrary types).
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    if let Some(e) = payload.downcast_ref::<Box<dyn std::error::Error + Send + Sync>>() {
+        return format!("boxed error: {e}");
+    }
+    if let Some(e) = payload.downcast_ref::<Box<dyn std::error::Error + Send>>() {
+        return format!("boxed error: {e}");
+    }
+    if let Some(e) = payload.downcast_ref::<QoaError>() {
+        return format!("typed error payload ({}): {e}", e.kind());
+    }
+    if let Some(e) = payload.downcast_ref::<std::io::Error>() {
+        return format!("I/O error payload: {e}");
+    }
+    macro_rules! probe_primitive {
+        ($($ty:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!("non-string panic payload ({}: {v})", stringify!($ty));
+            })*
+        };
+    }
+    probe_primitive!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char);
+    format!("non-string panic payload ({:?})", payload.type_id())
 }
 
 /// Runs `f` under a panic boundary, converting panics and typed errors
@@ -59,18 +125,20 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// panic message — and the panic site's `file:line:column`, which only
 /// the hook can observe — are preserved in [`QoaError::Panic`].
 ///
+/// Safe to call from any number of threads concurrently: the hook is
+/// installed once for the process and keyed by a thread-local "isolated"
+/// flag, so parallel cells never race on hook installation and panics on
+/// non-harness threads keep their normal behaviour.
+///
 /// `AssertUnwindSafe` is sound here because the failed run's state (VM,
 /// trace buffer) is discarded wholesale — nothing torn is observed.
 pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, QoaError>) -> RunOutcome<T> {
     let start = Instant::now();
-    let prev_hook = panic::take_hook();
-    panic::set_hook(Box::new(|info| {
-        let location = info.location().map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
-        PANIC_LOCATION.with(|slot| *slot.borrow_mut() = location);
-    }));
+    install_hook_once();
     PANIC_LOCATION.with(|slot| *slot.borrow_mut() = None);
+    let was_isolated = ISOLATED.with(|flag| flag.replace(true));
     let result = panic::catch_unwind(AssertUnwindSafe(f));
-    panic::set_hook(prev_hook);
+    ISOLATED.with(|flag| flag.set(was_isolated));
     match result {
         Ok(Ok(v)) => Ok(v),
         Ok(Err(error)) => Err(RunFailure { error, wall: start.elapsed() }),
@@ -122,5 +190,63 @@ mod tests {
         let _ = run_isolated(|| -> Result<(), QoaError> { panic!("first") });
         let ok = run_isolated(|| Ok::<_, QoaError>("second"));
         assert_eq!(ok.unwrap(), "second");
+    }
+
+    #[test]
+    fn boxed_error_payloads_render_their_display() {
+        let out: RunOutcome<()> = run_isolated(|| {
+            let e: Box<dyn std::error::Error + Send + Sync> = "disk on fire".into();
+            std::panic::panic_any(e)
+        });
+        let msg = out.unwrap_err().error.to_string();
+        assert!(msg.contains("boxed error: disk on fire"), "got: {msg}");
+    }
+
+    #[test]
+    fn primitive_payloads_render_their_type_and_value() {
+        let out: RunOutcome<()> = run_isolated(|| std::panic::panic_any(42u32));
+        let msg = out.unwrap_err().error.to_string();
+        assert!(msg.contains("u32: 42"), "got: {msg}");
+    }
+
+    #[test]
+    fn opaque_payloads_fall_back_to_type_id() {
+        #[derive(Debug)]
+        struct Opaque;
+        let out: RunOutcome<()> = run_isolated(|| std::panic::panic_any(Opaque));
+        let msg = out.unwrap_err().error.to_string();
+        assert!(msg.contains("non-string panic payload"), "got: {msg}");
+    }
+
+    #[test]
+    fn concurrent_isolated_panics_keep_their_own_locations() {
+        // The regression this module's Once-installed hook fixes: under
+        // the old per-call set_hook/take_hook swap, concurrent cells
+        // could permanently clobber the process hook or lose locations.
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let out: RunOutcome<()> = if i % 2 == 0 {
+                            run_isolated(|| panic!("even worker"))
+                        } else {
+                            run_isolated(|| panic!("odd worker"))
+                        };
+                        let failure = out.unwrap_err();
+                        assert_eq!(failure.error.kind(), "panic");
+                        let loc = failure.error.location().expect("location under concurrency");
+                        assert!(loc.contains("isolate.rs"), "unexpected location {loc}");
+                        let expect = if i % 2 == 0 { "even worker" } else { "odd worker" };
+                        assert!(failure.error.to_string().contains(expect));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker thread");
+        }
+        // And a clean run afterwards still works on the main thread.
+        let ok = run_isolated(|| Ok::<_, QoaError>(1));
+        assert_eq!(ok.unwrap(), 1);
     }
 }

@@ -27,11 +27,17 @@ use std::path::{Path, PathBuf};
 /// * v3: adds the optional `"chaos"` object (fault-injection and
 ///   checkpoint/restore counters for the cell) and the optional
 ///   `"location"` field on failed lines (panic site `file:line:column`).
+/// * v4: adds the `"shed"` status (admission control / circuit breaker
+///   declined the cell — recorded distinctly from `"failed"`, with a
+///   `"reason"` field), plus the optional supervision fields written by
+///   the parallel executor: `"attempts"` (how many times the cell ran,
+///   counting retries) and `"breaker"` (the cell's runtime circuit-breaker
+///   state at commit: `closed`, `open` or `half-open`).
 ///
 /// Lines without a `version` field are read as v1; lines with a version
 /// above [`JOURNAL_VERSION`] are skipped (the cell reruns) rather than
 /// misread.
-pub const JOURNAL_VERSION: i64 = 3;
+pub const JOURNAL_VERSION: i64 = 4;
 
 /// One journaled measurement value.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +123,25 @@ pub enum CellOutcome {
         /// panic whose hook saw a location. (v3)
         location: Option<String>,
     },
+    /// The supervised executor declined to run the cell: load shedding
+    /// under a budget gate, or a runtime whose circuit breaker was open.
+    /// Distinct from `Failed` — nothing about the cell itself is known to
+    /// be wrong, and a later run under a lighter load may measure it. (v4)
+    Shed {
+        /// Why admission was denied (`budget`, `breaker`).
+        reason: String,
+    },
+}
+
+/// Supervision metadata the parallel executor records beside a cell's
+/// outcome (the v4 `"attempts"`/`"breaker"` fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Supervision {
+    /// Times the cell actually ran (1 = no retries; 0 = shed, never ran).
+    pub attempts: u32,
+    /// The cell's runtime circuit-breaker state at commit time
+    /// (`closed`, `open`, `half-open`).
+    pub breaker: String,
 }
 
 /// A figure binary's persistent record of completed cells.
@@ -132,6 +157,9 @@ pub struct Journal {
     /// Per-cell chaos counters (v3 `"chaos"` field): faults injected,
     /// recoveries by kind, checkpoints written, restores.
     chaos: BTreeMap<CellKey, CellMetrics>,
+    /// Per-cell supervision metadata (v4 `"attempts"`/`"breaker"`
+    /// fields), written by the parallel executor.
+    supervision: BTreeMap<CellKey, Supervision>,
 }
 
 impl Journal {
@@ -160,6 +188,7 @@ impl Journal {
             entries: BTreeMap::new(),
             obs: BTreeMap::new(),
             chaos: BTreeMap::new(),
+            supervision: BTreeMap::new(),
         };
         if fresh || !journal.path.exists() {
             return Ok(journal);
@@ -169,14 +198,17 @@ impl Journal {
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             // A malformed line (old format, manual edit) is skipped, not
             // fatal: the cell simply reruns.
-            if let Some((key, outcome, obs, chaos)) = journal.parse_line(line) {
-                if let Some(snapshot) = obs {
-                    journal.obs.insert(key.clone(), snapshot);
+            if let Some(parsed) = journal.parse_line(line) {
+                if let Some(snapshot) = parsed.obs {
+                    journal.obs.insert(parsed.key.clone(), snapshot);
                 }
-                if let Some(counters) = chaos {
-                    journal.chaos.insert(key.clone(), counters);
+                if let Some(counters) = parsed.chaos {
+                    journal.chaos.insert(parsed.key.clone(), counters);
                 }
-                journal.entries.insert(key, outcome);
+                if let Some(sup) = parsed.supervision {
+                    journal.supervision.insert(parsed.key.clone(), sup);
+                }
+                journal.entries.insert(parsed.key, parsed.outcome);
             }
         }
         Ok(journal)
@@ -264,9 +296,34 @@ impl Journal {
         self.persist()
     }
 
+    /// Records a completed cell with the supervision metadata the
+    /// parallel executor tracked for it (attempt count and circuit-breaker
+    /// state — the line's v4 `"attempts"`/`"breaker"` fields) and persists
+    /// the journal atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QoaError::Journal`] when the temp file cannot be written
+    /// or renamed into place.
+    pub fn record_supervised(
+        &mut self,
+        key: CellKey,
+        outcome: CellOutcome,
+        supervision: Supervision,
+    ) -> Result<(), QoaError> {
+        self.supervision.insert(key.clone(), supervision);
+        self.entries.insert(key, outcome);
+        self.persist()
+    }
+
     /// The observability snapshot recorded with a cell, if any.
     pub fn obs_snapshot(&self, key: &CellKey) -> Option<&CellMetrics> {
         self.obs.get(key)
+    }
+
+    /// The supervision metadata recorded with a cell, if any.
+    pub fn supervision(&self, key: &CellKey) -> Option<&Supervision> {
+        self.supervision.get(key)
     }
 
     /// The chaos counters recorded with a cell, if any.
@@ -331,6 +388,15 @@ impl Journal {
                     encode_str(out, at);
                 }
             }
+            CellOutcome::Shed { reason } => {
+                out.push_str("\"status\":\"shed\",\"reason\":");
+                encode_str(out, reason);
+            }
+        }
+        if let Some(sup) = self.supervision.get(key) {
+            let _ = write!(out, ",\"attempts\":{},", sup.attempts);
+            out.push_str("\"breaker\":");
+            encode_str(out, &sup.breaker);
         }
         if let Some(snapshot) = self.obs.get(key) {
             out.push_str(",\"obs\":");
@@ -345,11 +411,7 @@ impl Journal {
 
     // ---- decoding --------------------------------------------------------
 
-    #[allow(clippy::type_complexity)]
-    fn parse_line(
-        &self,
-        line: &str,
-    ) -> Option<(CellKey, CellOutcome, Option<CellMetrics>, Option<CellMetrics>)> {
+    fn parse_line(&self, line: &str) -> Option<ParsedLine> {
         let fields = parse_object(line)?;
         if fields.get("figure")?.str()? != self.figure
             || fields.get("config")?.str()? != self.config
@@ -382,6 +444,9 @@ impl Journal {
                     None => None,
                 },
             },
+            "shed" => CellOutcome::Shed {
+                reason: fields.get("reason")?.str()?.to_string(),
+            },
             _ => return None,
         };
         let obs = match fields.get("obs") {
@@ -394,8 +459,27 @@ impl Journal {
             Some(_) => return None,
             None => None,
         };
-        Some((key, outcome, obs, chaos))
+        let supervision = match (fields.get("attempts"), fields.get("breaker")) {
+            (Some(Json::Int(n)), Some(b)) => Some(Supervision {
+                attempts: u32::try_from(*n).ok()?,
+                breaker: b.str()?.to_string(),
+            }),
+            (None, None) => None,
+            // A line carrying only half the supervision pair (or a
+            // mistyped field) is malformed; skip it so the cell reruns.
+            _ => return None,
+        };
+        Some(ParsedLine { key, outcome, obs, chaos, supervision })
     }
+}
+
+/// One successfully decoded journal line.
+struct ParsedLine {
+    key: CellKey,
+    outcome: CellOutcome,
+    obs: Option<CellMetrics>,
+    chaos: Option<CellMetrics>,
+    supervision: Option<Supervision>,
 }
 
 fn encode_metrics(out: &mut String, metrics: &CellMetrics) {
@@ -743,7 +827,7 @@ mod tests {
         assert_eq!(j.obs_snapshot(&key), Some(&obs));
         // The line self-describes with the current version.
         let text = std::fs::read_to_string(j.path()).expect("read");
-        assert!(text.contains("\"version\":3,"), "line: {text}");
+        assert!(text.contains("\"version\":4,"), "line: {text}");
         assert!(text.contains("\"obs\":{"), "line: {text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -785,6 +869,96 @@ mod tests {
         };
         assert_eq!(kind, "panic");
         assert_eq!(location.as_deref(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shed_and_supervision_fields_round_trip() {
+        let dir = tmp_dir("v4roundtrip");
+        let shed_key = CellKey::new("go", "PyPyJit", "nursery", "4096");
+        let ok_key = CellKey::new("float", "PyPyJit", "nursery", "4096");
+        {
+            let mut j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+            j.record_supervised(
+                shed_key.clone(),
+                CellOutcome::Shed { reason: "breaker".into() },
+                Supervision { attempts: 0, breaker: "open".into() },
+            )
+            .expect("record shed");
+            j.record_supervised(
+                ok_key.clone(),
+                CellOutcome::Ok(sample_metrics()),
+                Supervision { attempts: 3, breaker: "closed".into() },
+            )
+            .expect("record ok");
+        }
+        let j = Journal::open(&dir, "fig10", "cfg", false).expect("reopen");
+        assert_eq!(j.get(&shed_key), Some(&CellOutcome::Shed { reason: "breaker".into() }));
+        assert_eq!(
+            j.supervision(&shed_key),
+            Some(&Supervision { attempts: 0, breaker: "open".into() })
+        );
+        assert_eq!(j.get(&ok_key), Some(&CellOutcome::Ok(sample_metrics())));
+        assert_eq!(
+            j.supervision(&ok_key),
+            Some(&Supervision { attempts: 3, breaker: "closed".into() })
+        );
+        let text = std::fs::read_to_string(j.path()).expect("read");
+        assert!(text.contains("\"status\":\"shed\",\"reason\":\"breaker\""), "line: {text}");
+        assert!(text.contains("\"attempts\":3,\"breaker\":\"closed\""), "line: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_through_v3_fixture_lines_are_all_honored() {
+        // One hand-written line per historical version, mixed in a single
+        // journal file: the v4 reader must honor every one of them.
+        let dir = tmp_dir("backcompat");
+        let path = dir.join("fig10.journal.jsonl");
+        let v1 = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"workload\":\"w1\",\
+                  \"runtime\":\"CPython\",\"param\":\"p\",\"value\":\"1\",\
+                  \"status\":\"ok\",\"metrics\":{\"cycles\":1}}\n";
+        let v2 = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"version\":2,\
+                  \"workload\":\"w2\",\"runtime\":\"CPython\",\"param\":\"p\",\
+                  \"value\":\"1\",\"status\":\"ok\",\"metrics\":{\"cycles\":2},\
+                  \"obs\":{\"qoa_sim_cycles_total\":2.0}}\n";
+        let v3 = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"version\":3,\
+                  \"workload\":\"w3\",\"runtime\":\"CPython\",\"param\":\"p\",\
+                  \"value\":\"1\",\"status\":\"failed\",\"kind\":\"panic\",\
+                  \"error\":\"boom\",\"location\":\"interp.rs:1:1\",\
+                  \"chaos\":{\"faults_injected_total\":3}}\n";
+        std::fs::write(&path, format!("{v1}{v2}{v3}")).expect("write");
+        let j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+        assert_eq!(j.len(), 3, "all three historical versions must parse");
+        let k1 = CellKey::new("w1", "CPython", "p", "1");
+        let k2 = CellKey::new("w2", "CPython", "p", "1");
+        let k3 = CellKey::new("w3", "CPython", "p", "1");
+        assert!(matches!(j.get(&k1), Some(CellOutcome::Ok(m)) if m.get("cycles") == Some(&Metric::Int(1))));
+        assert!(j.obs_snapshot(&k2).is_some());
+        assert!(matches!(
+            j.get(&k3),
+            Some(CellOutcome::Failed { kind, location: Some(at), .. })
+                if kind == "panic" && at == "interp.rs:1:1"
+        ));
+        assert!(j.chaos_snapshot(&k3).is_some());
+        // Pre-v4 lines carry no supervision metadata.
+        assert!(j.supervision(&k1).is_none());
+        assert!(j.supervision(&k2).is_none());
+        assert!(j.supervision(&k3).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn half_written_supervision_fields_invalidate_the_line() {
+        let dir = tmp_dir("v4half");
+        let path = dir.join("fig10.journal.jsonl");
+        // "attempts" without "breaker": malformed, must rerun not misread.
+        let bad = "{\"figure\":\"fig10\",\"config\":\"cfg\",\"version\":4,\
+                   \"workload\":\"go\",\"runtime\":\"CPython\",\"param\":\"p\",\
+                   \"value\":\"1\",\"status\":\"ok\",\"metrics\":{},\"attempts\":2}\n";
+        std::fs::write(&path, bad).expect("write");
+        let j = Journal::open(&dir, "fig10", "cfg", false).expect("open");
+        assert!(j.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

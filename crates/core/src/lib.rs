@@ -37,6 +37,7 @@
 pub mod attribution;
 pub mod chaos;
 pub mod error;
+pub mod executor;
 pub mod harness;
 pub mod isolate;
 pub mod journal;
@@ -45,12 +46,19 @@ pub mod runtime;
 pub mod sweeps;
 
 pub use attribution::{attribute_suite, attribute_workload, average_shares, Breakdown};
-pub use chaos::{capture_chaos, oracle_check, stats_divergence, ChaosOptions, ChaosOutcome};
+pub use chaos::{
+    capture_chaos, fault_kinds_for, oracle_check, stats_divergence, ChaosOptions, ChaosOutcome,
+};
 pub use error::QoaError;
+pub use executor::{
+    available_jobs, cell_seed, run_supervised, BreakerOptions, BreakerState, CellVerdict,
+    CommittedCell, ExecutorOptions, ExecutorStats, RetryPolicy, ShedReason, SupervisedCell,
+};
 pub use harness::{
-    best_nursery_cell, breakdown_cell, nursery_cell, nursery_cells, nursery_cells_tagged,
-    sweep_param_cell,
-    FailureNote, Harness, HarnessOptions, NurseryCell, SweepCellPoint,
+    best_nursery_cell, breakdown_cell, breakdown_spec, nursery_cell, nursery_cells,
+    nursery_cells_tagged, nursery_spec, shared_trace_cache, sweep_param_cell, sweep_param_spec,
+    CellChaos, FailureNote, Harness, HarnessOptions, NurseryCell, SharedTraceCache,
+    SweepCellPoint,
 };
 pub use isolate::{run_isolated, RunFailure, RunOutcome};
 pub use journal::{CellKey, CellMetrics, CellOutcome, Journal, Metric, JOURNAL_VERSION};

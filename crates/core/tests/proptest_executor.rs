@@ -1,0 +1,89 @@
+//! Property-based tests for the supervised executor's retry policy: the
+//! backoff schedule is a pure function of `(seed, key, attempt)`, and
+//! every jittered delay stays inside the documented envelope
+//! `[exp * (1 - j), exp * (1 + j)]` where `exp` is the capped
+//! exponential term.
+
+use proptest::prelude::*;
+use qoa_core::journal::CellKey;
+use qoa_core::{cell_seed, RetryPolicy};
+use std::time::Duration;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..=6, 1u64..=50_000, 1u64..=400_000, 0u32..=1000).prop_map(
+        |(max_attempts, base_us, cap_us, jitter_permille)| RetryPolicy {
+            max_attempts,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_micros(cap_us.max(base_us)),
+            jitter: f64::from(jitter_permille) / 1000.0,
+        },
+    )
+}
+
+fn key_strategy() -> impl Strategy<Value = CellKey> {
+    ("[a-z]{1,8}", "[A-Za-z]{1,8}", "[a-z]{1,6}", "[0-9]{1,4}")
+        .prop_map(|(w, r, p, v)| CellKey::new(w, r, p, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn same_seed_produces_the_same_schedule(
+        policy in policy_strategy(),
+        key in key_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let first = policy.schedule(seed, &key);
+        let second = policy.schedule(seed, &key);
+        prop_assert_eq!(&first, &second);
+        // One delay per failed attempt that still has a retry left.
+        prop_assert_eq!(first.len(), policy.max_attempts.saturating_sub(1) as usize);
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_documented_envelope(
+        policy in policy_strategy(),
+        key in key_strategy(),
+        seed in any::<u64>(),
+        attempt in 1u32..=8,
+    ) {
+        let exp = policy
+            .base
+            .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+            .min(policy.cap);
+        let j = policy.jitter.clamp(0.0, 1.0);
+        let got = policy.backoff(seed, &key, attempt).as_secs_f64();
+        let lo = exp.mul_f64((1.0 - j).max(0.0)).as_secs_f64() - 1e-9;
+        let hi = exp.mul_f64(1.0 + j).as_secs_f64() + 1e-9;
+        prop_assert!(
+            got >= lo && got <= hi,
+            "delay {got}s outside [{lo}, {hi}] (exp {:?}, jitter {j})",
+            exp
+        );
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_the_capped_exponential(
+        key in key_strategy(),
+        seed in any::<u64>(),
+        attempt in 1u32..=8,
+    ) {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(160),
+            max_attempts: 5,
+        };
+        let exp = policy
+            .base
+            .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+            .min(policy.cap);
+        prop_assert_eq!(policy.backoff(seed, &key, attempt), exp);
+    }
+
+    #[test]
+    fn cell_seed_is_stable_per_key(key in key_strategy(), seed in any::<u64>()) {
+        prop_assert_eq!(cell_seed(seed, &key), cell_seed(seed, &key));
+    }
+}

@@ -8,7 +8,7 @@
 //! the execution [`Phase`] it belongs to.
 
 use crate::{Category, Phase};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A guest-frame lifecycle event, emitted by the run-times alongside the
 /// micro-op stream.
@@ -23,8 +23,10 @@ pub enum FrameEvent {
     /// A guest frame was pushed (a function call was entered).
     Push {
         /// The callee's name. Interned per code object — clones are a
-        /// reference-count bump, not a string copy.
-        name: Rc<str>,
+        /// reference-count bump, not a string copy. `Arc` (not `Rc`) so
+        /// captured traces can be shared across the parallel sweep
+        /// executor's worker threads.
+        name: Arc<str>,
     },
     /// The current guest frame was popped (the function returned).
     Pop,

@@ -24,7 +24,7 @@ use qoa_model::{Category, CategoryMap, FrameEvent, MicroOp, OpSink, Phase, Phase
 use qoa_uarch::{ExecutionStats, SimpleCore, UarchConfig};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum tracked stack depth for the depth distribution (deeper stacks
 /// saturate into the last slot).
@@ -42,7 +42,7 @@ pub struct ObsCore {
     target: u64,
     /// Fixed-seed xorshift state for the per-window jitter.
     rng: u64,
-    stack: Vec<Rc<str>>,
+    stack: Vec<Arc<str>>,
     folded_key: String,
     key_dirty: bool,
     samples: HashMap<String, CategoryMap<u64>>,
@@ -186,7 +186,7 @@ impl OpSink for ObsCore {
 
     fn frame_event(&mut self, event: &FrameEvent) {
         match event {
-            FrameEvent::Push { name } => self.stack.push(Rc::clone(name)),
+            FrameEvent::Push { name } => self.stack.push(Arc::clone(name)),
             FrameEvent::Pop => {
                 self.stack.pop();
             }

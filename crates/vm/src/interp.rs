@@ -40,7 +40,7 @@ impl<S: OpSink> Vm<S> {
         self.register_code(code);
         let frame = self.new_frame(Rc::clone(code), Vec::new(), None, None);
         self.frames.push(frame);
-        let name = Rc::clone(&self.code_meta[&code_key(code)].name);
+        let name = std::sync::Arc::clone(&self.code_meta[&code_key(code)].name);
         self.sink.frame_event(&FrameEvent::Push { name });
     }
 

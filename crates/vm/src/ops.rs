@@ -1597,8 +1597,8 @@ impl<S: OpSink> Vm<S> {
             self.scratch.push(*a);
         }
         let frame_name = match self.code_meta.get(&code_key(&code)) {
-            Some(meta) => Rc::clone(&meta.name),
-            None => Rc::from(code.name.as_str()),
+            Some(meta) => std::sync::Arc::clone(&meta.name),
+            None => std::sync::Arc::from(code.name.as_str()),
         };
         let frame = self.new_frame(code, Vec::new(), Some(callee), class_ns);
         self.scratch.truncate(self.scratch.len() - nargs);

@@ -352,8 +352,9 @@ pub(crate) struct CodeMeta {
     pub code_addr: u64,
     /// Simulated address of `co_consts` pointer table.
     pub consts_addr: u64,
-    /// Interned function name for frame events (cheap to clone per call).
-    pub name: Rc<str>,
+    /// Interned function name for frame events (cheap to clone per call;
+    /// `Arc` so emitted traces stay shareable across threads).
+    pub name: std::sync::Arc<str>,
 }
 
 /// Identity key of a code object (Rc pointer address).
@@ -1064,7 +1065,7 @@ impl<S: OpSink> Vm<S> {
                 }
             })
             .collect();
-        let name: Rc<str> = Rc::from(code.name.as_str());
+        let name: std::sync::Arc<str> = std::sync::Arc::from(code.name.as_str());
         self.code_meta.insert(key, CodeMeta { consts, code_addr, consts_addr, name });
     }
 

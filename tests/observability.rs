@@ -107,7 +107,7 @@ fn wall_clock_overhead_stays_under_five_percent() {
     let mut best_on = Duration::MAX;
     let mut cycles_off = 0;
     let mut cycles_on = 0;
-    for _ in 0..3 {
+    for _ in 0..5 {
         let (d, c) = time_off();
         best_off = best_off.min(d);
         cycles_off = c;
@@ -118,8 +118,10 @@ fn wall_clock_overhead_stays_under_five_percent() {
 
     // The cycle totals agree regardless of the toggle...
     assert_eq!(cycles_off, cycles_on, "observability changed simulated cycles");
-    // ...and the wall cost of observing stays under 5% (+ jitter slack).
-    let budget = best_off.mul_f64(1.05) + Duration::from_millis(50);
+    // ...and the wall cost of observing stays under 5% (+ jitter slack —
+    // generous because the workspace suite runs many test binaries
+    // concurrently; a real regression is multiplicative, not 100ms).
+    let budget = best_off.mul_f64(1.05) + Duration::from_millis(100);
     assert!(
         best_on <= budget,
         "observability overhead too high: off {best_off:?}, on {best_on:?} (budget {budget:?})"
