@@ -1,0 +1,96 @@
+//! Per-PR perf snapshots: `BENCH_<name>.json`.
+//!
+//! The ROADMAP tracks a perf trajectory across PRs; every tool that can
+//! measure something writes one small JSON file per run through this
+//! module so the files stay diffable and uniformly shaped. Each entry
+//! pairs a *wall* measurement (host-dependent, trend only) with a
+//! *simulated-cycle* measurement (deterministic, regression-gateable).
+
+use crate::error::QoaError;
+use std::path::{Path, PathBuf};
+
+/// One measured workload class.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Class label, e.g. `richards/full`.
+    pub class: String,
+    /// Wall nanoseconds (host-dependent; trend only).
+    pub wall_nanos: u64,
+    /// Simulated cycles (micro-ops) — deterministic.
+    pub cycles: u64,
+}
+
+/// Renders the snapshot body. Entry order is preserved; only the
+/// `wall_nanos` values vary across hosts.
+pub fn render_bench_json(bench: &str, tool: &str, seed: u64, entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str(&format!("  \"tool\": \"{tool}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"classes\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"wall_nanos\": {}, \"cycles\": {}}}{}\n",
+            e.class, e.wall_nanos, e.cycles, sep
+        ));
+    }
+    out.push_str("  ],\n");
+    let wall: u64 = entries.iter().map(|e| e.wall_nanos).sum();
+    let cycles: u64 = entries.iter().map(|e| e.cycles).sum();
+    out.push_str(&format!(
+        "  \"totals\": {{\"wall_nanos\": {wall}, \"cycles\": {cycles}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_<name>.json` under `dir`, creating the directory.
+///
+/// # Errors
+///
+/// [`QoaError::Journal`] on I/O failure.
+pub fn write_bench_json(
+    dir: &Path,
+    name: &str,
+    tool: &str,
+    seed: u64,
+    entries: &[BenchEntry],
+) -> Result<PathBuf, QoaError> {
+    let io = |context: String| {
+        move |source: std::io::Error| QoaError::Journal { context, source }
+    };
+    std::fs::create_dir_all(dir)
+        .map_err(io(format!("creating bench dir {}", dir.display())))?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, render_bench_json(name, tool, seed, entries))
+        .map_err(io(format!("writing {}", path.display())))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_shape_is_stable() {
+        let entries = vec![
+            BenchEntry { class: "go/full".into(), wall_nanos: 10, cycles: 100 },
+            BenchEntry { class: "go/checked".into(), wall_nanos: 20, cycles: 300 },
+        ];
+        let body = render_bench_json("serve", "qoa-loadgen", 7, &entries);
+        assert!(body.contains("\"bench\": \"serve\""));
+        assert!(body.contains("\"class\": \"go/full\""));
+        assert!(body.contains("\"totals\": {\"wall_nanos\": 30, \"cycles\": 400}"));
+    }
+
+    #[test]
+    fn writes_under_bench_prefix() {
+        let dir = std::env::temp_dir().join("qoa-benchsnap-test");
+        let path = write_bench_json(&dir, "unit", "test", 1, &[]).expect("writes");
+        assert!(path.ends_with("BENCH_unit.json"));
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

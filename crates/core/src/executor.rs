@@ -204,18 +204,25 @@ impl BreakerState {
     }
 }
 
-/// One runtime's breaker, advanced only by the ordered commit pass.
-#[derive(Debug)]
-struct Breaker {
+/// The breaker state machine itself, advanced strictly by committed
+/// outcomes. The executor keeps one per runtime group and advances it
+/// only in the ordered commit pass; longer-lived layers (the serving
+/// daemon's per-tenant breakers) embed the same machine and advance it
+/// across batches, so "breaker semantics" mean exactly one thing in the
+/// whole stack. Each `on_*` method returns the transition it caused, if
+/// any.
+#[derive(Debug, Clone)]
+pub struct BreakerCore {
     state: BreakerState,
     consecutive_failures: u32,
     sheds_while_open: u32,
     opts: BreakerOptions,
 }
 
-impl Breaker {
-    fn new(opts: BreakerOptions) -> Breaker {
-        Breaker {
+impl BreakerCore {
+    /// A closed breaker with the given tuning.
+    pub fn new(opts: BreakerOptions) -> BreakerCore {
+        BreakerCore {
             state: BreakerState::Closed,
             consecutive_failures: 0,
             sheds_while_open: 0,
@@ -223,9 +230,14 @@ impl Breaker {
         }
     }
 
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
     /// A committed success: closes a half-open breaker, resets the
     /// failure streak.
-    fn on_success(&mut self) -> Option<BreakerState> {
+    pub fn on_success(&mut self) -> Option<BreakerState> {
         self.consecutive_failures = 0;
         if self.state == BreakerState::HalfOpen {
             self.state = BreakerState::Closed;
@@ -236,7 +248,7 @@ impl Breaker {
 
     /// A committed failure: trips a closed breaker at the threshold and
     /// re-opens a half-open one immediately.
-    fn on_failure(&mut self) -> Option<BreakerState> {
+    pub fn on_failure(&mut self) -> Option<BreakerState> {
         match self.state {
             BreakerState::Closed => {
                 self.consecutive_failures += 1;
@@ -257,7 +269,7 @@ impl Breaker {
     }
 
     /// A cell shed while open: after the cooldown, half-open for a probe.
-    fn on_shed(&mut self) -> Option<BreakerState> {
+    pub fn on_shed(&mut self) -> Option<BreakerState> {
         if self.state == BreakerState::Open {
             self.sheds_while_open += 1;
             if self.sheds_while_open >= self.opts.cooldown_sheds {
@@ -874,8 +886,8 @@ fn commit_loop<T: Send>(
     let n = shared.meta.len();
     let capacity =
         if opts.queue_capacity == 0 { opts.jobs.max(1) * 4 } else { opts.queue_capacity }.max(1);
-    let mut breakers: Vec<Breaker> =
-        shared.breaker_open.iter().map(|_| Breaker::new(opts.breaker.clone())).collect();
+    let mut breakers: Vec<BreakerCore> =
+        shared.breaker_open.iter().map(|_| BreakerCore::new(opts.breaker.clone())).collect();
     let mut committed: Vec<Option<CommittedCell<T>>> = (0..n).map(|_| None).collect();
     let mut ready: BTreeMap<usize, WorkerVerdict<T>> = BTreeMap::new();
     let mut pending_dispatch: VecDeque<usize> =

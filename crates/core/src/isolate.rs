@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn success_passes_through() {
         let out = run_isolated(|| Ok::<_, QoaError>(41 + 1));
-        assert_eq!(out.unwrap(), 42);
+        assert_eq!(out.expect("isolated success"), 42);
     }
 
     #[test]
@@ -189,7 +189,7 @@ mod tests {
     fn a_panicking_cell_does_not_poison_the_next() {
         let _ = run_isolated(|| -> Result<(), QoaError> { panic!("first") });
         let ok = run_isolated(|| Ok::<_, QoaError>("second"));
-        assert_eq!(ok.unwrap(), "second");
+        assert_eq!(ok.expect("cell after a panic"), "second");
     }
 
     #[test]
@@ -247,6 +247,6 @@ mod tests {
         }
         // And a clean run afterwards still works on the main thread.
         let ok = run_isolated(|| Ok::<_, QoaError>(1));
-        assert_eq!(ok.unwrap(), 1);
+        assert_eq!(ok.expect("clean run after the storm"), 1);
     }
 }

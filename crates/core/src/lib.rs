@@ -35,6 +35,7 @@
 //! ```
 
 pub mod attribution;
+pub mod benchsnap;
 pub mod chaos;
 pub mod error;
 pub mod executor;
@@ -46,13 +47,15 @@ pub mod runtime;
 pub mod sweeps;
 
 pub use attribution::{attribute_suite, attribute_workload, average_shares, Breakdown};
+pub use benchsnap::{render_bench_json, write_bench_json, BenchEntry};
 pub use chaos::{
     capture_chaos, fault_kinds_for, oracle_check, stats_divergence, ChaosOptions, ChaosOutcome,
 };
 pub use error::QoaError;
 pub use executor::{
-    available_jobs, cell_seed, run_supervised, BreakerOptions, BreakerState, CellVerdict,
-    CommittedCell, ExecutorOptions, ExecutorStats, RetryPolicy, ShedReason, SupervisedCell,
+    available_jobs, cell_seed, run_supervised, BreakerCore, BreakerOptions, BreakerState,
+    CellVerdict, CommittedCell, ExecutorOptions, ExecutorStats, RetryPolicy, ShedReason,
+    SupervisedCell,
 };
 pub use harness::{
     best_nursery_cell, breakdown_cell, breakdown_spec, nursery_cell, nursery_cells,

@@ -248,6 +248,21 @@ impl<S: OpSink> PyPyVm<S> {
         self.vm.steps()
     }
 
+    /// Replaces the execution fuel budget on the underlying machine (see
+    /// [`Vm::set_fuel`]). Kept in sync on the driver's own config so a
+    /// snapshot of this machine restores with the same limit.
+    pub fn set_fuel(&mut self, max_steps: u64) {
+        self.cfg.max_steps = max_steps;
+        self.vm.set_fuel(max_steps);
+    }
+
+    /// Replaces the wall-clock deadline on the underlying machine (see
+    /// [`Vm::set_deadline`]).
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.cfg.deadline = deadline;
+        self.vm.set_deadline(deadline);
+    }
+
     /// Arms a chaos plan on the underlying machine (see [`Vm::arm_chaos`]).
     pub fn arm_chaos(&mut self, chaos: qoa_chaos::ChaosState) {
         self.vm.arm_chaos(chaos);

@@ -1,0 +1,241 @@
+//! `qoa-loadgen`: seeded open-loop load generator for `qoa-serve`.
+//!
+//! Calibrates the registered workloads, derives an offered rate from
+//! the estimated capacity and `--load-pct`, generates a Poisson arrival
+//! plan over the standard tenant mix, drives the serving loop, and
+//! reports throughput and p50/p99/p999 plus shed/breaker counters.
+//! Everything except wall-clock lines is deterministic given `--seed`
+//! (and `--chaos-seed`): rerunning writes a byte-identical journal.
+
+use qoa_core::benchsnap::{write_bench_json, BenchEntry};
+use qoa_obs::Registry;
+use qoa_serve::{
+    calibrate, generate, plan_line, render_journal, serve, standard_tenants, ArrivalSpec,
+    ChaosConfig, ServeConfig, TenantMix, Tier,
+};
+use qoa_workloads::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    workloads: Vec<String>,
+    scale: Scale,
+    requests: usize,
+    load_pct: u64,
+    rate_per_m: Option<u64>,
+    seed: u64,
+    chaos_seed: Option<u64>,
+    chaos_points: usize,
+    jobs: usize,
+    virtual_workers: usize,
+    window: usize,
+    max_queue: u64,
+    journal: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    plan_out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+    deny_failures: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: qoa-loadgen [flags]\n\
+  --workloads A,B,C   registered workloads (default go,float,richards)\n\
+  --scale S           tiny|small|full (default tiny)\n\
+  --requests N        arrivals to generate (default 400)\n\
+  --load-pct P        offered load as % of estimated capacity (default 100; 200 = 2x)\n\
+  --rate-per-m R      explicit rate (requests per M vcycles; overrides --load-pct)\n\
+  --seed N            arrival/executor seed (default 1)\n\
+  --chaos-seed N      arm per-request fault plans from this seed\n\
+  --chaos-points N    max fault points per request (default 2)\n\
+  --jobs N            executor worker threads (default 2)\n\
+  --virtual-workers N virtual servers in the queue model (default 4)\n\
+  --window N          admission window (default 16)\n\
+  --max-queue N       bounded queue, request-equivalents (default 48)\n\
+  --journal PATH      write the deterministic request journal\n\
+  --metrics PATH      write Prometheus exposition\n\
+  --plan-out PATH     write the generated arrival plan (qoa-serve input)\n\
+  --bench-out DIR     write BENCH_serve.json under DIR\n\
+  --deny-failures     exit 3 if any request hard-fails (CI gate)\n\
+  --quiet             suppress the run summary\n";
+
+fn parse() -> Result<Cli, String> {
+    let mut cli = Cli {
+        workloads: vec!["go".into(), "float".into(), "richards".into()],
+        scale: Scale::Tiny,
+        requests: 400,
+        load_pct: 100,
+        rate_per_m: None,
+        seed: 1,
+        chaos_seed: None,
+        chaos_points: 2,
+        jobs: 2,
+        virtual_workers: 4,
+        window: 16,
+        max_queue: 48,
+        journal: None,
+        metrics: None,
+        plan_out: None,
+        bench_out: None,
+        deny_failures: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--workloads" => {
+                cli.workloads = val("--workloads")?.split(',').map(str::to_string).collect();
+            }
+            "--scale" => {
+                cli.scale = match val("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--requests" => cli.requests = num(&val("--requests")?)? as usize,
+            "--load-pct" => cli.load_pct = num(&val("--load-pct")?)?,
+            "--rate-per-m" => cli.rate_per_m = Some(num(&val("--rate-per-m")?)?),
+            "--seed" => cli.seed = num(&val("--seed")?)?,
+            "--chaos-seed" => cli.chaos_seed = Some(num(&val("--chaos-seed")?)?),
+            "--chaos-points" => cli.chaos_points = num(&val("--chaos-points")?)? as usize,
+            "--jobs" => cli.jobs = num(&val("--jobs")?)? as usize,
+            "--virtual-workers" => cli.virtual_workers = num(&val("--virtual-workers")?)? as usize,
+            "--window" => cli.window = num(&val("--window")?)? as usize,
+            "--max-queue" => cli.max_queue = num(&val("--max-queue")?)?,
+            "--journal" => cli.journal = Some(PathBuf::from(val("--journal")?)),
+            "--metrics" => cli.metrics = Some(PathBuf::from(val("--metrics")?)),
+            "--plan-out" => cli.plan_out = Some(PathBuf::from(val("--plan-out")?)),
+            "--bench-out" => cli.bench_out = Some(PathBuf::from(val("--bench-out")?)),
+            "--deny-failures" => cli.deny_failures = true,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("not a number: '{s}'"))
+}
+
+fn run(cli: &Cli) -> Result<ExitCode, String> {
+    let names: Vec<&str> = cli.workloads.iter().map(String::as_str).collect();
+    let mut cfg = ServeConfig::new(&names, cli.scale, Vec::new()).map_err(|e| e.to_string())?;
+    cfg.jobs = cli.jobs;
+    cfg.virtual_workers = cli.virtual_workers;
+    cfg.window = cli.window;
+    cfg.max_queue = cli.max_queue;
+    cfg.ladder.full_max = (cli.window + cli.virtual_workers) as u64;
+    cfg.ladder.nojit_max = cfg.ladder.full_max + cli.max_queue / 2;
+    cfg.seed = cli.seed;
+    cfg.chaos = cli.chaos_seed.map(|seed| ChaosConfig { seed, points: cli.chaos_points });
+
+    let calib = calibrate(&cfg).map_err(|e| e.to_string())?;
+    let capacity = calib.capacity_per_m(cfg.virtual_workers);
+    let rate = cli.rate_per_m.unwrap_or_else(|| (capacity * cli.load_pct / 100).max(1));
+    cfg.tenants = standard_tenants(rate, calib.mean_cost_full);
+
+    let spec = ArrivalSpec {
+        seed: cli.seed,
+        count: cli.requests,
+        rate_per_m: rate,
+        tenants: cfg
+            .tenants
+            .iter()
+            .map(|t| TenantMix { weight: t.weight, priority: t.priority, deadline: t.deadline })
+            .collect(),
+        workload_weights: vec![1; cfg.workloads.len()],
+    };
+    let requests = generate(&spec);
+
+    if !cli.quiet {
+        println!(
+            "qoa-loadgen: {} requests, {}% load ({} per M vcycles, capacity {}), seed {}{}",
+            requests.len(),
+            cli.load_pct,
+            rate,
+            capacity,
+            cli.seed,
+            match cli.chaos_seed {
+                Some(s) => format!(", chaos seed {s}"),
+                None => String::new(),
+            }
+        );
+    }
+
+    if let Some(path) = &cli.plan_out {
+        let body: String = requests
+            .iter()
+            .map(|r| {
+                plan_line(r, &cfg.tenants[r.tenant].name, &cfg.workloads[r.workload].name) + "\n"
+            })
+            .collect();
+        std::fs::write(path, body).map_err(|e| format!("writing plan: {e}"))?;
+    }
+
+    let report = serve(&cfg, &requests, &calib).map_err(|e| e.to_string())?;
+    if !cli.quiet {
+        print!("{}", report.render());
+    }
+
+    if let Some(path) = &cli.journal {
+        std::fs::write(path, render_journal(&cfg, &report))
+            .map_err(|e| format!("writing journal: {e}"))?;
+    }
+    if let Some(path) = &cli.metrics {
+        let mut reg = Registry::new();
+        report.export(&mut reg);
+        std::fs::write(path, reg.expose()).map_err(|e| format!("writing metrics: {e}"))?;
+    }
+    if let Some(dir) = &cli.bench_out {
+        let mut entries = Vec::new();
+        for (wi, w) in cfg.workloads.iter().enumerate() {
+            for tier in Tier::ALL {
+                if let Some(e) = calib.entry(wi, tier) {
+                    entries.push(BenchEntry {
+                        class: format!("{}/{}", w.name, tier.name()),
+                        wall_nanos: e.wall_nanos,
+                        cycles: e.cost,
+                    });
+                }
+            }
+        }
+        write_bench_json(dir, "serve", "qoa-loadgen", cli.seed, &entries)
+            .map_err(|e| e.to_string())?;
+    }
+
+    if report.faults() != report.restores() {
+        return Err(format!(
+            "invariant violated: {} faults but {} restores",
+            report.faults(),
+            report.restores()
+        ));
+    }
+    if cli.deny_failures && report.failed() > 0 {
+        eprintln!("qoa-loadgen: {} hard failures (should be shed, not failed)", report.failed());
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    match run(&cli) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("qoa-loadgen: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

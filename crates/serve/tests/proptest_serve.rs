@@ -1,0 +1,113 @@
+//! Property tests for the serving lifecycle's two safety contracts:
+//! deadlines never yield partial results, and overload rejections are
+//! always accounted as shed, never failed.
+
+use proptest::prelude::*;
+use qoa_serve::{
+    calibrate, generate, serve, standard_tenants, ArrivalSpec, Calibration, Outcome, ServeConfig,
+    TenantConfig, TenantMix, TokenBucketConfig,
+};
+use qoa_workloads::Scale;
+use std::sync::OnceLock;
+
+fn base() -> &'static (ServeConfig, Calibration) {
+    static BASE: OnceLock<(ServeConfig, Calibration)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let cfg = ServeConfig::new(&["go"], Scale::Tiny, Vec::new()).expect("workload resolves");
+        let calib = calibrate(&cfg).expect("calibrates");
+        (cfg, calib)
+    })
+}
+
+fn mix_of(tenants: &[TenantConfig]) -> Vec<TenantMix> {
+    tenants
+        .iter()
+        .map(|t| TenantMix { weight: t.weight, priority: t.priority, deadline: t.deadline })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A request past its deadline is shed — it never returns a
+    /// (possibly partial) result, whatever the deadline tightness.
+    /// `factor` sweeps from deadlines far below one service time to
+    /// comfortable ones; the fuel cap and the virtual-queue check must
+    /// agree that late means no payload.
+    #[test]
+    fn past_deadline_requests_are_shed_not_answered(
+        seed in any::<u64>(),
+        factor in 1u64..=10,
+    ) {
+        let (cfg0, calib) = base();
+        let mut cfg = cfg0.clone();
+        let mean = calib.mean_cost_full.max(1);
+        // One permissive tenant whose deadline is factor/4 service
+        // times: factor < 4 makes every request undeliverable.
+        cfg.tenants = vec![TenantConfig {
+            name: "t".into(),
+            priority: 0,
+            deadline: (mean * factor / 4).max(1),
+            bucket: TokenBucketConfig { burst: 64, refill_per_m: u64::MAX / 2_000_000 },
+            weight: 1,
+        }];
+        let rate = calib.capacity_per_m(cfg.virtual_workers).max(1) / 2;
+        let requests = generate(&ArrivalSpec {
+            seed,
+            count: 16,
+            rate_per_m: rate.max(1),
+            tenants: mix_of(&cfg.tenants),
+            workload_weights: vec![1],
+        });
+        let report = serve(&cfg, &requests, calib).expect("serves");
+        for rec in &report.records {
+            match &rec.outcome {
+                Outcome::Ok { done, result, .. } => {
+                    prop_assert!(
+                        done - rec.arrival <= rec.deadline,
+                        "request {} answered {} vcycles past its deadline",
+                        rec.id,
+                        done - rec.arrival - rec.deadline
+                    );
+                    prop_assert!(result.is_some(), "served request {} lost its payload", rec.id);
+                }
+                Outcome::Shed { .. } => {}
+                Outcome::Failed { kind, message } => prop_assert!(
+                    false,
+                    "deadline pressure hard-failed request {}: {kind}: {message}",
+                    rec.id
+                ),
+            }
+        }
+        if factor < 4 {
+            prop_assert_eq!(
+                report.count("ok"), 0,
+                "deadline below one service time cannot be met"
+            );
+        }
+    }
+
+    /// Under 2x offered load every rejection is reported as shed
+    /// (admission, queue, breaker, or deadline) — never as failed.
+    #[test]
+    fn twice_capacity_rejections_are_shed_not_failed(seed in any::<u64>()) {
+        let (cfg0, calib) = base();
+        let mut cfg = cfg0.clone();
+        let rate = (calib.capacity_per_m(cfg.virtual_workers) * 2).max(1);
+        cfg.tenants = standard_tenants(rate, calib.mean_cost_full);
+        let requests = generate(&ArrivalSpec {
+            seed,
+            count: 24,
+            rate_per_m: rate,
+            tenants: mix_of(&cfg.tenants),
+            workload_weights: vec![1],
+        });
+        let report = serve(&cfg, &requests, calib).expect("serves");
+        prop_assert_eq!(report.failed(), 0, "overload must degrade gracefully, not fail");
+        prop_assert_eq!(
+            report.count("ok") + report.shed_total(),
+            requests.len() as u64,
+            "every request must be accounted served-or-shed"
+        );
+    }
+}

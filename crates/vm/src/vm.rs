@@ -449,6 +449,22 @@ impl<S: OpSink> Vm<S> {
         self.steps
     }
 
+    // ---- per-request limits --------------------------------------------------
+
+    /// Replaces the execution fuel budget (0 = unlimited). The serving
+    /// layer calls this on a clone restored from a pre-warmed snapshot so
+    /// each request carries its own deadline-derived fuel cap without
+    /// re-capturing the snapshot.
+    pub fn set_fuel(&mut self, max_steps: u64) {
+        self.cfg.max_steps = max_steps;
+    }
+
+    /// Replaces the wall-clock deadline (`None` = unlimited), for the same
+    /// restored-clone use case as [`Vm::set_fuel`].
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.cfg.deadline = deadline;
+    }
+
     // ---- fault injection -----------------------------------------------------
 
     /// Arms a chaos plan. With chaos disarmed (the default) every hook
