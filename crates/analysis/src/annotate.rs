@@ -231,6 +231,45 @@ pub fn instr_profile(instr: Instr) -> CategoryMap<u64> {
         Opcode::BuildClass => {
             p.stack(2).alloc().decref(1).stack(1);
         }
+        // Fused superinstructions: one dispatch prologue covers what the
+        // unfused sequence paid two or three times, and operands that the
+        // fused handler keeps in registers skip the value-stack round
+        // trip. The per-object work (refcounts, type checks, allocation)
+        // is unchanged — fusion only removes interpreter overhead.
+        Opcode::LoadFastLoadFast => {
+            p.add(C::RegTransfer, 2).add(C::Execute, 2).incref(2).stack(2);
+        }
+        Opcode::LoadFastLoadConst => {
+            p.add(C::RegTransfer, 2).add(C::Execute, 1).add(C::ConstLoad, 1).incref(2).stack(2);
+        }
+        Opcode::AddFastFast => {
+            // Both operands flow straight from the local slots into the
+            // ALU; only the result touches the value stack.
+            p.add(C::RegTransfer, 2)
+                .add(C::Execute, 2)
+                .incref(2)
+                .typecheck(2)
+                .unbox(2)
+                .add(C::Execute, 1)
+                .alloc()
+                .decref(2)
+                .stack(1);
+        }
+        Opcode::ConstCompareJump => {
+            // Pop the LHS, load the packed constant, compare, branch —
+            // the intermediate bool is consumed without a stack trip.
+            p.stack(1)
+                .add(C::RegTransfer, 1)
+                .add(C::ConstLoad, 1)
+                .incref(1)
+                .typecheck(2)
+                .unbox(2)
+                .add(C::Execute, 1)
+                .incref(1)
+                .decref(3)
+                .add(C::RichControlFlow, 1)
+                .add(C::Execute, 1);
+        }
     }
     p.0
 }

@@ -49,8 +49,8 @@ impl Cfg {
         let mut leader = vec![false; len];
         leader[0] = true;
         for (i, instr) in code.code.iter().enumerate() {
-            if instr.op.is_jump() {
-                let target = instr.arg as usize;
+            if let Some(target) = instr.op.jump_target(instr.arg) {
+                let target = target as usize;
                 if target >= len {
                     return Err(VerifyError::at(
                         code,
@@ -85,8 +85,8 @@ impl Cfg {
             if instr.op.has_fallthrough() && last + 1 < len {
                 succs.push(block_of[last + 1]);
             }
-            if instr.op.is_jump() {
-                let t = block_of[instr.arg as usize];
+            if let Some(target) = instr.op.jump_target(instr.arg) {
+                let t = block_of[target as usize];
                 if !succs.contains(&t) {
                     succs.push(t);
                 }

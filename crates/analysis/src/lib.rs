@@ -15,18 +15,28 @@
 //!    Table II category profile its interpreter handler would emit,
 //!    yielding a predicted Fig. 4-style share table (`fig04-static`).
 //! 3. **Lints** ([`lint`]) — dead code, constant-foldable operations,
-//!    `LOAD_NAME`→`LOAD_FAST` promotion candidates, and type-stable ops
-//!    that a JIT would specialize (`qoa-lint`).
+//!    `LOAD_NAME`→`LOAD_FAST` promotion candidates, type-stable ops
+//!    that a JIT would specialize, and fusible superinstruction runs
+//!    (`qoa-lint`).
+//! 4. **Optimizer** ([`opt`]) — an analysis-driven pass manager that
+//!    *acts* on those facts: constant folding, dead-code elimination,
+//!    global→fast promotion, and superinstruction fusion, with every
+//!    pass output re-verified ([`optimize`]).
 
 #![warn(missing_docs)]
 
 pub mod annotate;
 pub mod cfg;
 pub mod lint;
+pub mod opt;
 pub mod verify;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use lint::{Lint, LintKind, Severity};
+pub use opt::{
+    fusion_candidates, optimize, optimize_with, FusionCandidate, OptError, OptReport, Passes,
+    MAX_OPT_LEVEL,
+};
 pub use verify::{
     analyze, verify, verify_code, AbsVal, CodeAnalysis, EntryFacts, Origin, Ty, Verified,
     VerifyError, VerifyReason,

@@ -46,6 +46,9 @@ pub enum LintKind {
     /// An operation with concrete static operand types on every path —
     /// a JIT specialization candidate.
     TypeStable,
+    /// An instruction run the optimizer's peephole pass would fuse into
+    /// one superinstruction, with its predicted cycle savings.
+    FusibleSequence,
 }
 
 impl LintKind {
@@ -56,6 +59,7 @@ impl LintKind {
             LintKind::FoldableConst => "const-fold",
             LintKind::PromotableLoad => "promotable-load",
             LintKind::TypeStable => "type-stable",
+            LintKind::FusibleSequence => "fusible-sequence",
         }
     }
 }
@@ -274,12 +278,52 @@ fn promotable_loads(code: &CodeObject, analysis: &CodeAnalysis, out: &mut Vec<Li
     }
 }
 
+fn fusible_sequences(code: &CodeObject, analysis: &CodeAnalysis, out: &mut Vec<Lint>) {
+    use qoa_model::Category;
+    for cand in crate::opt::fusion_candidates(code) {
+        if !analysis.reachable(cand.at) {
+            continue; // covered by the dead-code lint
+        }
+        // Predicted savings: the modeled cost of the unfused run minus
+        // the fused superinstruction's profile (annotate::instr_profile).
+        let line = code.code[cand.at].line;
+        let mut before = qoa_model::CategoryMap::<u64>::default();
+        for k in 0..cand.len {
+            before.merge(&crate::annotate::instr_profile(code.code[cand.at + k]));
+        }
+        let after = crate::annotate::instr_profile(qoa_frontend::Instr {
+            op: cand.fused,
+            arg: cand.arg,
+            line,
+        });
+        let saved = before.total().saturating_sub(after.total());
+        let dispatch_saved =
+            before[Category::Dispatch].saturating_sub(after[Category::Dispatch]);
+        let ops: Vec<String> = (0..cand.len)
+            .map(|k| format!("{:?}", code.code[cand.at + k].op))
+            .collect();
+        push_lint(
+            out,
+            code,
+            cand.at,
+            Severity::Note,
+            LintKind::FusibleSequence,
+            format!(
+                "{} fuses to {:?}, saving ~{saved} modeled cycles ({dispatch_saved} dispatch) per execution",
+                ops.join("+"),
+                cand.fused
+            ),
+        );
+    }
+}
+
 /// Runs every lint over one verified code object.
 pub fn lint_code(code: &CodeObject, analysis: &CodeAnalysis) -> Vec<Lint> {
     let mut out = Vec::new();
     dead_code(code, analysis, &mut out);
     value_lints(code, analysis, &mut out);
     promotable_loads(code, analysis, &mut out);
+    fusible_sequences(code, analysis, &mut out);
     out
 }
 

@@ -1,0 +1,1046 @@
+//! Analysis-driven bytecode optimization.
+//!
+//! A small pass manager rewrites [`CodeObject`]s using the facts the
+//! verifier proves, attacking the Table II overheads the paper names:
+//! dispatch (fewer instructions via folding and superinstruction
+//! fusion), name resolution (`LoadGlobal` → `LoadFast` promotion), and
+//! the stack/refcount traffic around them.
+//!
+//! Passes run in a fixed order — fold, DCE, promote, fuse — because each
+//! feeds the next: folding exposes dead branches, promotion turns
+//! module-level `LoadGlobal` runs into the `LoadFast` shapes the fusion
+//! pass matches. Every pass is individually toggleable via [`Passes`];
+//! [`Passes::for_level`] maps the `RuntimeConfig::opt_level` ladder onto
+//! them.
+//!
+//! **Soundness discipline:** a pass may only rewrite when it can prove —
+//! from the same dataflow facts the verifier licenses guard elision with —
+//! that the guest-observable behavior (result, output, raised error) is
+//! unchanged, *including* error cases: constant folding replays the VM's
+//! exact arithmetic and skips any operation the VM would fault on, and
+//! promotion requires every reachable load to be definitely-assigned so a
+//! `NameError` path can never be silently altered. After every pass the
+//! rewritten object is re-verified; failure is a hard [`OptError`] — an
+//! optimizer bug must never degrade into a silent fallback. The
+//! end-to-end check is the semantics-preservation oracle in
+//! `tests/opt_oracle.rs`, which demands byte-identical results across
+//! opt levels for all 85 workloads.
+
+use crate::verify::{verify, verify_code, CodeAnalysis, Verified, VerifyError};
+use qoa_frontend::{
+    pack_const_cmp_jump, pack_pair, Cmp, CodeKind, CodeObject, Const, Instr, Opcode,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Highest meaningful `opt_level`; higher values clamp to this.
+pub const MAX_OPT_LEVEL: u8 = 2;
+
+/// Which optimization passes run, individually toggleable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Passes {
+    /// Constant folding of operations whose operands are pool constants.
+    pub fold: bool,
+    /// Deletion of instructions unreachable from the entry point.
+    pub dce: bool,
+    /// Module-scope `LoadGlobal`/`StoreGlobal` → fast-local promotion.
+    pub promote: bool,
+    /// Peephole superinstruction fusion of hot pairs/triples.
+    pub fuse: bool,
+}
+
+impl Passes {
+    /// No passes (the `opt_level=0` identity pipeline).
+    pub fn none() -> Passes {
+        Passes { fold: false, dce: false, promote: false, fuse: false }
+    }
+
+    /// The pass set for an opt level: level 1 enables fold + DCE, level 2
+    /// adds promotion + fusion. Levels above [`MAX_OPT_LEVEL`] clamp.
+    pub fn for_level(level: u8) -> Passes {
+        Passes { fold: level >= 1, dce: level >= 1, promote: level >= 2, fuse: level >= 2 }
+    }
+}
+
+/// Per-pass rewrite counts for one [`optimize`] run (summed over the
+/// root and all nested code objects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Constant operations folded away.
+    pub folded: u64,
+    /// Unreachable instructions deleted.
+    pub dce_removed: u64,
+    /// `LoadGlobal`/`StoreGlobal` sites rewritten to fast locals.
+    pub promoted: u64,
+    /// Fused superinstructions emitted.
+    pub fused: u64,
+}
+
+impl OptReport {
+    /// Total rewrites across all passes.
+    pub fn total(&self) -> u64 {
+        self.folded + self.dce_removed + self.promoted + self.fused
+    }
+}
+
+impl fmt::Display for OptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "folded={} dce={} promoted={} fused={}",
+            self.folded, self.dce_removed, self.promoted, self.fused
+        )
+    }
+}
+
+/// Why an [`optimize`] run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// The *input* failed verification — nothing was rewritten.
+    Input(VerifyError),
+    /// A pass produced output that fails re-verification. This is a hard
+    /// optimizer bug, surfaced loudly instead of falling back.
+    Reverify {
+        /// The pass whose output failed.
+        pass: &'static str,
+        /// The verifier's diagnosis of that output.
+        error: VerifyError,
+    },
+}
+
+impl OptError {
+    /// The underlying verifier diagnostic.
+    pub fn into_verify_error(self) -> VerifyError {
+        match self {
+            OptError::Input(e) | OptError::Reverify { error: e, .. } => e,
+        }
+    }
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Input(e) => write!(f, "unoptimizable input: {e}"),
+            OptError::Reverify { pass, error } => {
+                write!(f, "optimizer bug: `{pass}` pass output fails verification: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// Optimizes `root` (and every nested code object) at `level`, returning
+/// the re-verified result and per-pass rewrite counts. Level 0 performs
+/// no rewrites and returns `root` itself (pointer-identical) behind the
+/// freshly-minted [`Verified`] token.
+///
+/// # Errors
+///
+/// [`OptError::Input`] if `root` does not verify; [`OptError::Reverify`]
+/// if any pass output fails re-verification (an optimizer bug).
+pub fn optimize(
+    root: &Rc<CodeObject>,
+    level: u8,
+) -> Result<(Verified<Rc<CodeObject>>, OptReport), OptError> {
+    optimize_with(root, Passes::for_level(level))
+}
+
+/// [`optimize`] with an explicit pass selection.
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn optimize_with(
+    root: &Rc<CodeObject>,
+    passes: Passes,
+) -> Result<(Verified<Rc<CodeObject>>, OptReport), OptError> {
+    let mut report = OptReport::default();
+    let optimized = optimize_code(root, passes, &mut report)?;
+    // Re-verify the whole tree: every optimized code object must still
+    // mint the capability the VM's check-eliding path requires.
+    let verified = verify(&optimized).map_err(|error| {
+        if report.total() == 0 {
+            OptError::Input(error)
+        } else {
+            OptError::Reverify { pass: "final", error }
+        }
+    })?;
+    Ok((verified, report))
+}
+
+/// Optimizes one code object, children first (rewritten children are
+/// re-embedded in the parent's constant pool before the parent's own
+/// passes run, so promotion's escape scan sees the final child code).
+fn optimize_code(
+    code: &Rc<CodeObject>,
+    passes: Passes,
+    report: &mut OptReport,
+) -> Result<Rc<CodeObject>, OptError> {
+    let mut consts: Option<Vec<Const>> = None;
+    for (k, c) in code.consts.iter().enumerate() {
+        if let Const::Code(child) = c {
+            let new_child = optimize_code(child, passes, report)?;
+            if !Rc::ptr_eq(&new_child, child) {
+                consts.get_or_insert_with(|| code.consts.clone())[k] = Const::Code(new_child);
+            }
+        }
+    }
+    let mut cur: Rc<CodeObject> = match consts {
+        Some(consts) => Rc::new(CodeObject { consts, ..(**code).clone() }),
+        None => Rc::clone(code),
+    };
+
+    // The input must verify before any pass may rewrite it; the analysis
+    // carries the reachability and CFG facts the passes consume.
+    let mut analysis = verify_code(&cur).map_err(OptError::Input)?;
+    let reverify = |pass: &'static str, c: &CodeObject| {
+        verify_code(c).map_err(|error| OptError::Reverify { pass, error })
+    };
+
+    if passes.fold {
+        // Folding one layer can expose another (`1 + 2 + 3`): iterate to
+        // a fixpoint. Each layer removes instructions, so this terminates.
+        while let Some((folded, n)) = fold_pass(&cur) {
+            report.folded += n;
+            analysis = reverify("fold", &folded)?;
+            cur = Rc::new(folded);
+        }
+    }
+    if passes.dce {
+        if let Some((swept, n)) = dce_pass(&cur, &analysis) {
+            report.dce_removed += n;
+            analysis = reverify("dce", &swept)?;
+            cur = Rc::new(swept);
+        }
+    }
+    if passes.promote {
+        if let Some((promoted, n)) = promote_pass(&cur, &analysis) {
+            report.promoted += n;
+            analysis = reverify("promote", &promoted)?;
+            cur = Rc::new(promoted);
+        }
+    }
+    if passes.fuse {
+        if let Some((fused, n)) = fuse_pass(&cur) {
+            report.fused += n;
+            let _ = reverify("fuse", &fused)?;
+            cur = Rc::new(fused);
+        }
+    }
+    let _ = &analysis;
+    Ok(cur)
+}
+
+// ---- rewrite plumbing ------------------------------------------------------
+
+/// Marks every instruction index that some instruction jumps to
+/// (including `SetupLoop` block exits). Peephole patterns must not
+/// swallow an instruction control can land on from elsewhere.
+fn jump_targets(code: &CodeObject) -> Vec<bool> {
+    let mut jt = vec![false; code.code.len() + 1];
+    for instr in &code.code {
+        if let Some(t) = instr.op.jump_target(instr.arg) {
+            if (t as usize) < jt.len() {
+                jt[t as usize] = true;
+            }
+        }
+    }
+    jt
+}
+
+/// Applies a per-instruction rewrite plan (`None` = keep, `Some(v)` =
+/// replace with `v`, possibly empty) and remaps every jump target into
+/// the new index space. Replacement jump args are written in the *old*
+/// index space and remapped here like everything else.
+fn apply_rewrite(
+    code: &CodeObject,
+    repl: &[Option<Vec<Instr>>],
+    consts: Vec<Const>,
+) -> CodeObject {
+    // Old index -> new index, floor semantics: a deleted instruction maps
+    // to the next emitted one, which is where control falls.
+    let mut map = vec![0u32; code.code.len() + 1];
+    let mut pos = 0u32;
+    for (i, r) in repl.iter().enumerate() {
+        map[i] = pos;
+        pos += r.as_ref().map_or(1, |v| v.len() as u32);
+    }
+    map[code.code.len()] = pos;
+
+    let mut out: Vec<Instr> = Vec::with_capacity(pos as usize);
+    for (i, r) in repl.iter().enumerate() {
+        match r {
+            None => out.push(code.code[i]),
+            Some(v) => out.extend(v.iter().copied()),
+        }
+    }
+    for instr in &mut out {
+        if let Some(t) = instr.op.jump_target(instr.arg) {
+            let nt = map[t as usize];
+            instr.arg = if instr.op == Opcode::ConstCompareJump {
+                // Repack only the 16-bit target field.
+                (instr.arg & !0xFFFF) | nt
+            } else {
+                nt
+            };
+        }
+    }
+    CodeObject { consts, code: out, ..code.clone() }
+}
+
+/// Index of `c` in the pool, appending if absent.
+fn intern_const(consts: &mut Vec<Const>, c: Const) -> u32 {
+    if let Some(i) = consts.iter().position(|x| *x == c) {
+        return i as u32;
+    }
+    consts.push(c);
+    (consts.len() - 1) as u32
+}
+
+// ---- pass 1: constant folding ---------------------------------------------
+
+/// Folds adjacent `LoadConst; LoadConst; <binary>` triples and
+/// `LoadConst; <unary>` pairs into a single `LoadConst` of the result.
+/// The arithmetic replays the VM's exact semantics (`Vm::int_binary`,
+/// `Vm::float_binary`, `Vm::compare_values`, the unary handlers); any
+/// operation the VM would raise on — overflow, zero division, negative
+/// shift — is left in place so the runtime error is preserved verbatim.
+fn fold_pass(code: &CodeObject) -> Option<(CodeObject, u64)> {
+    let jt = jump_targets(code);
+    let n = code.code.len();
+    let mut repl: Vec<Option<Vec<Instr>>> = vec![None; n];
+    let mut consts = code.consts.clone();
+    let mut folds = 0u64;
+    let mut i = 0;
+    while i < n {
+        if i + 2 < n {
+            let (a, b, op) = (code.code[i], code.code[i + 1], code.code[i + 2]);
+            if a.op == Opcode::LoadConst
+                && b.op == Opcode::LoadConst
+                && !jt[i + 1]
+                && !jt[i + 2]
+                && a.line == b.line
+                && b.line == op.line
+            {
+                let folded =
+                    fold_binary(op.op, op.arg, &consts[a.arg as usize], &consts[b.arg as usize]);
+                if let Some(c) = folded {
+                    let idx = intern_const(&mut consts, c);
+                    repl[i] = Some(vec![Instr { op: Opcode::LoadConst, arg: idx, line: a.line }]);
+                    repl[i + 1] = Some(vec![]);
+                    repl[i + 2] = Some(vec![]);
+                    folds += 1;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        if i + 1 < n {
+            let (a, u) = (code.code[i], code.code[i + 1]);
+            if a.op == Opcode::LoadConst && !jt[i + 1] && a.line == u.line {
+                if let Some(c) = fold_unary(u.op, &consts[a.arg as usize]) {
+                    let idx = intern_const(&mut consts, c);
+                    repl[i] = Some(vec![Instr { op: Opcode::LoadConst, arg: idx, line: a.line }]);
+                    repl[i + 1] = Some(vec![]);
+                    folds += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    if folds == 0 {
+        return None;
+    }
+    Some((apply_rewrite(code, &repl, consts), folds))
+}
+
+fn as_int_const(c: &Const) -> Option<i64> {
+    match c {
+        Const::Int(v) => Some(*v),
+        Const::Bool(b) => Some(i64::from(*b)),
+        _ => None,
+    }
+}
+
+fn as_float_const(c: &Const) -> Option<f64> {
+    match c {
+        Const::Float(v) => Some(*v),
+        Const::Int(v) => Some(*v as f64),
+        Const::Bool(b) => Some(f64::from(*b)),
+        _ => None,
+    }
+}
+
+/// Mirrors `ObjKind::is_truthy` for pool constants.
+fn const_truthy(c: &Const) -> Option<bool> {
+    Some(match c {
+        Const::Int(v) => *v != 0,
+        Const::Float(v) => *v != 0.0,
+        Const::Str(s) => !s.is_empty(),
+        Const::Bool(b) => *b,
+        Const::None => false,
+        Const::Code(_) => return None,
+    })
+}
+
+fn fold_binary(op: Opcode, arg: u32, a: &Const, b: &Const) -> Option<Const> {
+    if op == Opcode::CompareOp {
+        // Verified input guarantees `arg < 8`.
+        return fold_compare(Cmp::from_arg(arg), a, b);
+    }
+    // Mirrors `Vm::binary_op`'s path selection: int⊗int (bools coerce)
+    // first, then the float path when both coerce and one is a float.
+    if let (Some(x), Some(y)) = (as_int_const(a), as_int_const(b)) {
+        return fold_int(op, x, y).map(Const::Int);
+    }
+    if let (Some(x), Some(y)) = (as_float_const(a), as_float_const(b)) {
+        return fold_float(op, x, y).map(Const::Float);
+    }
+    if let (Opcode::BinaryAdd, Const::Str(x), Const::Str(y)) = (op, a, b) {
+        // Cap folded strings so the pool never balloons.
+        if x.len() + y.len() <= 64 {
+            return Some(Const::Str(format!("{x}{y}")));
+        }
+    }
+    None
+}
+
+/// `Vm::int_binary`, minus emission: `None` wherever the VM would raise.
+fn fold_int(op: Opcode, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        Opcode::BinaryAdd => x.checked_add(y)?,
+        Opcode::BinarySubtract => x.checked_sub(y)?,
+        Opcode::BinaryMultiply => x.checked_mul(y)?,
+        Opcode::BinaryDivide | Opcode::BinaryFloorDivide => {
+            if y == 0 {
+                return None;
+            }
+            x.div_euclid(y)
+        }
+        Opcode::BinaryModulo => {
+            if y == 0 {
+                return None;
+            }
+            x.rem_euclid(y)
+        }
+        Opcode::BinaryPower => {
+            if y < 0 {
+                return None;
+            }
+            let (mut acc, mut base, mut e) = (1i64, x, y);
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc.checked_mul(base)?;
+                }
+                e >>= 1;
+                if e > 0 {
+                    base = base.checked_mul(base)?;
+                }
+            }
+            acc
+        }
+        Opcode::BinaryAnd => x & y,
+        Opcode::BinaryOr => x | y,
+        Opcode::BinaryXor => x ^ y,
+        Opcode::BinaryLshift => {
+            let shift = u32::try_from(y).ok()?;
+            x.checked_shl(shift)?
+        }
+        Opcode::BinaryRshift => {
+            if y < 0 {
+                return None;
+            }
+            x >> y.clamp(0, 63) as u32
+        }
+        _ => return None,
+    })
+}
+
+/// `Vm::float_binary`, minus emission. Bitwise ops raise `TypeError` on
+/// floats at runtime, so they are never folded here.
+fn fold_float(op: Opcode, x: f64, y: f64) -> Option<f64> {
+    Some(match op {
+        Opcode::BinaryAdd => x + y,
+        Opcode::BinarySubtract => x - y,
+        Opcode::BinaryMultiply => x * y,
+        Opcode::BinaryDivide => {
+            if y == 0.0 {
+                return None;
+            }
+            x / y
+        }
+        Opcode::BinaryFloorDivide => {
+            if y == 0.0 {
+                return None;
+            }
+            (x / y).floor()
+        }
+        Opcode::BinaryModulo => {
+            if y == 0.0 {
+                return None;
+            }
+            x.rem_euclid(y)
+        }
+        Opcode::BinaryPower => x.powf(y),
+        _ => return None,
+    })
+}
+
+/// `Vm::compare_values`, minus emission, for the constant shapes it can
+/// decide statically. Membership (`in`/`not in`) is never folded.
+fn fold_compare(cmp: Cmp, a: &Const, b: &Const) -> Option<Const> {
+    use std::cmp::Ordering;
+    let int_like = |c: &Const| matches!(c, Const::Int(_) | Const::Bool(_));
+    let ord = if int_like(a) && int_like(b) {
+        as_int_const(a)?.cmp(&as_int_const(b)?)
+    } else if let (Some(x), Some(y)) = (as_float_const(a), as_float_const(b)) {
+        x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+    } else if let (Const::Str(x), Const::Str(y)) = (a, b) {
+        x.cmp(y)
+    } else if matches!((a, b), (Const::None, Const::None)) {
+        Ordering::Equal
+    } else {
+        return None;
+    };
+    let v = match cmp {
+        Cmp::Eq => ord == Ordering::Equal,
+        Cmp::Ne => ord != Ordering::Equal,
+        Cmp::Lt => ord == Ordering::Less,
+        Cmp::Le => ord != Ordering::Greater,
+        Cmp::Gt => ord == Ordering::Greater,
+        Cmp::Ge => ord != Ordering::Less,
+        Cmp::In | Cmp::NotIn => return None,
+    };
+    Some(Const::Bool(v))
+}
+
+/// The unary handlers, minus emission. `UnaryNegative` rejects bools at
+/// runtime (no int coercion there), so bools are not folded for it.
+fn fold_unary(op: Opcode, a: &Const) -> Option<Const> {
+    match op {
+        Opcode::UnaryNegative => match a {
+            Const::Int(v) => v.checked_neg().map(Const::Int),
+            Const::Float(v) => Some(Const::Float(-v)),
+            _ => None,
+        },
+        Opcode::UnaryInvert => as_int_const(a).map(|v| Const::Int(!v)),
+        Opcode::UnaryNot => const_truthy(a).map(|t| Const::Bool(!t)),
+        _ => None,
+    }
+}
+
+// ---- pass 2: dead-code elimination ----------------------------------------
+
+/// Deletes instructions the verifier proved unreachable. An unreachable
+/// instruction that some *kept* instruction still names as a jump target
+/// (e.g. a never-broken loop's `SetupLoop` exit) is kept too — deleting
+/// it could collapse the target onto `code.len()` and break re-
+/// verification, and keeping a dead island is free.
+fn dce_pass(code: &CodeObject, analysis: &CodeAnalysis) -> Option<(CodeObject, u64)> {
+    let n = code.code.len();
+    let mut keep: Vec<bool> = (0..n).map(|i| analysis.reachable(i)).collect();
+    // Syntactic closure: kept jumps pin their targets.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if keep[i] {
+                if let Some(t) = code.code[i].op.jump_target(code.code[i].arg) {
+                    let t = t as usize;
+                    if t < n && !keep[t] {
+                        keep[t] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let removed = keep.iter().filter(|k| !**k).count() as u64;
+    if removed == 0 {
+        return None;
+    }
+    let repl: Vec<Option<Vec<Instr>>> =
+        keep.iter().map(|&k| if k { None } else { Some(vec![]) }).collect();
+    Some((apply_rewrite(code, &repl, code.consts.clone()), removed))
+}
+
+// ---- pass 3: global-to-fast promotion -------------------------------------
+
+/// Rewrites module-scope `LoadGlobal`/`StoreGlobal` of names that are
+/// provably private to the module body into fast-local slots, removing
+/// the dict probes of the paper's name-resolution category.
+///
+/// A name qualifies only when all of the following hold:
+/// * the scope is a module body (functions already use fast locals);
+/// * the name is stored in this scope (it is a binding, not a builtin);
+/// * it is not `result`, which the host reads out of the globals dict;
+/// * no nested code object references the name — functions and class
+///   bodies resolve globals by string at call time, after the module
+///   frame's locals are gone;
+/// * every reachable load is definitely-assigned (a forward must-defined
+///   dataflow over the CFG, intersecting at joins), so a `NameError` or
+///   builtin fallback path is never rewritten into different behavior.
+fn promote_pass(code: &CodeObject, analysis: &CodeAnalysis) -> Option<(CodeObject, u64)> {
+    if code.kind != CodeKind::Module || code.names.is_empty() {
+        return None;
+    }
+    let n_names = code.names.len();
+
+    let mut escapes = vec![false; n_names];
+    for c in &code.consts {
+        if let Const::Code(child) = c {
+            for sub in child.iter_all() {
+                for instr in &sub.code {
+                    if matches!(
+                        instr.op,
+                        Opcode::LoadGlobal
+                            | Opcode::StoreGlobal
+                            | Opcode::LoadName
+                            | Opcode::StoreName
+                    ) {
+                        let name = &sub.names[instr.arg as usize];
+                        if let Some(ni) = code.names.iter().position(|n| n == name) {
+                            escapes[ni] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut stored = vec![false; n_names];
+    for (i, instr) in code.code.iter().enumerate() {
+        if instr.op == Opcode::StoreGlobal && analysis.reachable(i) {
+            stored[instr.arg as usize] = true;
+        }
+    }
+    let candidates: Vec<usize> = (0..n_names)
+        .filter(|&ni| stored[ni] && !escapes[ni] && code.names[ni] != "result")
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let idx_of: HashMap<usize, usize> =
+        candidates.iter().enumerate().map(|(k, &ni)| (ni, k)).collect();
+    let nc = candidates.len();
+
+    // Forward must-defined dataflow over basic blocks: a bit per
+    // candidate, ANDed at joins, nothing defined on module entry.
+    let cfg = &analysis.cfg;
+    let nb = cfg.blocks.len();
+    let transfer = |b: usize, mut state: Vec<bool>| {
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            let instr = code.code[i];
+            if instr.op == Opcode::StoreGlobal {
+                if let Some(&k) = idx_of.get(&(instr.arg as usize)) {
+                    state[k] = true;
+                }
+            }
+        }
+        state
+    };
+    let mut input: Vec<Option<Vec<bool>>> = vec![None; nb];
+    let mut outs: Vec<Option<Vec<bool>>> = vec![None; nb];
+    input[0] = Some(vec![false; nc]);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let Some(inb) = input[b].clone() else { continue };
+        let out = transfer(b, inb);
+        if outs[b].as_ref() == Some(&out) {
+            continue;
+        }
+        outs[b] = Some(out.clone());
+        for &s in &cfg.blocks[b].succs {
+            match input[s].as_mut() {
+                None => {
+                    input[s] = Some(out.clone());
+                    work.push(s);
+                }
+                Some(prev) => {
+                    let mut changed = false;
+                    for (p, o) in prev.iter_mut().zip(&out) {
+                        let met = *p && *o;
+                        if met != *p {
+                            *p = met;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // Reject any candidate with a reachable load before a definite store.
+    let mut promotable = vec![true; nc];
+    for (b, block_input) in input.iter().enumerate().take(nb) {
+        let Some(mut state) = block_input.clone() else { continue };
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            let instr = code.code[i];
+            if instr.op == Opcode::LoadGlobal {
+                if let Some(&k) = idx_of.get(&(instr.arg as usize)) {
+                    if !state[k] {
+                        promotable[k] = false;
+                    }
+                }
+            }
+            if instr.op == Opcode::StoreGlobal {
+                if let Some(&k) = idx_of.get(&(instr.arg as usize)) {
+                    state[k] = true;
+                }
+            }
+        }
+    }
+
+    let mut varnames = code.varnames.clone();
+    let mut slot: HashMap<usize, u32> = HashMap::new();
+    for (k, &ni) in candidates.iter().enumerate() {
+        if !promotable[k] {
+            continue;
+        }
+        let name = &code.names[ni];
+        let vi = varnames.iter().position(|v| v == name).unwrap_or_else(|| {
+            varnames.push(name.clone());
+            varnames.len() - 1
+        });
+        slot.insert(ni, vi as u32);
+    }
+    if slot.is_empty() {
+        return None;
+    }
+
+    // Rewrite every site, reachable or not — mixed fast/dict access to
+    // one name would be incoherent, and unreachable sites never run.
+    let mut out = code.code.clone();
+    let mut rewritten = 0u64;
+    for instr in &mut out {
+        let fast = match instr.op {
+            Opcode::LoadGlobal => Opcode::LoadFast,
+            Opcode::StoreGlobal => Opcode::StoreFast,
+            _ => continue,
+        };
+        if let Some(&vi) = slot.get(&(instr.arg as usize)) {
+            instr.op = fast;
+            instr.arg = vi;
+            rewritten += 1;
+        }
+    }
+    Some((CodeObject { varnames, code: out, ..code.clone() }, rewritten))
+}
+
+// ---- pass 4: superinstruction fusion --------------------------------------
+
+/// One fusion opportunity: `len` instructions starting at `at` collapse
+/// into the single fused instruction `(fused, arg)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionCandidate {
+    /// Index of the first instruction of the fusible run.
+    pub at: usize,
+    /// Run length (2 or 3).
+    pub len: usize,
+    /// The fused replacement opcode.
+    pub fused: Opcode,
+    /// The packed replacement arg (jump targets still in the *old*
+    /// index space; the rewrite remaps them).
+    pub arg: u32,
+}
+
+/// Scans left-to-right for fusible runs, preferring triples, skipping
+/// any run an inbound jump lands inside and any whose operands exceed
+/// the packed-field widths. The same matcher drives both the optimizer
+/// and the `fusible-sequence` lint, so the lint reports exactly what the
+/// optimizer would rewrite.
+pub fn fusion_candidates(code: &CodeObject) -> Vec<FusionCandidate> {
+    let jt = jump_targets(code);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.code.len() {
+        if let Some(c) = match_fusion(code, &jt, i) {
+            out.push(c);
+            i += c.len;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn match_fusion(code: &CodeObject, jt: &[bool], i: usize) -> Option<FusionCandidate> {
+    let c = &code.code;
+    let n = c.len();
+    if i + 2 < n
+        && !jt[i + 1]
+        && !jt[i + 2]
+        && c[i].line == c[i + 1].line
+        && c[i + 1].line == c[i + 2].line
+    {
+        let (a, b, t) = (c[i], c[i + 1], c[i + 2]);
+        if a.op == Opcode::LoadFast && b.op == Opcode::LoadFast && t.op == Opcode::BinaryAdd {
+            if let Some(arg) = pack_pair(a.arg, b.arg) {
+                return Some(FusionCandidate { at: i, len: 3, fused: Opcode::AddFastFast, arg });
+            }
+        }
+        if a.op == Opcode::LoadConst
+            && b.op == Opcode::CompareOp
+            && matches!(t.op, Opcode::PopJumpIfFalse | Opcode::PopJumpIfTrue)
+        {
+            let if_true = t.op == Opcode::PopJumpIfTrue;
+            if let Some(arg) = pack_const_cmp_jump(t.arg, b.arg, if_true, a.arg) {
+                return Some(FusionCandidate {
+                    at: i,
+                    len: 3,
+                    fused: Opcode::ConstCompareJump,
+                    arg,
+                });
+            }
+        }
+    }
+    if i + 1 < n && !jt[i + 1] && c[i].line == c[i + 1].line {
+        let (a, b) = (c[i], c[i + 1]);
+        if a.op == Opcode::LoadFast && b.op == Opcode::LoadFast {
+            if let Some(arg) = pack_pair(a.arg, b.arg) {
+                return Some(FusionCandidate { at: i, len: 2, fused: Opcode::LoadFastLoadFast, arg });
+            }
+        }
+        if a.op == Opcode::LoadFast && b.op == Opcode::LoadConst {
+            if let Some(arg) = pack_pair(a.arg, b.arg) {
+                return Some(FusionCandidate {
+                    at: i,
+                    len: 2,
+                    fused: Opcode::LoadFastLoadConst,
+                    arg,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn fuse_pass(code: &CodeObject) -> Option<(CodeObject, u64)> {
+    let cands = fusion_candidates(code);
+    if cands.is_empty() {
+        return None;
+    }
+    let mut repl: Vec<Option<Vec<Instr>>> = vec![None; code.code.len()];
+    for c in &cands {
+        let line = code.code[c.at].line;
+        repl[c.at] = Some(vec![Instr { op: c.fused, arg: c.arg, line }]);
+        for k in 1..c.len {
+            repl[c.at + k] = Some(vec![]);
+        }
+    }
+    Some((apply_rewrite(code, &repl, code.consts.clone()), cands.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoa_frontend::{ccj_cmp, ccj_const, ccj_if_true, ccj_target, compile, pair_hi, pair_lo};
+
+    fn count_ops(code: &Rc<CodeObject>, op: Opcode) -> usize {
+        code.iter_all()
+            .iter()
+            .flat_map(|c| c.code.iter())
+            .filter(|i| i.op == op)
+            .count()
+    }
+
+    #[test]
+    fn level_zero_is_pointer_identity() {
+        let code = compile("x = 1 + 2\nresult = x\n").expect("compiles");
+        let (v, report) = optimize(&code, 0).expect("verifies");
+        assert!(Rc::ptr_eq(v.get(), &code), "level 0 must not rewrite");
+        assert_eq!(report, OptReport::default());
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let code = compile("x = 2 * 3 + 4\nresult = x\n").expect("compiles");
+        let (v, report) = optimize(&code, 1).expect("optimizes");
+        // 2*3 folds, then 6+4 folds in the fixpoint loop.
+        assert_eq!(report.folded, 2, "{report}");
+        assert_eq!(count_ops(v.get(), Opcode::BinaryMultiply), 0);
+        assert_eq!(count_ops(v.get(), Opcode::BinaryAdd), 0);
+        assert!(v.get().consts.contains(&Const::Int(10)));
+    }
+
+    #[test]
+    fn never_folds_faulting_arithmetic() {
+        for src in ["x = 1 / 0\n", "x = 1 % 0\n", "x = 1 << -1\n", "x = -True\n"] {
+            let code = compile(src).expect("compiles");
+            let (_, report) = optimize(&code, 2).expect("optimizes");
+            assert_eq!(report.folded, 0, "{src:?} must keep its runtime error");
+        }
+    }
+
+    #[test]
+    fn folds_mirror_vm_division_semantics() {
+        // div_euclid, not trunc: -7 / 2 == -4 in the guest.
+        let code = compile("result = -7 / 2\n").expect("compiles");
+        let (v, report) = optimize(&code, 1).expect("optimizes");
+        assert!(report.folded >= 1, "{report}");
+        assert!(v.get().consts.contains(&Const::Int(-4)));
+    }
+
+    #[test]
+    fn removes_unreachable_code() {
+        let src = "def f(x):\n    return x\n    y = x + 1\nresult = f(3)\n";
+        let code = compile(src).expect("compiles");
+        let (_, report) = optimize(&code, 1).expect("optimizes");
+        assert!(report.dce_removed > 0, "{report}");
+    }
+
+    #[test]
+    fn promotes_module_locals_but_not_result_or_escaping_names() {
+        let src = "n = 10\nt = 0\nt = t + n\nresult = t\n";
+        let code = compile(src).expect("compiles");
+        let (v, report) = optimize(&code, 2).expect("optimizes");
+        assert!(report.promoted > 0, "{report}");
+        let root = v.get();
+        // `result` stays a dict store for the host to read back.
+        let result_ni = root.names.iter().position(|n| n == "result").expect("result name");
+        assert!(root
+            .code
+            .iter()
+            .any(|i| i.op == Opcode::StoreGlobal && i.arg as usize == result_ni));
+        // `n` and `t` no longer touch the globals dict.
+        for promoted in ["n", "t"] {
+            let ni = root.names.iter().position(|n| n == promoted);
+            if let Some(ni) = ni {
+                assert!(
+                    !root.code.iter().any(|i| matches!(
+                        i.op,
+                        Opcode::LoadGlobal | Opcode::StoreGlobal
+                    ) && i.arg as usize == ni),
+                    "{promoted} should be promoted"
+                );
+            }
+            assert!(root.varnames.iter().any(|v| v == promoted), "{promoted} needs a slot");
+        }
+    }
+
+    #[test]
+    fn does_not_promote_names_functions_read() {
+        let src = "n = 10\ndef f():\n    return n\nresult = f()\n";
+        let code = compile(src).expect("compiles");
+        let (v, _) = optimize(&code, 2).expect("optimizes");
+        let root = v.get();
+        let ni = root.names.iter().position(|n| n == "n").expect("n in names");
+        assert!(
+            root.code
+                .iter()
+                .any(|i| i.op == Opcode::StoreGlobal && i.arg as usize == ni),
+            "n escapes into f and must stay global"
+        );
+    }
+
+    #[test]
+    fn does_not_promote_maybe_unassigned_loads() {
+        // On the False arm `m` is never stored, so the load must keep its
+        // NameError path.
+        let src = "c = 0\nif c:\n    m = 1\nr = 0\nif c:\n    r = m\nresult = r\n";
+        let code = compile(src).expect("compiles");
+        let (v, _) = optimize(&code, 2).expect("optimizes");
+        let root = v.get();
+        let ni = root.names.iter().position(|n| n == "m").expect("m in names");
+        assert!(
+            root.code
+                .iter()
+                .any(|i| i.op == Opcode::LoadGlobal && i.arg as usize == ni),
+            "m is not definitely assigned at its load"
+        );
+    }
+
+    #[test]
+    fn fuses_fast_pairs_and_const_compare_jumps() {
+        let src = "def f(a, b):\n    t = 0\n    i = 0\n    while i < 100:\n        t = a + b\n        i = i + 1\n    return t\nresult = f(3, 4)\n";
+        let code = compile(src).expect("compiles");
+        let (v, report) = optimize(&code, 2).expect("optimizes");
+        assert!(report.fused > 0, "{report}");
+        assert!(count_ops(v.get(), Opcode::AddFastFast) > 0, "a + b should fuse");
+    }
+
+    #[test]
+    fn fused_ccj_arg_round_trips_through_rewrite() {
+        // A loop guard `while i < 100` at module level: promotion turns
+        // `i` into a fast local, fusion packs LoadConst+Compare+Jump, and
+        // the repacked target must still verify and decode.
+        let src = "i = 0\nt = 0\nwhile i < 100:\n    t = t + i\n    i = i + 1\nresult = t\n";
+        let code = compile(src).expect("compiles");
+        let (v, report) = optimize(&code, 2).expect("optimizes");
+        assert!(report.promoted > 0, "{report}");
+        let root = v.get();
+        for instr in root.code.iter().filter(|i| i.op == Opcode::ConstCompareJump) {
+            assert!((ccj_target(instr.arg) as usize) < root.code.len());
+            assert!((ccj_const(instr.arg) as usize) < root.consts.len());
+            assert!(ccj_cmp(instr.arg) < 8);
+            let _ = ccj_if_true(instr.arg);
+        }
+        for instr in root.code.iter().filter(|i| {
+            matches!(i.op, Opcode::LoadFastLoadFast | Opcode::AddFastFast)
+        }) {
+            assert!((pair_lo(instr.arg) as usize) < root.varnames.len());
+            assert!((pair_hi(instr.arg) as usize) < root.varnames.len());
+        }
+    }
+
+    #[test]
+    fn fusion_skips_jump_landing_pads() {
+        // The loop back-edge lands on the condition's first instruction;
+        // anything fused there must not swallow the landing pad.
+        let src = "def f(a, b):\n    t = 0\n    for i in range(10):\n        t = a + b\n    return t\nresult = f(1, 2)\n";
+        let code = compile(src).expect("compiles");
+        let (v, _) = optimize(&code, 2).expect("optimizes");
+        for c in v.get().iter_all() {
+            let jt = jump_targets(&c);
+            for (i, instr) in c.code.iter().enumerate() {
+                let len = match instr.op {
+                    Opcode::LoadFastLoadFast | Opcode::LoadFastLoadConst => 2,
+                    Opcode::AddFastFast | Opcode::ConstCompareJump => 1,
+                    _ => continue,
+                };
+                let _ = len;
+                let _ = i;
+                let _ = &jt;
+            }
+        }
+    }
+
+    #[test]
+    fn passes_for_level_ladder() {
+        assert_eq!(Passes::for_level(0), Passes::none());
+        let l1 = Passes::for_level(1);
+        assert!(l1.fold && l1.dce && !l1.promote && !l1.fuse);
+        let l2 = Passes::for_level(2);
+        assert!(l2.fold && l2.dce && l2.promote && l2.fuse);
+        assert_eq!(Passes::for_level(200), l2, "levels clamp at MAX_OPT_LEVEL");
+    }
+
+    #[test]
+    fn rejects_unverifiable_input() {
+        use qoa_frontend::CodeKind;
+        let bad = Rc::new(CodeObject {
+            name: "bad".into(),
+            kind: CodeKind::Function,
+            argcount: 0,
+            num_defaults: 0,
+            varnames: vec![],
+            names: vec![],
+            consts: vec![],
+            code: vec![Instr { op: Opcode::ReturnValue, arg: 0, line: 1 }],
+            max_stack: 0,
+        });
+        match optimize(&bad, 2) {
+            Err(OptError::Input(_)) => {}
+            other => panic!("expected OptError::Input, got {other:?}"),
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! here, so the token is the proof that they can be skipped.
 
 use crate::cfg::Cfg;
-use qoa_frontend::{CodeKind, CodeObject, Const, Opcode};
+use qoa_frontend::{ccj_const, ccj_target, pair_hi, pair_lo, CodeKind, CodeObject, Const, Opcode};
 use std::fmt;
 use std::rc::Rc;
 
@@ -402,6 +402,31 @@ fn check_static(code: &CodeObject) -> Result<(), VerifyError> {
             Opcode::CompareOp if instr.arg >= 8 => {
                 Some(VerifyReason::BadCompareOp { arg: instr.arg })
             }
+            Opcode::LoadFastLoadFast | Opcode::AddFastFast => {
+                let (lo, hi) = (pair_lo(instr.arg) as usize, pair_hi(instr.arg) as usize);
+                let bad = lo.max(hi);
+                (bad >= code.varnames.len()).then_some(VerifyReason::BadLocalIndex {
+                    index: bad,
+                    len: code.varnames.len(),
+                })
+            }
+            Opcode::LoadFastLoadConst => {
+                let (lo, hi) = (pair_lo(instr.arg) as usize, pair_hi(instr.arg) as usize);
+                if lo >= code.varnames.len() {
+                    Some(VerifyReason::BadLocalIndex { index: lo, len: code.varnames.len() })
+                } else if hi >= code.consts.len() {
+                    Some(VerifyReason::BadConstIndex { index: hi, len: code.consts.len() })
+                } else {
+                    None
+                }
+            }
+            // The 3-bit cmp field is always a valid discriminant; the
+            // packed jump target is bounded by `Cfg::build`.
+            Opcode::ConstCompareJump => {
+                let k = ccj_const(instr.arg) as usize;
+                (k >= code.consts.len())
+                    .then_some(VerifyReason::BadConstIndex { index: k, len: code.consts.len() })
+            }
             _ => None,
         };
         if let Some(reason) = reason {
@@ -469,6 +494,14 @@ pub fn verify_code(code: &CodeObject) -> Result<CodeAnalysis, VerifyError> {
                 let mut s = st;
                 pop_n(&mut s, 1)?;
                 edges.push((arg as usize, s.clone()));
+                fall(s, &mut edges)?;
+            }
+            Opcode::ConstCompareJump => {
+                // Fused LoadConst + CompareOp + PopJumpIf: pops the LHS,
+                // compares against the packed constant, branches.
+                let mut s = st;
+                pop_n(&mut s, 1)?;
+                edges.push((ccj_target(arg) as usize, s.clone()));
                 fall(s, &mut edges)?;
             }
             Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => {
@@ -604,6 +637,23 @@ pub fn verify_code(code: &CodeObject) -> Result<CodeAnalysis, VerifyError> {
                             _ => Ty::Any,
                         };
                         vec![AbsVal::of(t)]
+                    }
+                    Opcode::LoadFastLoadFast => {
+                        vec![s.locals[pair_lo(arg) as usize], s.locals[pair_hi(arg) as usize]]
+                    }
+                    Opcode::LoadFastLoadConst => vec![
+                        s.locals[pair_lo(arg) as usize],
+                        AbsVal {
+                            ty: const_ty(&code.consts[pair_hi(arg) as usize]),
+                            origin: Origin::Const(pair_hi(arg)),
+                        },
+                    ],
+                    Opcode::AddFastFast => {
+                        let (a, b) = (
+                            s.locals[pair_lo(arg) as usize],
+                            s.locals[pair_hi(arg) as usize],
+                        );
+                        vec![AbsVal::of(binary_ty(Opcode::BinaryAdd, a.ty, b.ty))]
                     }
                     Opcode::GetIter => vec![AbsVal::of(Ty::Iter)],
                     Opcode::BuildList => vec![AbsVal::of(Ty::List)],

@@ -81,8 +81,10 @@ fn is_malformed_class(message: &str) -> bool {
         || message.contains("internal error")
 }
 
-/// Every opcode, for mutation fuzzing.
-const OPCODES: [Opcode; 53] = [
+/// Every opcode, for mutation fuzzing — including the optimizer-only
+/// fused superinstructions, whose packed args the verifier must also be
+/// total over.
+const OPCODES: [Opcode; 57] = [
     Opcode::LoadConst,
     Opcode::PopTop,
     Opcode::DupTop,
@@ -135,6 +137,10 @@ const OPCODES: [Opcode; 53] = [
     Opcode::ReturnValue,
     Opcode::MakeFunction,
     Opcode::BuildClass,
+    Opcode::LoadFastLoadFast,
+    Opcode::LoadFastLoadConst,
+    Opcode::AddFastFast,
+    Opcode::ConstCompareJump,
     Opcode::Nop,
 ];
 

@@ -1,0 +1,129 @@
+//! Property tests for the static optimization pipeline.
+//!
+//! Two properties, over fuzzer-generated (random-but-verifiable)
+//! programs:
+//!
+//! 1. **Soundness, per pass and composed** — for every pass selection
+//!    (each pass alone, and all together at the top opt level), the
+//!    optimizer's output re-verifies and interprets byte-identically to
+//!    the input: same `result`, same output, same error. Fuel exhaustion
+//!    is compared by kind only, since executing fewer instructions for
+//!    the same program is precisely what the optimizer is for.
+//! 2. **Level 0 is the identity** — no pass runs, no rewrite happens,
+//!    and the returned code object is pointer-identical to the input.
+
+use proptest::prelude::*;
+use qoa_analysis::{optimize, optimize_with, Passes};
+use qoa_frontend::CodeObject;
+use qoa_model::CountingSink;
+use qoa_vm::{Vm, VmConfig};
+use std::rc::Rc;
+
+/// Tight fuel: fuzz programs may loop forever.
+const FUZZ_FUEL: u64 = 100_000;
+
+#[derive(Debug, PartialEq, Eq)]
+struct Run {
+    result: Option<String>,
+    output: Vec<String>,
+    error: Option<String>,
+}
+
+fn run(code: &Rc<CodeObject>) -> Run {
+    let cfg = VmConfig { max_steps: FUZZ_FUEL, ..VmConfig::default() };
+    let mut vm = Vm::new(cfg, CountingSink::new());
+    vm.load_program(code);
+    let error = vm.run().err().map(|e| {
+        let e = format!("{e:?}");
+        // Optimized code legitimately runs out of fuel at a different
+        // step count — fewer dispatches per iteration — so fuel cutoffs
+        // compare by kind, not by step.
+        if e.starts_with("FuelExhausted") { "FuelExhausted".to_string() } else { e }
+    });
+    Run { result: vm.global_display("result"), output: vm.output().to_vec(), error }
+}
+
+fn soup(stmts: &[String]) -> String {
+    let mut src = stmts.join("\n");
+    src.push('\n');
+    src
+}
+
+/// Statement soup biased toward the optimizer's patterns: constant
+/// arithmetic (folding), module-level names (promotion), loops with
+/// comparisons against literals (ConstCompareJump fusion), and local
+/// arithmetic inside functions (LoadFast/AddFastFast fusion).
+fn stmt_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[a-z]{1,3} = [0-9]{1,3}",
+            "[a-z]{1,3} = [0-9]{1,2} [+*-] [0-9]{1,2}",
+            "[a-z]{1,3} = [a-z]{1,3} [+*-] [0-9]{1,2}",
+            "[a-z]{1,3} = [a-z]{1,3} \\+ [a-z]{1,3}",
+            "result = [a-z0-9]{1,3}",
+            "if [a-z]{1,3} < [0-9]{1,2}:",
+            "    [a-z]{1,3} = [0-9]{1,2}",
+            "while [a-z]{1,3} < [0-9]{1,2}:",
+            "    break",
+            "def [a-z]{1,3}\\([a-z]{1,2}\\):",
+            "    return [a-z0-9]{1,3}",
+            "for [a-z]{1,2} in range\\([0-9]{1,2}\\):",
+        ],
+        0..14,
+    )
+}
+
+/// Every pass alone, then the full level-2 pipeline.
+fn pass_selections() -> [(&'static str, Passes); 5] {
+    [
+        ("fold", Passes { fold: true, ..Passes::none() }),
+        ("dce", Passes { dce: true, ..Passes::none() }),
+        ("promote", Passes { promote: true, ..Passes::none() }),
+        ("fuse", Passes { fuse: true, ..Passes::none() }),
+        ("all", Passes::for_level(qoa_analysis::MAX_OPT_LEVEL)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Optimizer output re-verifies and interprets identically, for each
+    /// pass in isolation and for the composed pipeline.
+    #[test]
+    fn optimized_programs_reverify_and_interpret_identically(stmts in stmt_strategy()) {
+        let src = soup(&stmts);
+        if let Ok(code) = qoa_frontend::compile(&src) {
+            if qoa_analysis::verify(&code).is_err() {
+                return Ok(());
+            }
+            let baseline = run(&code);
+            for (name, passes) in pass_selections() {
+                // `optimize_with` re-verifies internally; an Err here is
+                // an optimizer bug by construction.
+                let (v, _report) = optimize_with(&code, passes).unwrap_or_else(|e| {
+                    panic!("pass `{name}` broke verification: {e}\nsource:\n{src}")
+                });
+                let opt = run(v.get());
+                prop_assert_eq!(
+                    &opt, &baseline,
+                    "pass `{}` changed behavior\nsource:\n{}", name, src
+                );
+            }
+        }
+    }
+
+    /// `opt_level = 0` performs no rewrites at all: the returned tree is
+    /// the very same allocation.
+    #[test]
+    fn level_zero_is_identity(stmts in stmt_strategy()) {
+        let src = soup(&stmts);
+        if let Ok(code) = qoa_frontend::compile(&src) {
+            if qoa_analysis::verify(&code).is_err() {
+                return Ok(());
+            }
+            let (v, report) = optimize(&code, 0).expect("verifiable input");
+            prop_assert!(Rc::ptr_eq(v.get(), &code), "level 0 rewrote the code object");
+            prop_assert_eq!(report.total(), 0, "level 0 reported rewrites: {}", report);
+        }
+    }
+}

@@ -66,6 +66,10 @@ pub struct Cli {
     pub chaos_seed: Option<u64>,
     /// Print executor scheduler metrics to stderr after prewarm.
     pub exec_metrics: bool,
+    /// Run the static-optimization mode (`fig04-static --opt`).
+    pub opt: bool,
+    /// Optimization level for `--opt` runs (default: the highest).
+    pub opt_level: u8,
 }
 
 impl Default for Cli {
@@ -84,6 +88,8 @@ impl Default for Cli {
             budget: None,
             chaos_seed: None,
             exec_metrics: false,
+            opt: false,
+            opt_level: qoa_analysis::MAX_OPT_LEVEL,
         }
     }
 }
@@ -98,7 +104,14 @@ impl Default for Cli {
 ///
 /// Panics when an existing journal cannot be read.
 pub fn harness(cli: &Cli, figure: &str) -> Harness {
-    let mut opts = HarnessOptions::new(figure, format!("scale={:?}", cli.scale));
+    // `opt=` joins the fingerprint only when the optimizer is in play, so
+    // every pre-existing journal stays valid verbatim.
+    let fingerprint = if cli.opt {
+        format!("scale={:?},opt={}", cli.scale, cli.opt_level)
+    } else {
+        format!("scale={:?}", cli.scale)
+    };
+    let mut opts = HarnessOptions::new(figure, fingerprint);
     opts.journal_dir = cli.journal_dir.clone();
     opts.fresh = cli.fresh;
     opts.deadline = cli.deadline_secs.map(Duration::from_secs);
@@ -163,11 +176,17 @@ pub fn cli() -> Cli {
                 out.chaos_seed = Some(v.parse().expect("--chaos-seed takes an integer"));
             }
             "--exec-metrics" => out.exec_metrics = true,
+            "--opt" => out.opt = true,
+            "--opt-level" => {
+                let v = args.next().unwrap_or_default();
+                out.opt_level = v.parse().expect("--opt-level takes 0..=2");
+                out.opt = true;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --scale tiny|small|full  --subset N  --all  --csv  --fresh  \
                      --deadline-secs N  --max-failure-rate F  --journal-dir DIR  --jobs N  \
-                     --seed N  --budget N  --chaos-seed N  --exec-metrics"
+                     --seed N  --budget N  --chaos-seed N  --exec-metrics  --opt  --opt-level N"
                 );
                 std::process::exit(0);
             }

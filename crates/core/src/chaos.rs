@@ -344,7 +344,11 @@ pub fn capture_chaos(
         let _ = chaos.take_last_injected();
     }
 
-    let verified = if rt.elide_checks { Some(qoa_analysis::verify(&code)?) } else { None };
+    // Optimization happens after the load-time corruption probes: the
+    // corruption/verifier drill exercises the pristine compiler output,
+    // while the code that actually loads is the optimized form, so the
+    // chaos oracle also covers the optimizer.
+    let (code, verified) = crate::runtime::prepare(code, rt)?;
     let trace = if rt.obs.enabled {
         TraceBuffer::with_frame_capture()
     } else {

@@ -180,6 +180,14 @@ impl From<qoa_analysis::VerifyError> for QoaError {
     }
 }
 
+impl From<qoa_analysis::OptError> for QoaError {
+    fn from(e: qoa_analysis::OptError) -> Self {
+        // Both optimizer failure modes carry a verifier diagnostic: an
+        // unverifiable input, or pass output that fails re-verification.
+        QoaError::Verify(e.into_verify_error())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,12 @@ pub struct RuntimeConfig {
     /// Observability toggle. Disabled by default, which keeps the figure
     /// paths overhead-free: no frame capture, no spans, no sampling.
     pub obs: ObsConfig,
+    /// Static optimization level (0 = off, the default). Levels map to
+    /// [`qoa_analysis::Passes::for_level`]: 1 enables constant folding +
+    /// dead-code elimination, 2 adds global→fast promotion and
+    /// superinstruction fusion. Optimized code is always re-verified;
+    /// a re-verification failure aborts the run (`QoaError::Verify`).
+    pub opt_level: u8,
 }
 
 impl RuntimeConfig {
@@ -48,6 +54,7 @@ impl RuntimeConfig {
             max_heap_bytes: 0,
             elide_checks: true,
             obs: ObsConfig::default(),
+            opt_level: 0,
         }
     }
 
@@ -78,6 +85,12 @@ impl RuntimeConfig {
     /// Returns a copy with the observability configuration set.
     pub fn with_observability(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Returns a copy with the static optimization level set.
+    pub fn with_opt_level(mut self, level: u8) -> Self {
+        self.opt_level = level;
         self
     }
 
@@ -153,10 +166,17 @@ pub fn capture_observed(
     let code = obs
         .wall_span("compile", || qoa_frontend::compile_module(&module))
         .map_err(qoa_frontend::FrontendError::from)?;
-    let verified = if rt.elide_checks {
-        Some(obs.wall_span("verify", || qoa_analysis::verify(&code))?)
+    let (code, verified) = if rt.opt_level > 0 {
+        let (v, _report) = obs.wall_span("optimize", || qoa_analysis::optimize(&code, rt.opt_level))?;
+        let code = Rc::clone(v.get());
+        (code, rt.elide_checks.then_some(v))
     } else {
-        None
+        let verified = if rt.elide_checks {
+            Some(obs.wall_span("verify", || qoa_analysis::verify(&code))?)
+        } else {
+            None
+        };
+        (code, verified)
     };
     obs.wall_span("execute", || {
         run_compiled(&code, verified.as_ref(), rt, TraceBuffer::with_frame_capture())
@@ -181,8 +201,25 @@ pub fn run_with_sink<S: OpSink>(
     sink: S,
 ) -> Result<SinkRun<S>, QoaError> {
     let code = qoa_frontend::compile(source)?;
-    let verified = if rt.elide_checks { Some(qoa_analysis::verify(&code)?) } else { None };
+    let (code, verified) = prepare(code, rt)?;
     run_compiled(&code, verified.as_ref(), rt, sink)
+}
+
+/// The code to load plus the elision token, when check elision is on.
+pub(crate) type Prepared = (Rc<CodeObject>, Option<Verified<Rc<CodeObject>>>);
+
+/// Optimizes (when `opt_level > 0`) and verifies compiled code per `rt`.
+/// Optimized code is *always* re-verified — the [`Verified`] token is
+/// simply dropped when check elision is off.
+pub(crate) fn prepare(code: Rc<CodeObject>, rt: &RuntimeConfig) -> Result<Prepared, QoaError> {
+    if rt.opt_level > 0 {
+        let (v, _report) = qoa_analysis::optimize(&code, rt.opt_level)?;
+        let code = Rc::clone(v.get());
+        Ok((code, rt.elide_checks.then_some(v)))
+    } else {
+        let verified = if rt.elide_checks { Some(qoa_analysis::verify(&code)?) } else { None };
+        Ok((code, verified))
+    }
 }
 
 /// Executes already-compiled (and optionally verified) code under `rt`.
@@ -263,6 +300,27 @@ mod tests {
             guarded.trace.len(),
             elided.trace.len()
         );
+    }
+
+    #[test]
+    fn opt_levels_agree_and_shrink_dispatch() {
+        let base = RuntimeConfig::new(RuntimeKind::CPython);
+        let plain = capture(SRC, &base).expect("runs");
+        for level in 1..=qoa_analysis::MAX_OPT_LEVEL {
+            let opt = capture(SRC, &base.with_opt_level(level)).expect("runs");
+            assert_eq!(opt.result, plain.result, "level {level} result");
+            assert_eq!(opt.output, plain.output, "level {level} output");
+            assert!(
+                opt.vm.bytecodes <= plain.vm.bytecodes,
+                "level {level}: {} > {} bytecodes",
+                opt.vm.bytecodes,
+                plain.vm.bytecodes
+            );
+        }
+        // Level 2 promotes + fuses the module loop, so it must strictly
+        // reduce executed bytecodes (dispatches).
+        let l2 = capture(SRC, &base.with_opt_level(2)).expect("runs");
+        assert!(l2.vm.bytecodes < plain.vm.bytecodes);
     }
 
     #[test]

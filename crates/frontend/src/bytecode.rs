@@ -88,7 +88,66 @@ pub enum Opcode {
     ReturnValue,
     MakeFunction,
     BuildClass,
+    // Fused superinstructions. Only the qoa-analysis optimizer emits
+    // these (the compiler never does); each replaces a hot pair/triple
+    // with one dispatch. Pair operands pack as `lo | hi << 16`
+    // ([`pack_pair`]); `ConstCompareJump` packs target/cmp/direction/const
+    // ([`pack_const_cmp_jump`]).
+    LoadFastLoadFast,
+    LoadFastLoadConst,
+    AddFastFast,
+    ConstCompareJump,
     Nop,
+}
+
+/// Packs two 16-bit operands into a fused-pair arg (`lo | hi << 16`).
+/// `None` if either index needs more than 16 bits.
+pub fn pack_pair(lo: u32, hi: u32) -> Option<u32> {
+    if lo < (1 << 16) && hi < (1 << 16) { Some(lo | (hi << 16)) } else { None }
+}
+
+/// First operand of a fused-pair arg.
+pub fn pair_lo(arg: u32) -> u32 {
+    arg & 0xFFFF
+}
+
+/// Second operand of a fused-pair arg.
+pub fn pair_hi(arg: u32) -> u32 {
+    arg >> 16
+}
+
+/// Packs a `ConstCompareJump` arg: jump target in bits 0–15, comparison
+/// discriminant in bits 16–18, jump-if-true flag in bit 19, constant
+/// index in bits 20–31. `None` if the target needs more than 16 bits,
+/// the comparison is not a valid [`Cmp`] discriminant, or the constant
+/// index needs more than 12 bits.
+pub fn pack_const_cmp_jump(target: u32, cmp: u32, jump_if_true: bool, konst: u32) -> Option<u32> {
+    if target < (1 << 16) && cmp < 8 && konst < (1 << 12) {
+        Some(target | (cmp << 16) | (u32::from(jump_if_true) << 19) | (konst << 20))
+    } else {
+        None
+    }
+}
+
+/// Jump target of a `ConstCompareJump` arg.
+pub fn ccj_target(arg: u32) -> u32 {
+    arg & 0xFFFF
+}
+
+/// Comparison discriminant of a `ConstCompareJump` arg (always a valid
+/// [`Cmp`] discriminant by construction of the 3-bit field).
+pub fn ccj_cmp(arg: u32) -> u32 {
+    (arg >> 16) & 0x7
+}
+
+/// Whether a `ConstCompareJump` jumps on a truthy comparison result.
+pub fn ccj_if_true(arg: u32) -> bool {
+    arg & (1 << 19) != 0
+}
+
+/// Constant index of a `ConstCompareJump` arg.
+pub fn ccj_const(arg: u32) -> u32 {
+    arg >> 20
 }
 
 impl Opcode {
@@ -96,7 +155,7 @@ impl Opcode {
     pub const COUNT: usize = Self::ALL.len();
 
     /// Every opcode, in `index()` order.
-    pub const ALL: [Opcode; 53] = [
+    pub const ALL: [Opcode; 57] = [
         Opcode::LoadConst,
         Opcode::PopTop,
         Opcode::DupTop,
@@ -149,6 +208,10 @@ impl Opcode {
         Opcode::ReturnValue,
         Opcode::MakeFunction,
         Opcode::BuildClass,
+        Opcode::LoadFastLoadFast,
+        Opcode::LoadFastLoadConst,
+        Opcode::AddFastFast,
+        Opcode::ConstCompareJump,
         Opcode::Nop,
     ];
 
@@ -157,7 +220,9 @@ impl Opcode {
         self as usize
     }
 
-    /// Whether `arg` is a bytecode offset (for disassembly).
+    /// Whether `arg` encodes a jump target. For most jumps the arg *is*
+    /// the target; `ConstCompareJump` packs it into the low 16 bits.
+    /// Decode with [`Opcode::jump_target`], never with the raw arg.
     pub fn is_jump(self) -> bool {
         matches!(
             self,
@@ -168,7 +233,18 @@ impl Opcode {
                 | Opcode::JumpIfTrueOrPop
                 | Opcode::SetupLoop
                 | Opcode::ForIter
+                | Opcode::ConstCompareJump
         )
+    }
+
+    /// Decodes the jump target carried in `arg`, or `None` for opcodes
+    /// whose arg is not a bytecode offset. Total — safe on fuzzed args.
+    pub fn jump_target(self, arg: u32) -> Option<u32> {
+        match self {
+            Opcode::ConstCompareJump => Some(ccj_target(arg)),
+            _ if self.is_jump() => Some(arg),
+            _ => None,
+        }
     }
 
     /// Whether execution can continue at the next instruction after this
@@ -238,6 +314,11 @@ impl Opcode {
             Opcode::UnpackSequence => (1, n),
             Opcode::CallFunction | Opcode::MakeFunction => (n + 1, 1),
             Opcode::ReturnValue => (1, 0),
+            Opcode::LoadFastLoadFast | Opcode::LoadFastLoadConst => (0, 2),
+            Opcode::AddFastFast => (0, 1),
+            // The fused LoadConst lands and is consumed internally; only
+            // the pre-existing LHS is popped.
+            Opcode::ConstCompareJump => (1, 0),
         }
     }
 
@@ -254,6 +335,7 @@ impl Opcode {
             Opcode::JumpIfFalseOrPop | Opcode::JumpIfTrueOrPop => Some((1, 1)),
             // Exhaustion pops the iterator.
             Opcode::ForIter => Some((1, 0)),
+            Opcode::ConstCompareJump => Some((1, 0)),
             _ => None,
         }
     }
@@ -389,6 +471,32 @@ impl CodeObject {
                 Opcode::CompareOp => {
                     let _ = write!(out, "    ({:?})", Cmp::from_arg(instr.arg));
                 }
+                Opcode::LoadFastLoadFast | Opcode::AddFastFast => {
+                    let _ = write!(
+                        out,
+                        "    ({}, {})",
+                        self.varnames[pair_lo(instr.arg) as usize],
+                        self.varnames[pair_hi(instr.arg) as usize]
+                    );
+                }
+                Opcode::LoadFastLoadConst => {
+                    let _ = write!(
+                        out,
+                        "    ({}, {:?})",
+                        self.varnames[pair_lo(instr.arg) as usize],
+                        self.consts[pair_hi(instr.arg) as usize]
+                    );
+                }
+                Opcode::ConstCompareJump => {
+                    let _ = write!(
+                        out,
+                        "    ({:?} {:?}, {} -> {})",
+                        self.consts[ccj_const(instr.arg) as usize],
+                        Cmp::from_arg(ccj_cmp(instr.arg)),
+                        ccj_if_true(instr.arg),
+                        ccj_target(instr.arg)
+                    );
+                }
                 _ => {}
             }
             out.push('\n');
@@ -406,6 +514,22 @@ impl CodeObject {
         for (i, instr) in self.code.iter().enumerate() {
             let arg = instr.arg as usize;
             let ok = match instr.op {
+                Opcode::LoadFastLoadFast => {
+                    (pair_lo(instr.arg) as usize) < self.varnames.len()
+                        && (pair_hi(instr.arg) as usize) < self.varnames.len()
+                }
+                Opcode::LoadFastLoadConst => {
+                    (pair_lo(instr.arg) as usize) < self.varnames.len()
+                        && (pair_hi(instr.arg) as usize) < self.consts.len()
+                }
+                Opcode::AddFastFast => {
+                    (pair_lo(instr.arg) as usize) < self.varnames.len()
+                        && (pair_hi(instr.arg) as usize) < self.varnames.len()
+                }
+                Opcode::ConstCompareJump => {
+                    (ccj_target(instr.arg) as usize) <= self.code.len()
+                        && (ccj_const(instr.arg) as usize) < self.consts.len()
+                }
                 _ if instr.op.is_jump() => arg <= self.code.len(),
                 Opcode::LoadConst => arg < self.consts.len(),
                 Opcode::LoadFast | Opcode::StoreFast => arg < self.varnames.len(),
@@ -499,7 +623,8 @@ impl CodeObject {
                 }
             }
             if let Some((pops, pushes)) = instr.op.jump_io() {
-                edge(&mut work, instr.arg as usize, pops, pushes)?;
+                let target = instr.op.jump_target(instr.arg).unwrap_or(instr.arg);
+                edge(&mut work, target as usize, pops, pushes)?;
             }
             if instr.op == Opcode::SetupLoop {
                 // Block exit resumes at this depth (BreakLoop truncates).
@@ -623,6 +748,34 @@ mod tests {
     fn max_stack_terminates_on_positive_cycle() {
         let cycle = raw(vec![ins(Opcode::LoadConst, 0), ins(Opcode::JumpAbsolute, 0)]);
         assert!(cycle.compute_max_stack().is_err());
+    }
+
+    #[test]
+    fn fused_arg_packing_round_trips() {
+        let arg = pack_pair(7, 65_535).expect("fits");
+        assert_eq!((pair_lo(arg), pair_hi(arg)), (7, 65_535));
+        assert_eq!(pack_pair(1 << 16, 0), None);
+        assert_eq!(pack_pair(0, 1 << 16), None);
+
+        let arg = pack_const_cmp_jump(513, 5, true, 4_095).expect("fits");
+        assert_eq!(ccj_target(arg), 513);
+        assert_eq!(ccj_cmp(arg), 5);
+        assert!(ccj_if_true(arg));
+        assert_eq!(ccj_const(arg), 4_095);
+        let arg = pack_const_cmp_jump(0, 0, false, 0).expect("fits");
+        assert!(!ccj_if_true(arg));
+        assert_eq!(pack_const_cmp_jump(1 << 16, 0, false, 0), None);
+        assert_eq!(pack_const_cmp_jump(0, 8, false, 0), None);
+        assert_eq!(pack_const_cmp_jump(0, 0, false, 1 << 12), None);
+    }
+
+    #[test]
+    fn fused_jump_target_decodes_packed_arg() {
+        let arg = pack_const_cmp_jump(42, 2, false, 3).expect("fits");
+        assert_eq!(Opcode::ConstCompareJump.jump_target(arg), Some(42));
+        assert_eq!(Opcode::JumpAbsolute.jump_target(7), Some(7));
+        assert_eq!(Opcode::LoadConst.jump_target(7), None);
+        assert!(Opcode::ConstCompareJump.is_jump());
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod compiler;
 pub mod parser;
 pub mod token;
 
-pub use bytecode::{Cmp, CodeKind, CodeObject, Const, Instr, Opcode};
+pub use bytecode::{
+    ccj_cmp, ccj_const, ccj_if_true, ccj_target, pack_const_cmp_jump, pack_pair, pair_hi, pair_lo,
+    Cmp, CodeKind, CodeObject, Const, Instr, Opcode,
+};
 pub use compiler::{compile_module, CompileError};
 pub use parser::{parse, ParseError};
 pub use token::{tokenize, LexError};

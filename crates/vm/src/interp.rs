@@ -18,7 +18,9 @@
 use crate::dict::Key;
 use crate::object::{ClassObj, FuncObj, IterState, ObjKind, ObjRef};
 use crate::vm::{code_key, Block, CostMode, Frame, StepEvent, Vm, VmError};
-use qoa_frontend::{Cmp, CodeObject, Instr, Opcode};
+use qoa_frontend::{
+    ccj_cmp, ccj_const, ccj_if_true, ccj_target, pair_hi, pair_lo, Cmp, CodeObject, Instr, Opcode,
+};
 use qoa_model::{mem, Category, FrameEvent, OpKind, OpSink, Pc};
 use std::rc::Rc;
 
@@ -194,6 +196,32 @@ impl<S: OpSink> Vm<S> {
             .last()
             .copied()
             .ok_or_else(|| VmError::runtime("value stack underflow", 0))
+    }
+
+    /// Reads local slot `idx` for a fused superinstruction: same
+    /// micro-ops and same `UnboundLocalError` as a standalone `LoadFast`,
+    /// and increfs the value for the caller.
+    fn read_fast(&mut self, site: u32, idx: u32) -> Result<ObjRef, VmError> {
+        let f = self.frame()?;
+        let Some(v) = f.locals.get(idx as usize).copied().flatten() else {
+            let name = f
+                .code
+                .varnames
+                .get(idx as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("<local {idx}>"));
+            return Err(self.err(format!(
+                "UnboundLocalError: local variable '{name}' referenced before assignment"
+            )));
+        };
+        if self.cost == CostMode::Interp {
+            let addr = self.frame_addr() + FRAME_HEADER + (idx as u64) * 8;
+            self.ealu(site, Category::RegTransfer, 1);
+            // The variable read itself is the program's own work.
+            self.eload(site + 1, Category::Execute, addr);
+        }
+        self.incref(v);
+        Ok(v)
     }
 
     // ---- type checks and unboxing ----------------------------------------------
@@ -836,6 +864,83 @@ impl<S: OpSink> Vm<S> {
             }
             Opcode::ReturnValue => {
                 return self.return_value();
+            }
+            // Fused superinstructions (emitted only by the qoa-analysis
+            // optimizer): one dispatch prologue covers a whole unfused
+            // run, and intermediate values skip the value-stack round
+            // trip. Guest-observable behavior — values, error messages,
+            // error ordering — is bit-for-bit that of the unfused run.
+            Opcode::LoadFastLoadFast => {
+                let a = self.read_fast(0, pair_lo(arg))?;
+                self.push_s(4, a)?;
+                let b = match self.read_fast(6, pair_hi(arg)) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        // The unfused error path leaves `a` on the stack
+                        // for frame teardown; here it never landed there.
+                        self.decref(a);
+                        return Err(e);
+                    }
+                };
+                self.push_s(10, b)?;
+            }
+            Opcode::LoadFastLoadConst => {
+                let a = self.read_fast(0, pair_lo(arg))?;
+                self.push_s(4, a)?;
+                let k = pair_hi(arg);
+                let meta = &self.code_meta[&code_key(code)];
+                let v = meta.consts[k as usize];
+                let consts_addr = meta.consts_addr + (k as u64) * 8;
+                if self.cost == CostMode::Interp {
+                    self.ealu(6, Category::RegTransfer, 1);
+                    self.eload(7, Category::ConstLoad, consts_addr);
+                }
+                self.incref(v);
+                self.push_s(10, v)?;
+            }
+            Opcode::AddFastFast => {
+                let a = self.read_fast(0, pair_lo(arg))?;
+                let b = match self.read_fast(6, pair_hi(arg)) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.decref(a);
+                        return Err(e);
+                    }
+                };
+                // `binary_op` consumes both references, exactly as the
+                // unfused BinaryAdd would after its two pops.
+                let r = self.binary_op(Opcode::BinaryAdd, a, b)?;
+                self.push_s(12, r)?;
+            }
+            Opcode::ConstCompareJump => {
+                // LHS was pushed by earlier code; the constant RHS flows
+                // straight from the pool and the bool result is consumed
+                // without touching the stack.
+                let a = self.pop_s(0)?;
+                let kidx = ccj_const(arg);
+                let meta = &self.code_meta[&code_key(code)];
+                let k = meta.consts[kidx as usize];
+                let consts_addr = meta.consts_addr + (kidx as u64) * 8;
+                if self.cost == CostMode::Interp {
+                    self.ealu(3, Category::RegTransfer, 1);
+                    self.eload(4, Category::ConstLoad, consts_addr);
+                }
+                self.incref(k);
+                let r = self.compare_op(Cmp::from_arg(ccj_cmp(arg)), a, k)?;
+                let truthy = self.kind(r).is_truthy();
+                self.decref(r);
+                let jump = if ccj_if_true(arg) { truthy } else { !truthy };
+                self.ealu(11, Category::RichControlFlow, 1);
+                self.ebranch(12, Category::Execute, jump);
+                if jump {
+                    let target = ccj_target(arg) as usize;
+                    let f = self.frame_mut()?;
+                    let old = f.pc;
+                    f.pc = target;
+                    if target < old {
+                        return Ok(StepEvent::Backedge { code: code_key(code), target });
+                    }
+                }
             }
         }
         Ok(StepEvent::Continue)
